@@ -1,0 +1,126 @@
+// A1 — ablations of the design knobs DESIGN.md calls out.
+//
+// (a) Leaf fill factor: "the proper amount of desired free space (for
+//     future inserts during normal processing) is left in the leaf pages"
+//     (section 2.2.3).  A 100% fill makes the freshly built index split
+//     on nearly every subsequent insert; headroom trades space for
+//     insert-time stability.
+// (b) Sort workspace: replacement selection produces runs ~2× workspace;
+//     fewer runs mean a cheaper (possibly single-pass) merge (section 5).
+
+#include "btree/tree_verifier.h"
+
+#include "bench/bench_util.h"
+
+namespace oib {
+namespace bench {
+namespace {
+
+void RunFillFactor(double fill) {
+  Options options = DefaultBenchOptions();
+  options.leaf_fill_factor = fill;
+  World w = MakeWorld(30000, options);
+  BuildParams params = KeyIndexParams(w.table, "idx");
+  IndexId index;
+  SfIndexBuilder builder(w.engine.get());
+  if (!builder.Build(params, &index).ok()) std::abort();
+  BTree* tree = w.engine->catalog()->index(index);
+  TreeVerifier tv(tree, w.engine->pool());
+  auto before = tv.Clustering();
+  if (!before.ok()) std::abort();
+  uint64_t splits_before = tree->split_count();
+
+  // Post-build insert churn at RANDOM positions inside the key range —
+  // this is the "future inserts during normal processing" the reserved
+  // free space is meant to absorb.
+  Random rng(fill * 1000);
+  Transaction* txn = w.engine->Begin();
+  const int kChurn = 4000;
+  for (int i = 0; i < kChurn; ++i) {
+    std::string key = Workload::MakeKey(rng.Uniform(30000), 12);
+    auto r = w.engine->records()->InsertRecord(
+        txn, w.table, Schema::EncodeRecord({key, "churn"}));
+    if (!r.ok()) std::abort();
+    if (i % 512 == 511) {
+      if (!w.engine->Commit(txn).ok()) std::abort();
+      txn = w.engine->Begin();
+    }
+  }
+  if (!w.engine->Commit(txn).ok()) std::abort();
+  uint64_t splits_after = tree->split_count();
+  MustBeConsistent(w.engine.get(), w.table, index);
+
+  std::printf("%8.2f %10llu %8.3f %12d %12llu\n", fill,
+              (unsigned long long)before->leaf_pages, before->utilization,
+              kChurn,
+              (unsigned long long)(splits_after - splits_before));
+}
+
+void RunSortWorkspace(size_t workspace) {
+  Options options = DefaultBenchOptions();
+  options.sort_workspace_keys = workspace;
+  // A table populated in key order would sort into a single run no
+  // matter what (replacement selection loves presorted input); shuffle
+  // the key-to-row assignment so the scan emits keys in random order.
+  World w;
+  w.options = options;
+  w.env = Env::InMemory(options);
+  w.engine = std::move(*Engine::Open(options, w.env.get()));
+  w.table = *w.engine->catalog()->CreateTable("t");
+  {
+    const uint64_t rows = 60000;
+    std::vector<uint64_t> ids(rows);
+    for (uint64_t i = 0; i < rows; ++i) ids[i] = i;
+    Random rng(99);
+    for (uint64_t i = rows - 1; i > 0; --i) {
+      std::swap(ids[i], ids[rng.Uniform(i + 1)]);
+    }
+    Transaction* txn = w.engine->Begin();
+    for (uint64_t i = 0; i < rows; ++i) {
+      auto r = w.engine->records()->InsertRecord(
+          txn, w.table,
+          Schema::EncodeRecord({Workload::MakeKey(ids[i], 12), "p"}));
+      if (!r.ok()) std::abort();
+      if (i % 1024 == 1023) {
+        if (!w.engine->Commit(txn).ok()) std::abort();
+        txn = w.engine->Begin();
+      }
+    }
+    if (!w.engine->Commit(txn).ok()) std::abort();
+  }
+  BuildParams params = KeyIndexParams(w.table, "idx");
+  BuildStats stats;
+  IndexId index;
+  double t0 = NowMs();
+  SfIndexBuilder builder(w.engine.get());
+  if (!builder.Build(params, &index, &stats).ok()) std::abort();
+  double elapsed = NowMs() - t0;
+  MustBeConsistent(w.engine.get(), w.table, index);
+  std::printf("%10zu %8llu %10.1f %10.1f\n", workspace,
+              (unsigned long long)stats.sort_runs, stats.scan_ms, elapsed);
+}
+
+void Run() {
+  PrintHeader("A1a: leaf fill factor vs post-build split storm",
+              "free space left by IB absorbs future inserts (2.2.3)");
+  std::printf("%8s %10s %8s %12s %12s\n", "fill", "leaves", "util",
+              "post_inserts", "post_splits");
+  for (double fill : {0.6, 0.75, 0.9, 1.0}) RunFillFactor(fill);
+
+  PrintHeader("A1b: sort workspace vs run count (section 5)",
+              "replacement selection: runs ~ rows / (2 * workspace)");
+  std::printf("%10s %8s %10s %10s\n", "workspace", "runs", "scan_ms",
+              "total_ms");
+  for (size_t ws : {1024ul, 4096ul, 16384ul, 65536ul}) {
+    RunSortWorkspace(ws);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oib
+
+int main() {
+  oib::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E1 — Build efficiency without concurrent updates (paper section 4).
+//
+// Claim: "In SF, IB is able to build the index more efficiently than in
+// NSF" because SF writes no log records for IB's key inserts and never
+// traverses the tree from the root, while NSF pays per-leaf logging and
+// (hint-assisted) traversals.  Offline is the overall floor but blocks
+// updates entirely (quantified in E2).
+
+#include "bench/bench_util.h"
+
+namespace oib {
+namespace bench {
+namespace {
+
+void RunOne(const char* algo, uint64_t rows) {
+  World w = MakeWorld(rows);
+  BuildParams params = KeyIndexParams(w.table, "idx");
+  BuildStats stats;
+  IndexId index = kInvalidIndexId;
+  double t0 = NowMs();
+  Status s;
+  if (std::string(algo) == "offline") {
+    OfflineIndexBuilder builder(w.engine.get());
+    s = builder.Build(params, &index, &stats);
+  } else if (std::string(algo) == "nsf") {
+    NsfIndexBuilder builder(w.engine.get());
+    s = builder.Build(params, &index, &stats);
+  } else {
+    SfIndexBuilder builder(w.engine.get());
+    s = builder.Build(params, &index, &stats);
+  }
+  double elapsed = NowMs() - t0;
+  if (!s.ok()) {
+    std::printf("%-8s %8llu  BUILD FAILED: %s\n", algo,
+                (unsigned long long)rows, s.ToString().c_str());
+    return;
+  }
+  MustBeConsistent(w.engine.get(), w.table, index);
+  std::printf(
+      "%-8s %8llu %10.1f %9.1f %9.1f %9.1f %10llu %12llu %8llu\n", algo,
+      (unsigned long long)rows, elapsed, stats.scan_ms, stats.load_ms,
+      stats.apply_ms, (unsigned long long)stats.log_records,
+      (unsigned long long)stats.log_bytes,
+      (unsigned long long)stats.sort_runs);
+}
+
+void Run() {
+  PrintHeader("E1: index build cost, no concurrent updates",
+              "SF builds faster than NSF (no IB logging, no traversals); "
+              "both close to the offline bottom-up floor");
+  std::printf("%-8s %8s %10s %9s %9s %9s %10s %12s %8s\n", "algo", "rows",
+              "total_ms", "scan_ms", "load_ms", "apply_ms", "log_recs",
+              "log_bytes", "runs");
+  for (uint64_t rows : {20000ull, 60000ull}) {
+    for (const char* algo : {"offline", "sf", "nsf"}) {
+      RunOne(algo, rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oib
+
+int main() {
+  oib::bench::Run();
+  return 0;
+}

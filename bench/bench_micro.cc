@@ -1,0 +1,197 @@
+// Substrate micro-benchmarks (google-benchmark): B+-tree point ops, IB
+// batch inserts, external sort, WAL appends, heap record ops, side-file
+// appends, lock acquisition.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "sort/external_sorter.h"
+
+namespace oib {
+namespace bench {
+namespace {
+
+std::string Key8(uint64_t i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "%08llu", (unsigned long long)i);
+  return buf;
+}
+
+void BM_BtreeInsert(benchmark::State& state) {
+  World w = MakeWorld(0);
+  auto desc = w.engine->catalog()->CreateIndex("i", w.table, false, {0},
+                                               BuildAlgo::kOffline);
+  BTree* tree = w.engine->catalog()->index(desc->id);
+  Transaction* txn = w.engine->Begin();
+  uint64_t i = 0;
+  Random rng(1);
+  for (auto _ : state) {
+    auto r = tree->Insert(txn, Key8(rng.Next() % 10000000), Rid(i++ & 0xffff, 0));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  (void)w.engine->Commit(txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeLookup(benchmark::State& state) {
+  World w = MakeWorld(0);
+  auto desc = w.engine->catalog()->CreateIndex("i", w.table, false, {0},
+                                               BuildAlgo::kOffline);
+  BTree* tree = w.engine->catalog()->index(desc->id);
+  Transaction* txn = w.engine->Begin();
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    (void)tree->Insert(txn, Key8(i), Rid(i, 0));
+  }
+  (void)w.engine->Commit(txn);
+  Random rng(2);
+  for (auto _ : state) {
+    int i = static_cast<int>(rng.Uniform(n));
+    auto r = tree->Lookup(Key8(i), Rid(i, 0));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeLookup);
+
+void BM_BtreeIbBatchInsert(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  World w = MakeWorld(0);
+  auto desc = w.engine->catalog()->CreateIndex("i", w.table, false, {0},
+                                               BuildAlgo::kOffline);
+  BTree* tree = w.engine->catalog()->index(desc->id);
+  Transaction* txn = w.engine->Begin();
+  uint64_t next = 0;
+  std::vector<std::string> keys(batch);
+  for (auto _ : state) {
+    std::vector<IndexKeyRef> refs;
+    refs.reserve(batch);
+    for (size_t j = 0; j < batch; ++j) {
+      keys[j] = Key8(next);
+      refs.push_back({keys[j], Rid(static_cast<PageId>(next), 0)});
+      ++next;
+    }
+    BTree::IbStats stats;
+    auto s = tree->IbInsertBatch(txn, refs, false, nullptr, &stats);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  (void)w.engine->Commit(txn);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BtreeIbBatchInsert)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_ExternalSortAndMerge(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Options options = DefaultBenchOptions();
+  options.sort_workspace_keys = 4096;
+  for (auto _ : state) {
+    RunStore store;
+    ExternalSorter sorter(&store, &options);
+    Random rng(7);
+    for (size_t i = 0; i < n; ++i) {
+      (void)sorter.Add(Key8(rng.Next() % 100000000), Rid(1, 0));
+    }
+    (void)sorter.FinishInput();
+    (void)sorter.PrepareMerge();
+    auto cursor = sorter.OpenMerge();
+    SortItem item;
+    size_t count = 0;
+    for (;;) {
+      auto more = (*cursor)->Next(&item);
+      if (!more.ok() || !*more) break;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSortAndMerge)->Arg(10000)->Arg(100000);
+
+void BM_WalAppend(benchmark::State& state) {
+  LogManager log;
+  std::string payload(64, 'x');
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.rm_id = RmId::kHeap;
+    rec.txn_id = 1;
+    rec.redo = payload;
+    benchmark::DoNotOptimize(log.Append(&rec).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_HeapInsert(benchmark::State& state) {
+  World w = MakeWorld(0);
+  HeapFile* heap = w.engine->catalog()->table(w.table);
+  Transaction* txn = w.engine->Begin();
+  std::string rec(64, 'r');
+  for (auto _ : state) {
+    auto r = heap->Insert(txn, rec, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  (void)w.engine->Commit(txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapInsert);
+
+void BM_RecordInsertWithIndexes(benchmark::State& state) {
+  int indexes = static_cast<int>(state.range(0));
+  World w = MakeWorld(0);
+  for (int i = 0; i < indexes; ++i) {
+    OfflineIndexBuilder builder(w.engine.get());
+    IndexId id;
+    BuildParams p = KeyIndexParams(w.table, "i" + std::to_string(i));
+    if (!builder.Build(p, &id).ok()) std::abort();
+  }
+  Transaction* txn = w.engine->Begin();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = w.engine->records()->InsertRecord(
+        txn, w.table, Schema::EncodeRecord({Key8(i++), "payload"}));
+    benchmark::DoNotOptimize(r.ok());
+    if ((i & 1023) == 0) {
+      (void)w.engine->Commit(txn);
+      txn = w.engine->Begin();
+    }
+  }
+  (void)w.engine->Commit(txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordInsertWithIndexes)->Arg(0)->Arg(1)->Arg(3);
+
+void BM_SideFileAppend(benchmark::State& state) {
+  World w = MakeWorld(0);
+  SideFile sf(99, w.engine->pool(), w.engine->txns());
+  if (!sf.Create().ok()) std::abort();
+  Transaction* txn = w.engine->Begin();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto s = sf.Append(txn, SideFileOp::kInsertKey, Key8(i++), Rid(1, 0));
+    benchmark::DoNotOptimize(s.ok());
+  }
+  (void)w.engine->Commit(txn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SideFileAppend);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  LockManager lm;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    LockId id = (i++ % 4096) + 1;
+    benchmark::DoNotOptimize(lm.Lock(1, id, LockMode::kX).ok());
+    lm.Unlock(1, id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+}  // namespace
+}  // namespace bench
+}  // namespace oib
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Shared scaffolding for the experiment harnesses (bench_e*): engine
+// setup, population, and fixed-width table printing.  Each experiment
+// binary regenerates one claim of the paper's Section 4 comparison /
+// Section 1 motivation; EXPERIMENTS.md records expected-vs-measured.
+
+#ifndef OIB_BENCH_BENCH_UTIL_H_
+#define OIB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/index_builder.h"
+#include "core/index_verifier.h"
+#include "core/workload.h"
+
+namespace oib {
+namespace bench {
+
+struct World {
+  Options options;
+  std::unique_ptr<Env> env;
+  std::unique_ptr<Engine> engine;
+  TableId table = 0;
+  std::vector<Rid> rids;
+};
+
+inline Options DefaultBenchOptions() {
+  Options o;
+  o.buffer_pool_pages = 16384;  // 64 MiB: builds mostly in memory
+  o.sort_workspace_keys = 16 * 1024;
+  o.ib_keys_per_call = 64;
+  o.ib_checkpoint_every_keys = 100000;
+  o.sort_checkpoint_every_keys = 100000;
+  o.sf_apply_batch = 1024;
+  return o;
+}
+
+// Fresh engine + one table with `rows` records.
+inline World MakeWorld(uint64_t rows, Options options = DefaultBenchOptions(),
+                       uint64_t seed = 42) {
+  World w;
+  w.options = options;
+  w.env = Env::InMemory(options);
+  auto engine = Engine::Open(options, w.env.get());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  w.engine = std::move(*engine);
+  auto table = w.engine->catalog()->CreateTable("t");
+  if (!table.ok()) std::abort();
+  w.table = *table;
+  WorkloadOptions wo;
+  wo.seed = seed;
+  auto rids = Workload::Populate(w.engine.get(), w.table, rows, wo);
+  if (!rids.ok()) {
+    std::fprintf(stderr, "populate failed: %s\n",
+                 rids.status().ToString().c_str());
+    std::abort();
+  }
+  w.rids = std::move(*rids);
+  return w;
+}
+
+inline BuildParams KeyIndexParams(TableId table, const std::string& name,
+                                  bool unique = false) {
+  BuildParams p;
+  p.name = name;
+  p.table = table;
+  p.unique = unique;
+  p.key_cols = {0};
+  return p;
+}
+
+inline double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Aborts (with a message) if the built index does not match the table —
+// every experiment double-checks correctness before reporting numbers.
+inline void MustBeConsistent(Engine* engine, TableId table, IndexId index) {
+  IndexVerifier verifier(engine);
+  auto report = verifier.Verify(table, index);
+  if (!report.ok() || !report->ok) {
+    std::fprintf(stderr, "CONSISTENCY FAILURE: %s\n",
+                 report.ok() ? report->error.c_str()
+                             : report.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+inline void PrintHeader(const char* title, const char* claim) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+}  // namespace bench
+}  // namespace oib
+
+#endif  // OIB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// online_reindex: the scenario from the paper's introduction — a DBA must
+// add a secondary index to a large, busy OLTP table.  We run the same
+// reindex three ways (offline / NSF / SF) against a live workload and
+// print what each did to transaction availability.
+//
+// Build & run:   ./build/examples/online_reindex
+
+#include <cstdio>
+#include <thread>
+
+#include "core/engine.h"
+#include "core/index_builder.h"
+#include "core/index_verifier.h"
+#include "core/workload.h"
+
+using namespace oib;
+
+namespace {
+
+struct Outcome {
+  double build_ms;
+  double blocked_ms;
+  uint64_t txns_during_build;
+  uint64_t aborts;
+};
+
+Outcome Reindex(const std::string& algo) {
+  Options options;
+  options.buffer_pool_pages = 16384;
+  auto env = Env::InMemory(options);
+  auto engine = std::move(*Engine::Open(options, env.get()));
+
+  TableId orders = *engine->catalog()->CreateTable("orders");
+  WorkloadOptions wo;
+  wo.threads = 2;
+  auto rids = *Workload::Populate(engine.get(), orders, 20000, wo);
+
+  Workload oltp(engine.get(), orders, wo);
+  oltp.Seed(rids, 20000);
+  oltp.Start();
+  while (oltp.ops_done() < 50) std::this_thread::yield();
+
+  BuildParams params;
+  params.name = "orders_by_key";
+  params.table = orders;
+  params.key_cols = {0};
+  IndexId index;
+  BuildStats stats;
+  uint64_t before = oltp.ops_done();
+  auto t0 = std::chrono::steady_clock::now();
+  Status s;
+  if (algo == "offline") {
+    OfflineIndexBuilder b(engine.get());
+    s = b.Build(params, &index, &stats);
+  } else if (algo == "nsf") {
+    NsfIndexBuilder b(engine.get());
+    s = b.Build(params, &index, &stats);
+  } else {
+    SfIndexBuilder b(engine.get());
+    s = b.Build(params, &index, &stats);
+  }
+  double build_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  uint64_t during = oltp.ops_done() - before;
+  WorkloadStats ws = oltp.Stop();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s build failed: %s\n", algo.c_str(),
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  IndexVerifier verifier(engine.get());
+  auto report = verifier.Verify(orders, index);
+  if (!report.ok() || !report->ok) {
+    std::fprintf(stderr, "%s: index inconsistent!\n", algo.c_str());
+    std::exit(1);
+  }
+  return Outcome{build_ms, stats.quiesce_ms, during, ws.aborts};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("reindexing a live 20k-row OLTP table, three ways:\n\n");
+  std::printf("%-8s %10s %12s %18s %8s\n", "algo", "build_ms", "blocked_ms",
+              "ops during build", "aborts");
+  for (const std::string algo : {"offline", "nsf", "sf"}) {
+    Outcome o = Reindex(algo);
+    std::printf("%-8s %10.1f %12.2f %18llu %8llu\n", algo.c_str(),
+                o.build_ms, o.blocked_ms,
+                (unsigned long long)o.txns_during_build,
+                (unsigned long long)o.aborts);
+  }
+  std::printf(
+      "\noffline blocks the workload for the whole build; NSF pauses it "
+      "only to create the descriptor; SF never pauses it (paper sections "
+      "1, 2.2.1, 3.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,262 @@
+#include "btree/btree_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace oib {
+
+int CompareIndexKey(std::string_view a_key, const Rid& a_rid,
+                    std::string_view b_key, const Rid& b_rid) {
+  int c = a_key.compare(b_key);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (a_rid < b_rid) return -1;
+  if (b_rid < a_rid) return 1;
+  return 0;
+}
+
+void BTreePage::Init(bool leaf, uint8_t level) {
+  data_[kTypeOff] = static_cast<char>(leaf ? PageType::kBtreeLeaf
+                                           : PageType::kBtreeInternal);
+  data_[kLevelOff] = static_cast<char>(level);
+  set_count(0);
+  set_free_end(static_cast<uint16_t>(page_size_));
+  set_next(kInvalidPageId);
+  set_leftmost_child(kInvalidPageId);
+}
+
+bool BTreePage::is_leaf() const {
+  return static_cast<PageType>(static_cast<uint8_t>(data_[kTypeOff])) ==
+         PageType::kBtreeLeaf;
+}
+
+uint8_t BTreePage::level() const {
+  return static_cast<uint8_t>(data_[kLevelOff]);
+}
+
+uint16_t BTreePage::count() const { return DecodeFixed16(data_ + kCountOff); }
+void BTreePage::set_count(uint16_t v) { EncodeFixed16(data_ + kCountOff, v); }
+
+PageId BTreePage::next() const { return DecodeFixed32(data_ + kNextOff); }
+void BTreePage::set_next(PageId id) { EncodeFixed32(data_ + kNextOff, id); }
+
+PageId BTreePage::leftmost_child() const {
+  return DecodeFixed32(data_ + kLeftmostOff);
+}
+void BTreePage::set_leftmost_child(PageId id) {
+  EncodeFixed32(data_ + kLeftmostOff, id);
+}
+
+uint16_t BTreePage::free_end() const {
+  return DecodeFixed16(data_ + kFreeEndOff);
+}
+void BTreePage::set_free_end(uint16_t v) {
+  EncodeFixed16(data_ + kFreeEndOff, v);
+}
+
+uint16_t BTreePage::entry_offset(int i) const {
+  return DecodeFixed16(data_ + kOffsetsOff + 2 * i);
+}
+void BTreePage::set_entry_offset(int i, uint16_t off) {
+  EncodeFixed16(data_ + kOffsetsOff + 2 * i, off);
+}
+
+size_t BTreePage::EntryHeaderSize() const {
+  // leaf: flags(1) + rid(6); internal: child(4) + rid(6).
+  return is_leaf() ? 1 + 6 : 4 + 6;
+}
+
+std::string_view BTreePage::RawEntry(int i) const {
+  uint16_t off = entry_offset(i);
+  size_t hdr = EntryHeaderSize();
+  uint16_t klen = DecodeFixed16(data_ + off + hdr);
+  return std::string_view(data_ + off, hdr + 2 + klen);
+}
+
+std::string_view BTreePage::KeyAt(int i) const {
+  uint16_t off = entry_offset(i);
+  size_t hdr = EntryHeaderSize();
+  uint16_t klen = DecodeFixed16(data_ + off + hdr);
+  return std::string_view(data_ + off + hdr + 2, klen);
+}
+
+Rid BTreePage::RidAt(int i) const {
+  uint16_t off = entry_offset(i);
+  size_t rid_off = is_leaf() ? 1 : 4;
+  PageId page = DecodeFixed32(data_ + off + rid_off);
+  SlotId slot = DecodeFixed16(data_ + off + rid_off + 4);
+  return Rid(page, slot);
+}
+
+uint8_t BTreePage::FlagsAt(int i) const {
+  assert(is_leaf());
+  return static_cast<uint8_t>(data_[entry_offset(i)]);
+}
+
+void BTreePage::SetFlagsAt(int i, uint8_t f) {
+  assert(is_leaf());
+  data_[entry_offset(i)] = static_cast<char>(f);
+}
+
+PageId BTreePage::ChildAt(int i) const {
+  assert(!is_leaf());
+  if (i < 0) return leftmost_child();
+  return DecodeFixed32(data_ + entry_offset(i));
+}
+
+int BTreePage::LowerBound(std::string_view key, const Rid& rid) const {
+  int lo = 0, hi = count();
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (CompareIndexKey(KeyAt(mid), RidAt(mid), key, rid) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BTreePage::FindExact(std::string_view key, const Rid& rid) const {
+  int i = LowerBound(key, rid);
+  if (i < count() && CompareIndexKey(KeyAt(i), RidAt(i), key, rid) == 0) {
+    return i;
+  }
+  return -1;
+}
+
+PageId BTreePage::Route(std::string_view key, const Rid& rid) const {
+  assert(!is_leaf());
+  // Largest entry <= (key, rid); LowerBound gives first >=.
+  int i = LowerBound(key, rid);
+  if (i < count() && CompareIndexKey(KeyAt(i), RidAt(i), key, rid) == 0) {
+    return ChildAt(i);
+  }
+  return ChildAt(i - 1);
+}
+
+size_t BTreePage::ContiguousFree() const {
+  size_t dir_end = kOffsetsOff + 2 * count();
+  uint16_t fe = free_end();
+  return fe > dir_end ? fe - dir_end : 0;
+}
+
+size_t BTreePage::UsedEntryBytes() const {
+  size_t used = 0;
+  for (int i = 0; i < count(); ++i) used += RawEntry(i).size();
+  return used;
+}
+
+size_t BTreePage::FreeBytes() const {
+  size_t dir_end = kOffsetsOff + 2 * count();
+  return page_size_ - dir_end - UsedEntryBytes();
+}
+
+bool BTreePage::HasSpaceFor(size_t key_len) const {
+  size_t need = EntryHeaderSize() + 2 + key_len + 2 /* offset slot */;
+  return FreeBytes() >= need;
+}
+
+void BTreePage::Compact() {
+  std::vector<std::string> raws;
+  int n = count();
+  raws.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    raws.emplace_back(RawEntry(i));
+  }
+  uint16_t fe = static_cast<uint16_t>(page_size_);
+  for (int i = 0; i < n; ++i) {
+    fe = static_cast<uint16_t>(fe - raws[i].size());
+    std::memcpy(data_ + fe, raws[i].data(), raws[i].size());
+    set_entry_offset(i, fe);
+  }
+  set_free_end(fe);
+}
+
+uint16_t BTreePage::WriteEntry(std::string_view raw) {
+  uint16_t fe = static_cast<uint16_t>(free_end() - raw.size());
+  std::memcpy(data_ + fe, raw.data(), raw.size());
+  set_free_end(fe);
+  return fe;
+}
+
+Status BTreePage::InsertRawAt(int i, std::string_view raw) {
+  size_t need = raw.size() + 2;
+  if (FreeBytes() < need) return Status::Busy("btree page full");
+  if (ContiguousFree() < need) Compact();
+  uint16_t off = WriteEntry(raw);
+  // Shift offset array right.
+  int n = count();
+  std::memmove(data_ + kOffsetsOff + 2 * (i + 1),
+               data_ + kOffsetsOff + 2 * i, 2 * (n - i));
+  set_entry_offset(i, off);
+  set_count(static_cast<uint16_t>(n + 1));
+  return Status::OK();
+}
+
+Status BTreePage::InsertLeafAt(int i, std::string_view key, const Rid& rid,
+                               uint8_t flags) {
+  assert(is_leaf());
+  std::string raw;
+  raw.push_back(static_cast<char>(flags));
+  PutFixed32(&raw, rid.page);
+  PutFixed16(&raw, rid.slot);
+  PutFixed16(&raw, static_cast<uint16_t>(key.size()));
+  raw.append(key.data(), key.size());
+  return InsertRawAt(i, raw);
+}
+
+Status BTreePage::InsertInternalAt(int i, std::string_view key,
+                                   const Rid& rid, PageId child) {
+  assert(!is_leaf());
+  std::string raw;
+  PutFixed32(&raw, child);
+  PutFixed32(&raw, rid.page);
+  PutFixed16(&raw, rid.slot);
+  PutFixed16(&raw, static_cast<uint16_t>(key.size()));
+  raw.append(key.data(), key.size());
+  return InsertRawAt(i, raw);
+}
+
+void BTreePage::RemoveAt(int i) {
+  int n = count();
+  std::memmove(data_ + kOffsetsOff + 2 * i,
+               data_ + kOffsetsOff + 2 * (i + 1), 2 * (n - i - 1));
+  set_count(static_cast<uint16_t>(n - 1));
+  // Entry bytes become garbage, reclaimed by Compact.
+}
+
+std::string BTreePage::SerializeEntries(int from, int to) const {
+  std::string blob;
+  PutFixed16(&blob, static_cast<uint16_t>(to - from));
+  for (int i = from; i < to; ++i) {
+    std::string_view raw = RawEntry(i);
+    PutFixed16(&blob, static_cast<uint16_t>(raw.size()));
+    blob.append(raw.data(), raw.size());
+  }
+  return blob;
+}
+
+Status BTreePage::AppendSerialized(std::string_view blob) {
+  BufferReader r(blob);
+  uint16_t n;
+  if (!r.GetFixed16(&n)) return Status::Corruption("entry blob");
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t len;
+    if (!r.GetFixed16(&len)) return Status::Corruption("entry blob len");
+    if (r.remaining() < len) return Status::Corruption("entry blob bytes");
+    std::string_view raw(blob.data() + r.position(), len);
+    OIB_RETURN_IF_ERROR(InsertRawAt(count(), raw));
+    r.Skip(len);
+  }
+  return Status::OK();
+}
+
+void BTreePage::TruncateFrom(int from) {
+  set_count(static_cast<uint16_t>(from));
+  Compact();
+}
+
+}  // namespace oib

@@ -1,0 +1,125 @@
+// BTreePage: sorted slotted layout for B+-tree nodes, viewed over a raw
+// page buffer.
+//
+// Keys are <key value, RID> pairs (paper section 1.1); the RID acts as a
+// tie-breaker so non-unique indexes store duplicates as distinct keys.
+// Every leaf entry carries a flags byte whose low bit is the *pseudo-delete*
+// flag ("a 1-bit flag is associated with every key in the index to indicate
+// whether the key is pseudo deleted or not", section 2.1.2).
+//
+// Layout (offsets within the page):
+//   [0..8)    page LSN
+//   [8]       page type (kBtreeLeaf / kBtreeInternal)
+//   [9]       level (0 = leaf)
+//   [10..12)  entry count
+//   [12..14)  free_end — lowest byte offset used by entry data
+//   [14..18)  next page id (leaf right-sibling chain)
+//   [18..22)  leftmost child (internal pages only)
+//   [22..)    offset array, 2 bytes per entry, in key order
+//   ...       free space
+//   [free_end..page_size)  entry data, growing downward
+//
+// Entry encodings:
+//   leaf:     [flags u8][rid_page u32][rid_slot u16][klen u16][key bytes]
+//   internal: [child u32][rid_page u32][rid_slot u16][klen u16][key bytes]
+//
+// Internal-node routing: child pointers are leftmost_child, child_0, ...,
+// child_{n-1}; an entry (key_i, child_i) routes keys >= key_i and
+// < key_{i+1}.
+
+#ifndef OIB_BTREE_BTREE_PAGE_H_
+#define OIB_BTREE_BTREE_PAGE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "heap/slotted_page.h"  // PageType
+
+namespace oib {
+
+// Pseudo-delete flag bit (paper section 2.1.2).
+inline constexpr uint8_t kEntryPseudoDeleted = 0x1;
+
+// Three-way comparison of full index keys <key value, RID>.
+int CompareIndexKey(std::string_view a_key, const Rid& a_rid,
+                    std::string_view b_key, const Rid& b_rid);
+
+class BTreePage {
+ public:
+  BTreePage(char* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  void Init(bool leaf, uint8_t level);
+
+  bool is_leaf() const;
+  uint8_t level() const;
+  uint16_t count() const;
+  PageId next() const;
+  void set_next(PageId id);
+  PageId leftmost_child() const;
+  void set_leftmost_child(PageId id);
+
+  std::string_view KeyAt(int i) const;
+  Rid RidAt(int i) const;
+  uint8_t FlagsAt(int i) const;        // leaf only
+  void SetFlagsAt(int i, uint8_t f);   // leaf only
+  PageId ChildAt(int i) const;         // internal; i == -1 -> leftmost
+
+  // First index whose entry >= (key, rid); count() if none.
+  int LowerBound(std::string_view key, const Rid& rid) const;
+  // Index of the exact entry (key, rid), or -1.
+  int FindExact(std::string_view key, const Rid& rid) const;
+  // Internal routing: child to descend into for (key, rid).
+  PageId Route(std::string_view key, const Rid& rid) const;
+
+  // Space checks (entry data + one offset slot).
+  bool HasSpaceFor(size_t key_len) const;
+  size_t FreeBytes() const;
+  size_t UsedEntryBytes() const;
+
+  Status InsertLeafAt(int i, std::string_view key, const Rid& rid,
+                      uint8_t flags);
+  Status InsertInternalAt(int i, std::string_view key, const Rid& rid,
+                          PageId child);
+  void RemoveAt(int i);
+
+  // Serializes entries [from, to) as an opaque blob (for split log records
+  // and checkpoints) and appends a previously serialized blob in order.
+  std::string SerializeEntries(int from, int to) const;
+  Status AppendSerialized(std::string_view blob);
+  // Removes entries [from, count()).
+  void TruncateFrom(int from);
+
+ private:
+  static constexpr size_t kTypeOff = 8;
+  static constexpr size_t kLevelOff = 9;
+  static constexpr size_t kCountOff = 10;
+  static constexpr size_t kFreeEndOff = 12;
+  static constexpr size_t kNextOff = 14;
+  static constexpr size_t kLeftmostOff = 18;
+  static constexpr size_t kOffsetsOff = 22;
+
+  size_t EntryHeaderSize() const;  // bytes before klen+key
+  uint16_t entry_offset(int i) const;
+  void set_entry_offset(int i, uint16_t off);
+  uint16_t free_end() const;
+  void set_free_end(uint16_t v);
+  void set_count(uint16_t v);
+
+  size_t ContiguousFree() const;
+  void Compact();
+  // Writes entry bytes into data area; returns offset.  Caller ensures
+  // space (after Compact if needed).
+  uint16_t WriteEntry(std::string_view raw);
+  std::string_view RawEntry(int i) const;
+  Status InsertRawAt(int i, std::string_view raw);
+
+  char* data_;
+  size_t page_size_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_BTREE_BTREE_PAGE_H_

@@ -1,0 +1,170 @@
+#include "btree/tree_verifier.h"
+
+#include <cmath>
+#include <vector>
+
+namespace oib {
+
+Status TreeVerifier::CheckSubtree(PageId page_id, uint32_t expect_level,
+                                  const std::string* low_key,
+                                  const Rid* low_rid,
+                                  const std::string* high_key,
+                                  const Rid* high_rid,
+                                  TreeCheckReport* report,
+                                  std::vector<PageId>* leaves_in_order) {
+  size_t page_size = pool_->disk()->page_size();
+  auto guard = pool_->FetchRead(page_id);
+  if (!guard.ok()) return guard.status();
+  BTreePage page(const_cast<char*>(guard->data()), page_size);
+
+  if (page.level() != expect_level) {
+    return Status::Corruption("level mismatch at page " +
+                              std::to_string(page_id));
+  }
+
+  // Every key must lie in [low, high).
+  for (int i = 0; i < page.count(); ++i) {
+    if (i > 0 && CompareIndexKey(page.KeyAt(i - 1), page.RidAt(i - 1),
+                                 page.KeyAt(i), page.RidAt(i)) >= 0) {
+      return Status::Corruption("out-of-order keys in page " +
+                                std::to_string(page_id));
+    }
+    if (low_key != nullptr &&
+        CompareIndexKey(page.KeyAt(i), page.RidAt(i), *low_key, *low_rid) <
+            0) {
+      return Status::Corruption("key below low fence in page " +
+                                std::to_string(page_id));
+    }
+    if (high_key != nullptr &&
+        CompareIndexKey(page.KeyAt(i), page.RidAt(i), *high_key,
+                        *high_rid) >= 0) {
+      return Status::Corruption("key above high fence in page " +
+                                std::to_string(page_id));
+    }
+  }
+
+  if (page.is_leaf()) {
+    ++report->leaf_pages;
+    report->entries += page.count();
+    for (int i = 0; i < page.count(); ++i) {
+      if ((page.FlagsAt(i) & kEntryPseudoDeleted) != 0) {
+        ++report->pseudo_deleted;
+      }
+    }
+    leaves_in_order->push_back(page_id);
+    return Status::OK();
+  }
+
+  ++report->internal_pages;
+  if (page.leftmost_child() == kInvalidPageId) {
+    return Status::Corruption("internal page without leftmost child");
+  }
+  // Children: leftmost covers [low, key_0); child_i covers
+  // [key_i, key_{i+1}).
+  int n = page.count();
+  // Copy keys out: the guard is released during recursion.
+  std::vector<std::string> keys(n);
+  std::vector<Rid> rids(n);
+  std::vector<PageId> children(n);
+  PageId leftmost = page.leftmost_child();
+  for (int i = 0; i < n; ++i) {
+    keys[i].assign(page.KeyAt(i).data(), page.KeyAt(i).size());
+    rids[i] = page.RidAt(i);
+    children[i] = page.ChildAt(i);
+  }
+  guard->Release();
+
+  OIB_RETURN_IF_ERROR(CheckSubtree(
+      leftmost, expect_level - 1, low_key, low_rid,
+      n > 0 ? &keys[0] : high_key, n > 0 ? &rids[0] : high_rid, report,
+      leaves_in_order));
+  for (int i = 0; i < n; ++i) {
+    const std::string* hk = (i + 1 < n) ? &keys[i + 1] : high_key;
+    const Rid* hr = (i + 1 < n) ? &rids[i + 1] : high_rid;
+    OIB_RETURN_IF_ERROR(CheckSubtree(children[i], expect_level - 1, &keys[i],
+                                     &rids[i], hk, hr, report,
+                                     leaves_in_order));
+  }
+  return Status::OK();
+}
+
+StatusOr<TreeCheckReport> TreeVerifier::Check() {
+  TreeCheckReport report;
+  PageId root = tree_->root();
+  uint32_t height;
+  {
+    auto guard = pool_->FetchRead(root);
+    if (!guard.ok()) return guard.status();
+    BTreePage page(const_cast<char*>(guard->data()),
+                   pool_->disk()->page_size());
+    height = page.level() + 1;
+  }
+  report.height = height;
+
+  std::vector<PageId> leaves_in_order;
+  Status s = CheckSubtree(root, height - 1, nullptr, nullptr, nullptr,
+                          nullptr, &report, &leaves_in_order);
+  if (!s.ok()) {
+    report.ok = false;
+    report.error = s.ToString();
+    return report;
+  }
+
+  // Leaf chain must equal the in-order leaf sequence.
+  std::vector<PageId> chain;
+  OIB_RETURN_IF_ERROR(tree_->CollectLeaves(&chain));
+  if (chain != leaves_in_order) {
+    report.ok = false;
+    report.error = "leaf chain disagrees with in-order tree walk";
+    return report;
+  }
+
+  report.ok = true;
+  return report;
+}
+
+StatusOr<ClusteringStats> TreeVerifier::Clustering() {
+  ClusteringStats stats;
+  std::vector<PageId> chain;
+  OIB_RETURN_IF_ERROR(tree_->CollectLeaves(&chain));
+  stats.leaf_pages = chain.size();
+  size_t page_size = pool_->disk()->page_size();
+
+  uint64_t adjacent = 0;
+  double gap_sum = 0.0;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    int64_t gap = static_cast<int64_t>(chain[i]) -
+                  static_cast<int64_t>(chain[i - 1]);
+    if (gap == 1) ++adjacent;
+    gap_sum += std::abs(static_cast<double>(gap));
+  }
+  if (chain.size() > 1) {
+    stats.adjacency =
+        static_cast<double>(adjacent) / static_cast<double>(chain.size() - 1);
+    stats.mean_gap = gap_sum / static_cast<double>(chain.size() - 1);
+  } else {
+    stats.adjacency = 1.0;
+    stats.mean_gap = 0.0;
+  }
+
+  double util_sum = 0.0;
+  for (PageId id : chain) {
+    auto guard = pool_->FetchRead(id);
+    if (!guard.ok()) return guard.status();
+    BTreePage page(const_cast<char*>(guard->data()), page_size);
+    util_sum += 1.0 - static_cast<double>(page.FreeBytes()) /
+                          static_cast<double>(page_size);
+    stats.entries += page.count();
+    for (int i = 0; i < page.count(); ++i) {
+      if ((page.FlagsAt(i) & kEntryPseudoDeleted) != 0) {
+        ++stats.pseudo_deleted;
+      }
+    }
+  }
+  if (!chain.empty()) {
+    stats.utilization = util_sum / static_cast<double>(chain.size());
+  }
+  return stats;
+}
+
+}  // namespace oib

@@ -1,0 +1,67 @@
+// TreeVerifier: structural invariant checks and physical-clustering
+// statistics for B+-trees.
+//
+// The clustering statistics quantify the paper's section 4 claim that "the
+// index built by SF would be more clustered (i.e., consecutive keys being
+// on consecutive pages on disk) than the one built by NSF", which the
+// paper explicitly leaves to be quantified.
+
+#ifndef OIB_BTREE_TREE_VERIFIER_H_
+#define OIB_BTREE_TREE_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "btree/btree.h"
+
+namespace oib {
+
+struct TreeCheckReport {
+  bool ok = false;
+  std::string error;          // first violated invariant, if any
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;
+  uint64_t entries = 0;        // live + pseudo-deleted leaf entries
+  uint64_t pseudo_deleted = 0;
+  uint32_t height = 0;         // 1 = root is a leaf
+};
+
+struct ClusteringStats {
+  uint64_t leaf_pages = 0;
+  // Fraction of consecutive leaf-chain pairs whose page ids are physically
+  // adjacent (id+1).  1.0 = perfect clustering (pure bottom-up build).
+  double adjacency = 0.0;
+  // Mean absolute page-id gap between consecutive leaves.
+  double mean_gap = 0.0;
+  // Mean leaf space utilization (used bytes / page size).
+  double utilization = 0.0;
+  uint64_t entries = 0;
+  uint64_t pseudo_deleted = 0;
+};
+
+class TreeVerifier {
+ public:
+  TreeVerifier(BTree* tree, BufferPool* pool) : tree_(tree), pool_(pool) {}
+
+  // Full structural check: in-order keys across the leaf chain, exact
+  // separator/child consistency at every internal node, uniform leaf
+  // depth, and leaf-chain/agreement with an in-order tree walk.
+  // The tree must be quiescent (no concurrent writers).
+  StatusOr<TreeCheckReport> Check();
+
+  StatusOr<ClusteringStats> Clustering();
+
+ private:
+  Status CheckSubtree(PageId page, uint32_t expect_level,
+                      const std::string* low_key, const Rid* low_rid,
+                      const std::string* high_key, const Rid* high_rid,
+                      TreeCheckReport* report,
+                      std::vector<PageId>* leaves_in_order);
+
+  BTree* tree_;
+  BufferPool* pool_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_BTREE_TREE_VERIFIER_H_

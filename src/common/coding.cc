@@ -1,0 +1,81 @@
+#include "common/coding.h"
+
+namespace oib {
+
+void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool BufferReader::GetByte(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return true;
+}
+
+bool BufferReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+bool BufferReader::GetFixed16(uint16_t* v) {
+  if (remaining() < 2) return false;
+  *v = DecodeFixed16(data_.data() + pos_);
+  pos_ += 2;
+  return true;
+}
+
+bool BufferReader::GetFixed32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = DecodeFixed32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool BufferReader::GetFixed64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = DecodeFixed64(data_.data() + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool BufferReader::GetLengthPrefixed(std::string_view* v) {
+  uint32_t len;
+  if (!GetFixed32(&len)) return false;
+  if (remaining() < len) {
+    pos_ -= 4;
+    return false;
+  }
+  *v = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool BufferReader::GetLengthPrefixed(std::string* v) {
+  std::string_view sv;
+  if (!GetLengthPrefixed(&sv)) return false;
+  v->assign(sv.data(), sv.size());
+  return true;
+}
+
+}  // namespace oib

@@ -1,0 +1,66 @@
+// Little-endian fixed-width and length-prefixed encodings used by page
+// layouts, log records, and sort-run files.
+
+#ifndef OIB_COMMON_CODING_H_
+#define OIB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace oib {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+// Length-prefixed (fixed32) string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Reader over a byte buffer; each Get* advances the cursor.  All Get*
+// methods return false on truncation and leave outputs untouched.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data), pos_(0) {}
+
+  bool GetByte(uint8_t* v);
+  bool Skip(size_t n);
+  bool GetFixed16(uint16_t* v);
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetLengthPrefixed(std::string* v);
+  bool GetLengthPrefixed(std::string_view* v);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_COMMON_CODING_H_

@@ -1,0 +1,64 @@
+// Failure-injection points for crash/restart testing.
+//
+// A fail point is a named site in library code.  Tests arm a point with a
+// countdown; when the countdown reaches zero the site reports "triggered"
+// and the enclosing operation returns Status::Injected.  The test then
+// simulates a crash and exercises the restart path.  Disarmed points cost
+// one atomic load.
+
+#ifndef OIB_COMMON_FAILPOINT_H_
+#define OIB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace oib {
+
+class FailPointRegistry {
+ public:
+  // Process-wide singleton.
+  static FailPointRegistry& Instance();
+
+  // Arms `name`: the (countdown+1)-th Check() on it triggers.  countdown=0
+  // means the very next Check() triggers.
+  void Arm(const std::string& name, int countdown = 0);
+
+  // Disarms `name` (no-op if not armed).
+  void Disarm(const std::string& name);
+
+  // Disarms everything (used between tests).
+  void Reset();
+
+  // Returns true if the point fires now.  Hot-path cheap when nothing is
+  // armed anywhere.
+  bool Check(const std::string& name);
+
+  // Number of times any armed point fired since last Reset.
+  int64_t fired_count() const { return fired_.load(); }
+
+ private:
+  FailPointRegistry() = default;
+
+  std::atomic<int> armed_count_{0};
+  std::atomic<int64_t> fired_{0};
+  std::mutex mu_;
+  std::unordered_map<std::string, int> points_;
+};
+
+}  // namespace oib
+
+// Use at injection sites inside library code:
+//   OIB_FAIL_POINT("nsf.before_insert_batch");
+// expands to an early return of Status::Injected when the point fires.
+#define OIB_FAIL_POINT(name)                                        \
+  do {                                                              \
+    if (::oib::FailPointRegistry::Instance().Check(name)) {         \
+      return ::oib::Status::Injected(name);                         \
+    }                                                               \
+  } while (0)
+
+#endif  // OIB_COMMON_FAILPOINT_H_

@@ -1,0 +1,57 @@
+// Engine-wide tunables.  Every knob the paper discusses as a design choice
+// (keys per log record, IB checkpoint interval, leaf fill factor, ...) is a
+// field here so the ablation benches can sweep it.
+
+#ifndef OIB_COMMON_OPTIONS_H_
+#define OIB_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oib {
+
+struct Options {
+  // --- storage ---
+  size_t page_size = 4096;
+  size_t buffer_pool_pages = 4096;  // 16 MiB at default page size.
+
+  // --- locking ---
+  // Milliseconds a lock request waits before the requester is told to
+  // abort (timeout-based deadlock resolution).
+  uint64_t lock_timeout_ms = 2000;
+
+  // --- external sort ---
+  // Keys held in memory by the tournament tree during run generation.
+  size_t sort_workspace_keys = 64 * 1024;
+  // Maximum input runs merged in one pass.
+  size_t sort_merge_fanin = 64;
+
+  // --- B+-tree ---
+  // Fraction of a leaf filled during bottom-up build / IB inserts; the
+  // remainder is left free for future inserts (paper section 2.2.3).
+  double leaf_fill_factor = 0.9;
+
+  // --- index build (both algorithms) ---
+  // Keys passed to the index manager per multi-key insert call
+  // (paper: "the index manager will accept multiple keys in a single call").
+  size_t ib_keys_per_call = 64;
+  // Keys per IB progress checkpoint ("periodically checkpoint the highest
+  // key", sections 2.2.3 / 3.2.4); 0 disables IB checkpoints.
+  size_t ib_checkpoint_every_keys = 100000;
+  // Pages read per simulated sequential-prefetch I/O (section 2.2.2).
+  size_t ib_prefetch_pages = 32;
+  // Sort-phase checkpoint interval, in extracted keys (section 5.1);
+  // 0 disables sort checkpoints.
+  size_t sort_checkpoint_every_keys = 100000;
+
+  // --- SF specifics ---
+  // Side-file entries applied between IB commits during catch-up
+  // (section 3.2.5).
+  size_t sf_apply_batch = 1024;
+  // Sort the side-file before applying it (section 3.2.5 optimization).
+  bool sf_sort_side_file = false;
+};
+
+}  // namespace oib
+
+#endif  // OIB_COMMON_OPTIONS_H_

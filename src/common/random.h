@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generators for tests, workloads, and benches:
+// a fast xorshift core plus uniform / Zipfian key distributions.
+
+#ifndef OIB_COMMON_RANDOM_H_
+#define OIB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oib {
+
+// xorshift64* PRNG.  Not thread-safe; give each thread its own instance.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, n).  n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) / (1ULL << 53) < p;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / (1ULL << 53);
+  }
+
+  // Random printable-alphanumeric string of exactly `len` bytes.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian distribution over [0, n) with exponent theta (0 < theta < 1
+// typical; theta -> 0 approaches uniform).  Uses the Gray et al. method
+// with precomputed zeta.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 12345);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_COMMON_RANDOM_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace oib {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kDuplicateKey:
+      return "DuplicateKey";
+    case Status::Code::kUniqueViolation:
+      return "UniqueViolation";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kInjected:
+      return "Injected";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!msg_.empty()) {
+    result += ": ";
+    result += msg_;
+  }
+  return result;
+}
+
+}  // namespace oib

@@ -1,0 +1,77 @@
+// Fundamental identifier types shared by every subsystem: pages, records
+// (RIDs), log sequence numbers, transactions, tables, and indexes.
+
+#ifndef OIB_COMMON_TYPES_H_
+#define OIB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace oib {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+using SlotId = uint16_t;
+inline constexpr SlotId kInvalidSlotId = std::numeric_limits<SlotId>::max();
+
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+using TableId = uint32_t;
+using IndexId = uint32_t;
+inline constexpr IndexId kInvalidIndexId =
+    std::numeric_limits<IndexId>::max();
+
+// Record identifier: physical address of a record within a heap file.
+// Ordered by (page, slot); this ordering is what SF's Current-RID /
+// Target-RID visibility comparison (paper section 3.1) relies on.
+struct Rid {
+  PageId page = kInvalidPageId;
+  SlotId slot = kInvalidSlotId;
+
+  constexpr Rid() = default;
+  constexpr Rid(PageId p, SlotId s) : page(p), slot(s) {}
+
+  // Sentinel greater than every real RID.  SF's index builder sets its scan
+  // position to Infinity after the last data page so that records added to
+  // file extensions are handled via the side-file (paper section 3.2.2).
+  static constexpr Rid Infinity() {
+    return Rid(kInvalidPageId, kInvalidSlotId);
+  }
+  // Sentinel smaller than every real RID (scan not yet started).
+  static constexpr Rid MinusInfinity() { return Rid(0, 0); }
+
+  bool valid() const { return page != kInvalidPageId; }
+
+  friend constexpr bool operator==(const Rid& a, const Rid& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+  friend constexpr auto operator<=>(const Rid& a, const Rid& b) {
+    if (auto c = a.page <=> b.page; c != 0) return c;
+    return a.slot <=> b.slot;
+  }
+
+  std::string ToString() const;
+};
+
+inline std::string Rid::ToString() const {
+  if (*this == Infinity()) return "(inf)";
+  return "(" + std::to_string(page) + "," + std::to_string(slot) + ")";
+}
+
+struct RidHash {
+  size_t operator()(const Rid& rid) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(rid.page) << 16) |
+                                 rid.slot);
+  }
+};
+
+}  // namespace oib
+
+#endif  // OIB_COMMON_TYPES_H_

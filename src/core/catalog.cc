@@ -1,0 +1,256 @@
+#include "core/catalog.h"
+
+#include "common/coding.h"
+
+namespace oib {
+
+namespace {
+constexpr char kCatalogMetaKey[] = "catalog";
+}  // namespace
+
+StatusOr<TableId> Catalog::CreateTable(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [id, info] : tables_) {
+    if (info.name == name) return Status::InvalidArgument("table exists");
+  }
+  TableId id = next_table_id_++;
+  auto heap = std::make_unique<HeapFile>(id, pool_, txns_);
+  OIB_RETURN_IF_ERROR(heap->Create());
+  TableInfo info{id, name, heap->first_page()};
+  tables_[id] = info;
+  heaps_[id] = std::move(heap);
+  table_indexes_[id];
+  OIB_RETURN_IF_ERROR(PersistLocked());
+  return id;
+}
+
+HeapFile* Catalog::table(TableId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = heaps_.find(id);
+  return it == heaps_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<TableId> Catalog::TableByName(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [id, info] : tables_) {
+    if (info.name == name) return id;
+  }
+  return Status::NotFound("no such table");
+}
+
+StatusOr<IndexDescriptor> Catalog::CreateIndex(
+    const std::string& name, TableId table, bool unique,
+    std::vector<uint32_t> key_cols, BuildAlgo algo) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (tables_.find(table) == tables_.end()) {
+    return Status::NotFound("no such table");
+  }
+  for (const auto& [id, d] : indexes_) {
+    if (d.name == name) return Status::InvalidArgument("index exists");
+  }
+  IndexId id = next_index_id_++;
+  auto tree = std::make_unique<BTree>(id, pool_, txns_, options_);
+  OIB_RETURN_IF_ERROR(tree->Create());
+
+  IndexDescriptor d;
+  d.id = id;
+  d.name = name;
+  d.table = table;
+  d.unique = unique;
+  d.key_cols = std::move(key_cols);
+  d.anchor = tree->anchor_page();
+  d.state = IndexState::kBuilding;
+  d.algo = algo;
+
+  if (algo == BuildAlgo::kSf) {
+    auto sf = std::make_unique<SideFile>(id, pool_, txns_);
+    OIB_RETURN_IF_ERROR(sf->Create());
+    d.side_file_first = sf->first_page();
+    side_files_[id] = std::move(sf);
+  }
+
+  indexes_[id] = d;
+  trees_[id] = std::move(tree);
+  table_indexes_[table].push_back(id);
+  OIB_RETURN_IF_ERROR(PersistLocked());
+  return d;
+}
+
+Status Catalog::SetIndexReady(IndexId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  it->second.state = IndexState::kReady;
+  it->second.algo = BuildAlgo::kNone;
+  return PersistLocked();
+}
+
+Status Catalog::DropIndex(IndexId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  auto& order = table_indexes_[it->second.table];
+  order.erase(std::remove(order.begin(), order.end(), id), order.end());
+  indexes_.erase(it);
+  trees_.erase(id);
+  side_files_.erase(id);
+  return PersistLocked();
+}
+
+BTree* Catalog::index(IndexId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = trees_.find(id);
+  return it == trees_.end() ? nullptr : it->second.get();
+}
+
+SideFile* Catalog::side_file(IndexId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = side_files_.find(id);
+  return it == side_files_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<IndexDescriptor> Catalog::descriptor(IndexId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  return it->second;
+}
+
+std::vector<IndexDescriptor> Catalog::IndexesOf(TableId table) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<IndexDescriptor> out;
+  auto it = table_indexes_.find(table);
+  if (it == table_indexes_.end()) return out;
+  for (IndexId id : it->second) {
+    out.push_back(indexes_.at(id));
+  }
+  return out;
+}
+
+std::vector<IndexDescriptor> Catalog::AllIndexes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<IndexDescriptor> out;
+  for (const auto& [id, d] : indexes_) {
+    (void)id;
+    out.push_back(d);
+  }
+  return out;
+}
+
+Status Catalog::PersistLocked() {
+  // The metadata names pages (heap chains, tree anchors, side-files)
+  // whose formatting lives in the log; force the log first so a crash
+  // right after the meta write never exposes references to unformatted
+  // pages.
+  OIB_RETURN_IF_ERROR(txns_->log()->FlushAll());
+  std::string blob;
+  PutFixed32(&blob, next_table_id_);
+  PutFixed32(&blob, next_index_id_);
+  PutFixed32(&blob, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [id, info] : tables_) {
+    PutFixed32(&blob, id);
+    PutLengthPrefixed(&blob, info.name);
+    PutFixed32(&blob, info.first_page);
+  }
+  PutFixed32(&blob, static_cast<uint32_t>(indexes_.size()));
+  for (const auto& [id, d] : indexes_) {
+    PutFixed32(&blob, id);
+    PutLengthPrefixed(&blob, d.name);
+    PutFixed32(&blob, d.table);
+    blob.push_back(d.unique ? 1 : 0);
+    PutFixed32(&blob, static_cast<uint32_t>(d.key_cols.size()));
+    for (uint32_t c : d.key_cols) PutFixed32(&blob, c);
+    PutFixed32(&blob, d.anchor);
+    PutFixed32(&blob, d.side_file_first);
+    blob.push_back(static_cast<char>(d.state));
+    blob.push_back(static_cast<char>(d.algo));
+  }
+  // Per-table creation order.
+  PutFixed32(&blob, static_cast<uint32_t>(table_indexes_.size()));
+  for (const auto& [table, order] : table_indexes_) {
+    PutFixed32(&blob, table);
+    PutFixed32(&blob, static_cast<uint32_t>(order.size()));
+    for (IndexId id : order) PutFixed32(&blob, id);
+  }
+  return disk_->PutMeta(kCatalogMetaKey, blob);
+}
+
+Status Catalog::Persist() {
+  std::lock_guard<std::mutex> g(mu_);
+  return PersistLocked();
+}
+
+Status Catalog::Load() {
+  std::string blob;
+  Status s = disk_->GetMeta(kCatalogMetaKey, &blob);
+  if (s.IsNotFound()) return Status::OK();  // fresh database
+  OIB_RETURN_IF_ERROR(s);
+
+  std::lock_guard<std::mutex> g(mu_);
+  BufferReader r(blob);
+  uint32_t n_tables, n_indexes, n_orders;
+  if (!r.GetFixed32(&next_table_id_) || !r.GetFixed32(&next_index_id_) ||
+      !r.GetFixed32(&n_tables)) {
+    return Status::Corruption("catalog blob");
+  }
+  for (uint32_t i = 0; i < n_tables; ++i) {
+    TableInfo info;
+    if (!r.GetFixed32(&info.id) || !r.GetLengthPrefixed(&info.name) ||
+        !r.GetFixed32(&info.first_page)) {
+      return Status::Corruption("catalog table entry");
+    }
+    tables_[info.id] = info;
+    auto heap = std::make_unique<HeapFile>(info.id, pool_, txns_);
+    OIB_RETURN_IF_ERROR(heap->Open(info.first_page));
+    heaps_[info.id] = std::move(heap);
+  }
+  if (!r.GetFixed32(&n_indexes)) return Status::Corruption("catalog blob");
+  for (uint32_t i = 0; i < n_indexes; ++i) {
+    IndexDescriptor d;
+    uint8_t unique_byte, state_byte, algo_byte;
+    uint32_t n_cols;
+    if (!r.GetFixed32(&d.id) || !r.GetLengthPrefixed(&d.name) ||
+        !r.GetFixed32(&d.table) || !r.GetByte(&unique_byte) ||
+        !r.GetFixed32(&n_cols)) {
+      return Status::Corruption("catalog index entry");
+    }
+    d.unique = unique_byte != 0;
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      uint32_t col;
+      if (!r.GetFixed32(&col)) return Status::Corruption("key col");
+      d.key_cols.push_back(col);
+    }
+    if (!r.GetFixed32(&d.anchor) || !r.GetFixed32(&d.side_file_first) ||
+        !r.GetByte(&state_byte) || !r.GetByte(&algo_byte)) {
+      return Status::Corruption("catalog index entry");
+    }
+    d.state = static_cast<IndexState>(state_byte);
+    d.algo = static_cast<BuildAlgo>(algo_byte);
+
+    auto tree = std::make_unique<BTree>(d.id, pool_, txns_, options_);
+    OIB_RETURN_IF_ERROR(tree->Open(d.anchor));
+    trees_[d.id] = std::move(tree);
+    if (d.side_file_first != kInvalidPageId) {
+      auto sf = std::make_unique<SideFile>(d.id, pool_, txns_);
+      OIB_RETURN_IF_ERROR(sf->Open(d.side_file_first));
+      side_files_[d.id] = std::move(sf);
+    }
+    indexes_[d.id] = std::move(d);
+  }
+  if (!r.GetFixed32(&n_orders)) return Status::Corruption("catalog blob");
+  for (uint32_t i = 0; i < n_orders; ++i) {
+    uint32_t table, n;
+    if (!r.GetFixed32(&table) || !r.GetFixed32(&n)) {
+      return Status::Corruption("catalog order entry");
+    }
+    std::vector<IndexId>& order = table_indexes_[table];
+    for (uint32_t j = 0; j < n; ++j) {
+      uint32_t id;
+      if (!r.GetFixed32(&id)) return Status::Corruption("order id");
+      order.push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oib

@@ -1,0 +1,95 @@
+#include "core/engine.h"
+
+#include "common/coding.h"
+#include "core/index_builder.h"
+
+namespace oib {
+
+namespace {
+constexpr char kMasterLsnKey[] = "master_lsn";
+}  // namespace
+
+Engine::Engine(const Options& options, Env* env)
+    : options_(options),
+      env_(env),
+      pool_(env->disk.get(), options.buffer_pool_pages),
+      locks_(options.lock_timeout_ms),
+      txns_(&env->log, &locks_, &rms_),
+      heap_rm_(&pool_, &txns_),
+      btree_rm_(&pool_, &txns_),
+      sidefile_rm_(&pool_),
+      catalog_(&pool_, &txns_, env->disk.get(), &options_),
+      records_(&catalog_, &locks_, &txns_, &options_) {}
+
+void Engine::WireUp() {
+  rms_.Register(&heap_rm_);
+  rms_.Register(&btree_rm_);
+  rms_.Register(&sidefile_rm_);
+  pool_.SetWalFlushHook([this](Lsn lsn) { return env_->log.Flush(lsn); });
+  btree_rm_.SetResolver(
+      [this](IndexId id) { return catalog_.index(id); });
+  records_.AttachHeapRm(&heap_rm_);
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
+                                               Env* env) {
+  auto engine = std::unique_ptr<Engine>(new Engine(options, env));
+  engine->WireUp();
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
+                                                  Env* env,
+                                                  RecoveryStats* stats) {
+  auto engine = std::unique_ptr<Engine>(new Engine(options, env));
+  engine->WireUp();
+
+  Lsn checkpoint_lsn = kInvalidLsn;
+  {
+    std::string blob;
+    Status s = env->disk->GetMeta(kMasterLsnKey, &blob);
+    if (s.ok() && blob.size() == 8) {
+      checkpoint_lsn = DecodeFixed64(blob.data());
+    } else if (!s.IsNotFound() && !s.ok()) {
+      return s;
+    }
+  }
+
+  RecoveryManager recovery(&env->log, &engine->txns_, &engine->rms_);
+  std::vector<std::pair<TxnId, Lsn>> losers;
+  OIB_RETURN_IF_ERROR(
+      recovery.AnalyzeAndRedo(checkpoint_lsn, &losers, stats));
+  // Pages are now current: catalog objects can be re-opened.
+  OIB_RETURN_IF_ERROR(engine->catalog_.Load());
+  // Interrupted index builds re-attach before undo, so that rollback of
+  // loser transactions sees the Index_Build flag and scan position.
+  OIB_RETURN_IF_ERROR(ReattachInterruptedBuilds(engine.get()));
+  OIB_RETURN_IF_ERROR(recovery.UndoLosers(losers, stats));
+  return engine;
+}
+
+Status Engine::Checkpoint() {
+  OIB_RETURN_IF_ERROR(pool_.FlushAll());
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  rec.redo = EncodeCheckpointPayload(txns_.ActiveTransactions());
+  OIB_RETURN_IF_ERROR(env_->log.Append(&rec));
+  OIB_RETURN_IF_ERROR(env_->log.Flush(rec.lsn));
+  std::string blob;
+  PutFixed64(&blob, rec.lsn);
+  return env_->disk->PutMeta(kMasterLsnKey, blob);
+}
+
+Status Engine::FlushAll() {
+  OIB_RETURN_IF_ERROR(env_->log.FlushAll());
+  return pool_.FlushAll();
+}
+
+Status Engine::SimulateCrash() {
+  pool_.DiscardAll();
+  env_->log.DropUnflushed();
+  env_->runs.DropUnflushed();
+  return Status::OK();
+}
+
+}  // namespace oib

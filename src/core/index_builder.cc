@@ -1,0 +1,207 @@
+#include "core/index_builder.h"
+
+#include <map>
+
+#include "common/coding.h"
+#include "core/schema.h"
+
+namespace oib {
+
+std::string BuildMetaKey(TableId table) {
+  return "build_t" + std::to_string(table);
+}
+
+void PutCounters(std::string* out, const std::vector<uint64_t>& counters) {
+  PutFixed32(out, static_cast<uint32_t>(counters.size()));
+  for (uint64_t c : counters) PutFixed64(out, c);
+}
+
+bool GetCounters(BufferReader* r, std::vector<uint64_t>* counters) {
+  uint32_t n;
+  if (!r->GetFixed32(&n)) return false;
+  counters->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t c;
+    if (!r->GetFixed64(&c)) return false;
+    counters->push_back(c);
+  }
+  return true;
+}
+
+std::string EncodeBuildMeta(const BuildMeta& meta) {
+  std::string blob;
+  blob.push_back(static_cast<char>(meta.algo));
+  PutFixed32(&blob, static_cast<uint32_t>(meta.indexes.size()));
+  for (IndexId id : meta.indexes) PutFixed32(&blob, id);
+  blob.push_back(static_cast<char>(meta.phase));
+  PutFixed64(&blob, meta.current_rid);
+  PutFixed32(&blob, static_cast<uint32_t>(meta.fences.size()));
+  for (const auto& per_index : meta.fences) {
+    PutFixed32(&blob, static_cast<uint32_t>(per_index.size()));
+    for (const SideFileFence& f : per_index) {
+      PutFixed64(&blob, f.before_ordinal);
+      PutFixed64(&blob, f.rid_floor);
+    }
+  }
+  PutLengthPrefixed(&blob, meta.phase_blob);
+  return blob;
+}
+
+Status DecodeBuildMeta(const std::string& blob, BuildMeta* meta) {
+  BufferReader r(blob);
+  uint8_t algo, phase;
+  uint32_t n_indexes, n_fences;
+  if (!r.GetByte(&algo) || !r.GetFixed32(&n_indexes)) {
+    return Status::Corruption("build meta header");
+  }
+  meta->algo = static_cast<BuildAlgo>(algo);
+  meta->indexes.clear();
+  for (uint32_t i = 0; i < n_indexes; ++i) {
+    uint32_t id;
+    if (!r.GetFixed32(&id)) return Status::Corruption("build meta index");
+    meta->indexes.push_back(id);
+  }
+  if (!r.GetByte(&phase) || !r.GetFixed64(&meta->current_rid) ||
+      !r.GetFixed32(&n_fences)) {
+    return Status::Corruption("build meta body");
+  }
+  meta->phase = phase;
+  meta->fences.clear();
+  for (uint32_t i = 0; i < n_fences; ++i) {
+    uint32_t n;
+    if (!r.GetFixed32(&n)) return Status::Corruption("build meta fences");
+    std::vector<SideFileFence> per_index;
+    for (uint32_t j = 0; j < n; ++j) {
+      SideFileFence f;
+      if (!r.GetFixed64(&f.before_ordinal) || !r.GetFixed64(&f.rid_floor)) {
+        return Status::Corruption("build meta fence");
+      }
+      per_index.push_back(f);
+    }
+    meta->fences.push_back(std::move(per_index));
+  }
+  if (!r.GetLengthPrefixed(&meta->phase_blob)) {
+    return Status::Corruption("build meta phase blob");
+  }
+  return Status::OK();
+}
+
+Status SaveBuildMeta(Engine* engine, TableId table, const BuildMeta& meta) {
+  return engine->disk()->PutMeta(BuildMetaKey(table), EncodeBuildMeta(meta));
+}
+
+StatusOr<BuildMeta> LoadBuildMeta(Engine* engine, TableId table) {
+  std::string blob;
+  Status s = engine->disk()->GetMeta(BuildMetaKey(table), &blob);
+  if (!s.ok()) return s;
+  if (blob.empty()) return Status::NotFound("no build in progress");
+  BuildMeta meta;
+  OIB_RETURN_IF_ERROR(DecodeBuildMeta(blob, &meta));
+  return meta;
+}
+
+Status ClearBuildMeta(Engine* engine, TableId table) {
+  return engine->disk()->PutMeta(BuildMetaKey(table), "");
+}
+
+Status VerifyUniqueConflict(Engine* engine, TxnId locker, TableId table,
+                            const std::vector<uint32_t>& key_cols,
+                            std::string_view key, const Rid& existing_rid,
+                            const Rid& new_rid) {
+  // Section 2.2.3: IB locks both records in share mode, then verifies
+  // whether the duplicate-key-value condition still exists.
+  LockManager* locks = engine->locks();
+  LockOptions opt;
+  opt.timeout_ms = engine->options().lock_timeout_ms;
+  OIB_RETURN_IF_ERROR(locks->Lock(locker, RecordLockId(table, existing_rid),
+                                  LockMode::kS, opt));
+  OIB_RETURN_IF_ERROR(
+      locks->Lock(locker, RecordLockId(table, new_rid), LockMode::kS, opt));
+
+  HeapFile* heap = engine->catalog()->table(table);
+  if (heap == nullptr) return Status::NotFound("no such table");
+
+  auto key_of = [&](const Rid& rid) -> StatusOr<std::string> {
+    auto rec = heap->Get(rid);
+    if (!rec.ok()) return rec.status();  // NotFound: record gone
+    return Schema::ExtractKey(*rec, key_cols);
+  };
+
+  Status result = Status::OK();
+  auto k1 = key_of(existing_rid);
+  auto k2 = key_of(new_rid);
+  if (k1.ok() && k2.ok() && *k1 == key && *k2 == key) {
+    result = Status::UniqueViolation(
+        "duplicate committed key values at " + existing_rid.ToString() +
+        " and " + new_rid.ToString());
+  } else if (!k1.ok() && !k1.status().IsNotFound()) {
+    result = k1.status();
+  } else if (!k2.ok() && !k2.status().IsNotFound()) {
+    result = k2.status();
+  }
+  locks->Unlock(locker, RecordLockId(table, existing_rid));
+  locks->Unlock(locker, RecordLockId(table, new_rid));
+  return result;
+}
+
+Status ReattachInterruptedBuilds(Engine* engine) {
+  std::map<TableId, std::vector<IndexDescriptor>> by_table;
+  for (const IndexDescriptor& d : engine->catalog()->AllIndexes()) {
+    if (d.state == IndexState::kBuilding) by_table[d.table].push_back(d);
+  }
+  for (auto& [table, descs] : by_table) {
+    BuildAlgo algo = descs.front().algo;
+    if (algo == BuildAlgo::kOffline) {
+      // Offline builds hold an X table lock, which died with the crash;
+      // resumption is a from-scratch rebuild, so no registration.
+      continue;
+    }
+    std::vector<InBuildIndex> in_build;
+    for (const IndexDescriptor& d : descs) {
+      InBuildIndex ib;
+      ib.id = d.id;
+      ib.tree = engine->catalog()->index(d.id);
+      ib.side_file = engine->catalog()->side_file(d.id);
+      ib.unique = d.unique;
+      ib.key_cols = d.key_cols;
+      in_build.push_back(std::move(ib));
+    }
+    auto build = engine->records()->RegisterBuild(table, algo,
+                                                  std::move(in_build));
+    if (algo == BuildAlgo::kSf) {
+      auto meta = LoadBuildMeta(engine, table);
+      if (!meta.ok()) {
+        if (!meta.status().IsNotFound()) return meta.status();
+        // Crash before the first checkpoint: the scan restarts from the
+        // beginning; every pre-crash side-file entry is stale.
+        BuildMeta fresh;
+        fresh.algo = algo;
+        for (const IndexDescriptor& d : descs) {
+          fresh.indexes.push_back(d.id);
+        }
+        fresh.phase = 1;
+        fresh.current_rid = PackRid(Rid::MinusInfinity());
+        meta = std::move(fresh);
+      }
+      build->current_rid.store(meta->current_rid);
+      // Restart fence: the scan resumes from current_rid, so pre-crash
+      // entries for RIDs at or above it describe changes IB will
+      // re-extract; they must be skipped during apply (see DESIGN.md).
+      if (meta->fences.size() != meta->indexes.size()) {
+        meta->fences.assign(meta->indexes.size(), {});
+      }
+      for (size_t i = 0; i < meta->indexes.size(); ++i) {
+        SideFile* sf = engine->catalog()->side_file(meta->indexes[i]);
+        if (sf == nullptr) return Status::Corruption("missing side file");
+        SideFileFence fence;
+        fence.before_ordinal = sf->entries_appended();
+        fence.rid_floor = meta->current_rid;
+        meta->fences[i].push_back(fence);
+      }
+      OIB_RETURN_IF_ERROR(SaveBuildMeta(engine, table, *meta));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oib

@@ -1,0 +1,105 @@
+#include "core/index_verifier.h"
+
+#include <map>
+#include <set>
+
+#include "btree/tree_verifier.h"
+#include "core/schema.h"
+
+namespace oib {
+
+StatusOr<IndexVerifyReport> IndexVerifier::Verify(TableId table,
+                                                  IndexId index) {
+  IndexVerifyReport report;
+  Catalog* catalog = engine_->catalog();
+  HeapFile* heap = catalog->table(table);
+  BTree* tree = catalog->index(index);
+  if (heap == nullptr || tree == nullptr) {
+    return Status::NotFound("table or index missing");
+  }
+  auto desc = catalog->descriptor(index);
+  if (!desc.ok()) return desc.status();
+
+  // Expected key set from the table.
+  std::map<std::pair<std::string, Rid>, int> expected;
+  Status extract_error = Status::OK();
+  OIB_RETURN_IF_ERROR(
+      heap->ForEach([&](const Rid& rid, std::string_view rec) {
+        auto key = Schema::ExtractKey(rec, desc->key_cols);
+        if (!key.ok()) {
+          extract_error = key.status();
+          return;
+        }
+        expected[{std::move(*key), rid}] += 1;
+        ++report.table_records;
+      }));
+  OIB_RETURN_IF_ERROR(extract_error);
+
+  // Walk the index.
+  std::map<std::pair<std::string, Rid>, int> live;
+  std::set<std::pair<std::string, Rid>> pseudo;
+  std::map<std::string, int> live_values;
+  OIB_RETURN_IF_ERROR(
+      tree->ScanAll([&](std::string_view key, const Rid& rid,
+                        uint8_t flags) {
+        if ((flags & kEntryPseudoDeleted) != 0) {
+          ++report.pseudo_entries;
+          pseudo.insert({std::string(key), rid});
+        } else {
+          ++report.live_entries;
+          live[{std::string(key), rid}] += 1;
+          live_values[std::string(key)] += 1;
+        }
+      }));
+
+  auto fail = [&](std::string msg) {
+    report.ok = false;
+    report.error = std::move(msg);
+    return report;
+  };
+
+  for (const auto& [kv, count] : live) {
+    if (count != 1) {
+      return fail("duplicate live entry " + kv.first + "@" +
+                  kv.second.ToString());
+    }
+    auto it = expected.find(kv);
+    if (it == expected.end()) {
+      return fail("index entry without record: " + kv.first + "@" +
+                  kv.second.ToString());
+    }
+  }
+  for (const auto& [kv, count] : expected) {
+    (void)count;
+    if (live.find(kv) == live.end()) {
+      return fail("record key missing from index: " + kv.first + "@" +
+                  kv.second.ToString());
+    }
+  }
+  for (const auto& kv : pseudo) {
+    if (expected.find(kv) != expected.end()) {
+      return fail("pseudo-deleted entry shadows a live record: " +
+                  kv.first + "@" + kv.second.ToString());
+    }
+  }
+  if (desc->unique) {
+    for (const auto& [value, count] : live_values) {
+      if (count > 1) {
+        return fail("unique index holds " + std::to_string(count) +
+                    " live entries for value " + value);
+      }
+    }
+  }
+
+  TreeVerifier tv(tree, engine_->pool());
+  auto structural = tv.Check();
+  if (!structural.ok()) return structural.status();
+  if (!structural->ok) {
+    return fail("structural: " + structural->error);
+  }
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace oib

@@ -1,0 +1,42 @@
+// IndexVerifier: end-to-end consistency check between a table and one of
+// its indexes — the correctness oracle for every concurrent-build test.
+//
+// With all transactions quiesced, an index is correct iff:
+//  * its *live* entries are exactly { (ExtractKey(rec), rid) } over the
+//    table's records — no missing, no extra, no duplicates;
+//  * no pseudo-deleted entry shadows a live (key, rid) pair;
+//  * for a unique index, no two live entries share a key value;
+//  * the tree passes the structural TreeVerifier check.
+
+#ifndef OIB_CORE_INDEX_VERIFIER_H_
+#define OIB_CORE_INDEX_VERIFIER_H_
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace oib {
+
+struct IndexVerifyReport {
+  bool ok = false;
+  std::string error;
+  uint64_t table_records = 0;
+  uint64_t live_entries = 0;
+  uint64_t pseudo_entries = 0;
+};
+
+class IndexVerifier {
+ public:
+  explicit IndexVerifier(Engine* engine) : engine_(engine) {}
+
+  // The caller must ensure no concurrent transactions or builders touch
+  // the table/index during verification.
+  StatusOr<IndexVerifyReport> Verify(TableId table, IndexId index);
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_CORE_INDEX_VERIFIER_H_

@@ -1,0 +1,364 @@
+// Algorithm NSF — Index Build Without Side-File (paper section 2).
+//
+// Pipeline: (1) create the descriptor under a short table-S quiesce, after
+// which transactions maintain the new index directly; (2) scan the data
+// pages with latches only (no locks), extracting and sorting keys in a
+// pipelined, checkpointed fashion (restartable sort, section 5); (3) feed
+// the final merge pass into multi-key index inserts with duplicate
+// rejection, IB-mode splits, and periodic highest-position checkpoints
+// with commits (section 2.2.3); (4) make the index available for reads.
+
+#include <chrono>
+
+#include "btree/btree.h"
+#include "common/coding.h"
+#include "common/failpoint.h"
+#include "core/index_builder.h"
+#include "core/schema.h"
+#include "sort/external_sorter.h"
+
+namespace oib {
+
+namespace {
+
+// NSF phase-1 blob: [next_scan_page][noted_last_page][sort ckpt blob].
+std::string EncodeNsfScanState(PageId next_page, PageId last_page,
+                               const std::string& sort_blob) {
+  std::string out;
+  PutFixed32(&out, next_page);
+  PutFixed32(&out, last_page);
+  PutLengthPrefixed(&out, sort_blob);
+  return out;
+}
+
+Status DecodeNsfScanState(const std::string& blob, PageId* next_page,
+                          PageId* last_page, std::string* sort_blob) {
+  BufferReader r(blob);
+  if (!r.GetFixed32(next_page) || !r.GetFixed32(last_page) ||
+      !r.GetLengthPrefixed(sort_blob)) {
+    return Status::Corruption("nsf scan state");
+  }
+  return Status::OK();
+}
+
+// NSF phase-2 blob: [final sort blob][has_counters][counters][inserted].
+std::string EncodeNsfInsertState(const std::string& sort_blob,
+                                 bool has_counters,
+                                 const std::vector<uint64_t>& counters,
+                                 uint64_t inserted) {
+  std::string out;
+  PutLengthPrefixed(&out, sort_blob);
+  out.push_back(has_counters ? 1 : 0);
+  PutCounters(&out, counters);
+  PutFixed64(&out, inserted);
+  return out;
+}
+
+Status DecodeNsfInsertState(const std::string& blob, std::string* sort_blob,
+                            bool* has_counters,
+                            std::vector<uint64_t>* counters,
+                            uint64_t* inserted) {
+  BufferReader r(blob);
+  uint8_t has;
+  if (!r.GetLengthPrefixed(sort_blob) || !r.GetByte(&has) ||
+      !GetCounters(&r, counters) || !r.GetFixed64(inserted)) {
+    return Status::Corruption("nsf insert state");
+  }
+  *has_counters = has != 0;
+  return Status::OK();
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
+                              BuildStats* stats) {
+  Catalog* catalog = engine_->catalog();
+  RecordManager* records = engine_->records();
+
+  // Section 2.2.1: quiesce updates (table S lock) only for the duration
+  // of descriptor creation, so no transaction holds uncommitted updates
+  // that predate the descriptor.
+  auto t_quiesce = std::chrono::steady_clock::now();
+  Transaction* quiesce_txn = engine_->Begin();
+  LockOptions opt;
+  opt.timeout_ms = 60'000;  // builds wait out active transactions
+  OIB_RETURN_IF_ERROR(engine_->locks()->Lock(
+      quiesce_txn->id(), TableLockId(params.table), LockMode::kS, opt));
+
+  auto desc = catalog->CreateIndex(params.name, params.table, params.unique,
+                                   params.key_cols, BuildAlgo::kNsf);
+  if (!desc.ok()) {
+    (void)engine_->Rollback(quiesce_txn);
+    return desc.status();
+  }
+  InBuildIndex ib;
+  ib.id = desc->id;
+  ib.tree = catalog->index(desc->id);
+  ib.side_file = nullptr;
+  ib.unique = params.unique;
+  ib.key_cols = params.key_cols;
+  records->RegisterBuild(params.table, BuildAlgo::kNsf, {std::move(ib)});
+
+  BuildMeta meta;
+  meta.algo = BuildAlgo::kNsf;
+  meta.indexes = {desc->id};
+  meta.phase = 1;
+  OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
+
+  OIB_RETURN_IF_ERROR(engine_->Commit(quiesce_txn));  // end of quiesce
+  if (stats != nullptr) stats->quiesce_ms = MsSince(t_quiesce);
+
+  if (out != nullptr) *out = desc->id;
+  return Run(params, desc->id, /*start_phase=*/1, "", stats);
+}
+
+Status NsfIndexBuilder::Resume(TableId table, IndexId* out,
+                               BuildStats* stats) {
+  auto meta = LoadBuildMeta(engine_, table);
+  if (!meta.ok()) return meta.status();
+  if (meta->algo != BuildAlgo::kNsf || meta->indexes.size() != 1) {
+    return Status::InvalidArgument("not an interrupted NSF build");
+  }
+  IndexId id = meta->indexes[0];
+  auto desc = engine_->catalog()->descriptor(id);
+  if (!desc.ok()) return desc.status();
+  BuildParams params;
+  params.name = desc->name;
+  params.table = table;
+  params.unique = desc->unique;
+  params.key_cols = desc->key_cols;
+  if (out != nullptr) *out = id;
+  return Run(params, id, meta->phase, meta->phase_blob, stats);
+}
+
+Status NsfIndexBuilder::Cancel(TableId table) {
+  // Section 2.3.2: deleting the descriptor requires quiescing updates so
+  // rolling-back transactions never hit a vanished index.
+  auto meta = LoadBuildMeta(engine_, table);
+  if (!meta.ok()) return meta.status();
+  Transaction* txn = engine_->Begin();
+  LockOptions opt;
+  opt.timeout_ms = 60'000;
+  OIB_RETURN_IF_ERROR(engine_->locks()->Lock(
+      txn->id(), TableLockId(table), LockMode::kS, opt));
+  engine_->records()->UnregisterBuild(table);
+  for (IndexId id : meta->indexes) {
+    OIB_RETURN_IF_ERROR(engine_->catalog()->DropIndex(id));
+  }
+  OIB_RETURN_IF_ERROR(ClearBuildMeta(engine_, table));
+  return engine_->Commit(txn);
+}
+
+Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
+                            int start_phase, std::string phase_blob,
+                            BuildStats* stats) {
+  Catalog* catalog = engine_->catalog();
+  HeapFile* heap = catalog->table(params.table);
+  BTree* tree = catalog->index(index_id);
+  if (heap == nullptr || tree == nullptr) {
+    return Status::NotFound("table or index missing");
+  }
+  const Options& options = engine_->options();
+  LogStats log_before = engine_->log()->stats();
+  BuildStats local;
+
+  ExternalSorter sorter(engine_->runs(), &options);
+  BuildMeta meta;
+  meta.algo = BuildAlgo::kNsf;
+  meta.indexes = {index_id};
+
+  std::string final_sort_blob;
+  bool has_counters = false;
+  std::vector<uint64_t> counters;
+  uint64_t inserted = 0;
+
+  auto t_scan = std::chrono::steady_clock::now();
+  if (start_phase <= 1) {
+    // ---- Phase 1: scan + extract + pipelined sort (sections 2.2.2, 5.1).
+    PageId scan_page, last_page;
+    if (!phase_blob.empty()) {
+      std::string sort_blob;
+      OIB_RETURN_IF_ERROR(DecodeNsfScanState(phase_blob, &scan_page,
+                                             &last_page, &sort_blob));
+      if (!sort_blob.empty()) {
+        auto caller = sorter.ResumeSortPhase(sort_blob);
+        if (!caller.ok()) return caller.status();
+      }
+    } else {
+      scan_page = heap->first_page();
+      // Note the last page before starting: records appended to later
+      // extensions get their keys inserted directly by transactions
+      // (section 2.3.1).
+      last_page = heap->tail_page();
+    }
+
+    uint64_t keys_since_ckpt = 0;
+    while (scan_page != kInvalidPageId) {
+      OIB_FAIL_POINT("nsf.scan");
+      std::vector<std::pair<Rid, std::string>> recs;
+      auto next = heap->ExtractPage(scan_page, &recs);
+      if (!next.ok()) return next.status();
+      for (const auto& [rid, rec] : recs) {
+        auto key = Schema::ExtractKey(rec, params.key_cols);
+        if (!key.ok()) return key.status();
+        OIB_RETURN_IF_ERROR(sorter.Add(std::move(*key), rid));
+        ++local.keys_extracted;
+        ++keys_since_ckpt;
+      }
+      ++local.data_pages_scanned;
+      bool done = scan_page == last_page || *next == kInvalidPageId;
+      scan_page = done ? kInvalidPageId : *next;
+
+      if (options.sort_checkpoint_every_keys > 0 &&
+          keys_since_ckpt >= options.sort_checkpoint_every_keys &&
+          scan_page != kInvalidPageId) {
+        auto sort_blob = sorter.CheckpointSortPhase("");
+        if (!sort_blob.ok()) return sort_blob.status();
+        meta.phase = 1;
+        meta.phase_blob =
+            EncodeNsfScanState(scan_page, last_page, *sort_blob);
+        OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
+        ++local.checkpoints;
+        keys_since_ckpt = 0;
+      }
+    }
+    OIB_RETURN_IF_ERROR(sorter.FinishInput());
+    OIB_RETURN_IF_ERROR(sorter.PrepareMerge());
+    local.sort_runs = sorter.runs().size();
+
+    auto blob = sorter.CheckpointSortPhase("");
+    if (!blob.ok()) return blob.status();
+    final_sort_blob = *blob;
+    meta.phase = 2;
+    meta.phase_blob =
+        EncodeNsfInsertState(final_sort_blob, false, {}, 0);
+    OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
+    local.scan_ms = MsSince(t_scan);
+  } else {
+    OIB_RETURN_IF_ERROR(DecodeNsfInsertState(
+        phase_blob, &final_sort_blob, &has_counters, &counters, &inserted));
+    auto caller = sorter.ResumeSortPhase(final_sort_blob);
+    if (!caller.ok()) return caller.status();
+    local.sort_runs = sorter.runs().size();
+  }
+
+  // ---- Phase 2: multi-key inserts with periodic commits (2.2.3).
+  auto t_load = std::chrono::steady_clock::now();
+  auto cursor = sorter.OpenMerge(has_counters ? &counters : nullptr);
+  if (!cursor.ok()) return cursor.status();
+
+  Transaction* txn = engine_->Begin();
+  auto abort_build = [&](const Status& cause) -> Status {
+    (void)engine_->Rollback(txn);
+    Status s = Cancel(params.table);
+    if (!s.ok()) return s;
+    return cause;
+  };
+
+  BTree::UniqueConflictFn on_conflict =
+      [&](std::string_view key, const Rid& existing, bool existing_pseudo,
+          const Rid& new_rid) -> Status {
+    (void)existing_pseudo;
+    return VerifyUniqueConflict(engine_, txn->id(), params.table,
+                                params.key_cols, key, existing, new_rid);
+  };
+
+  std::vector<std::pair<std::string, Rid>> batch;
+  uint64_t last_ckpt_inserted = inserted;
+  batch.reserve(options.ib_keys_per_call);
+  // Stream-level unique detection: adjacent equal key values in the
+  // sorted stream are two records with the same value — verify with the
+  // lock protocol before the tree ever sees them (the in-tree neighbour
+  // check below catches IB-vs-transaction conflicts).
+  std::string prev_key;
+  Rid prev_rid;
+  bool has_prev = false;
+
+  auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    OIB_FAIL_POINT("nsf.insert_batch");
+    std::vector<IndexKeyRef> refs;
+    refs.reserve(batch.size());
+    for (const auto& [k, r] : batch) refs.push_back(IndexKeyRef{k, r});
+    OIB_RETURN_IF_ERROR(tree->IbInsertBatch(txn, refs, params.unique,
+                                            on_conflict, &local.ib));
+    inserted += batch.size();
+    batch.clear();
+    if (options.ib_checkpoint_every_keys > 0 &&
+        inserted - last_ckpt_inserted >= options.ib_checkpoint_every_keys) {
+      // Checkpoint the position reached, then commit, then persist: a
+      // crash between the commit and the meta write only causes harmless
+      // duplicate re-insertions (rejected, no log records) per 2.2.3.
+      std::vector<uint64_t> snap = (*cursor)->counters();
+      OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+      ++local.commits;
+      meta.phase = 2;
+      meta.phase_blob =
+          EncodeNsfInsertState(final_sort_blob, true, snap, inserted);
+      OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
+      ++local.checkpoints;
+      last_ckpt_inserted = inserted;
+      txn = engine_->Begin();
+    }
+    return Status::OK();
+  };
+
+  for (;;) {
+    SortItem item;
+    auto more = (*cursor)->Next(&item);
+    if (!more.ok()) return abort_build(more.status());
+    if (!*more) break;
+    if (params.unique && has_prev && item.key == prev_key &&
+        !(item.rid == prev_rid)) {
+      Status s = VerifyUniqueConflict(engine_, txn->id(), params.table,
+                                      params.key_cols, item.key, prev_rid,
+                                      item.rid);
+      if (!s.ok()) return abort_build(s);
+    }
+    prev_key = item.key;
+    prev_rid = item.rid;
+    has_prev = true;
+    batch.emplace_back(std::move(item.key), item.rid);
+    if (batch.size() >= options.ib_keys_per_call) {
+      Status s = flush_batch();
+      if (!s.ok()) {
+        if (s.IsUniqueViolation()) return abort_build(s);
+        if (s.IsInjected()) return s;  // crash-test hook: leave state as-is
+        return abort_build(s);
+      }
+    }
+  }
+  {
+    Status s = flush_batch();
+    if (!s.ok()) {
+      if (s.IsInjected()) return s;
+      return abort_build(s);
+    }
+  }
+  OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+  ++local.commits;
+  local.load_ms = MsSince(t_load);
+
+  // ---- Phase 3: make the index available for reads.  With data-only
+  // locking no update quiesce is needed (section 6.2).
+  OIB_RETURN_IF_ERROR(catalog->SetIndexReady(index_id));
+  engine_->records()->UnregisterBuild(params.table);
+  OIB_RETURN_IF_ERROR(ClearBuildMeta(engine_, params.table));
+
+  LogStats log_after = engine_->log()->stats();
+  local.log_records = log_after.records - log_before.records;
+  local.log_bytes = log_after.bytes - log_before.bytes;
+  if (stats != nullptr) {
+    local.quiesce_ms = stats->quiesce_ms;  // preserved from Build()
+    *stats = local;
+  }
+  return Status::OK();
+}
+
+}  // namespace oib

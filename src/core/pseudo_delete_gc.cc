@@ -1,0 +1,67 @@
+#include "core/pseudo_delete_gc.h"
+
+#include "btree/btree_page.h"
+
+namespace oib {
+
+Status PseudoDeleteGC::Run(IndexId index, GcStats* stats) {
+  Catalog* catalog = engine_->catalog();
+  BTree* tree = catalog->index(index);
+  if (tree == nullptr) return Status::NotFound("no such index");
+  auto desc = catalog->descriptor(index);
+  if (!desc.ok()) return desc.status();
+  TableId table = desc->table;
+  GcStats local;
+
+  Transaction* txn = engine_->Begin();
+  std::vector<PageId> leaves;
+  OIB_RETURN_IF_ERROR(tree->CollectLeaves(&leaves));
+  size_t page_size = engine_->disk()->page_size();
+
+  for (PageId leaf : leaves) {
+    ++local.leaves_scanned;
+    // Latch the page just to collect pseudo-deleted keys (2.2.4).
+    std::vector<std::pair<std::string, Rid>> candidates;
+    {
+      auto guard = engine_->pool()->FetchRead(leaf);
+      if (!guard.ok()) return guard.status();
+      BTreePage page(const_cast<char*>(guard->data()), page_size);
+      if (!page.is_leaf()) continue;  // structure changed under us
+      for (int i = 0; i < page.count(); ++i) {
+        if ((page.FlagsAt(i) & kEntryPseudoDeleted) != 0) {
+          candidates.emplace_back(std::string(page.KeyAt(i)),
+                                  page.RidAt(i));
+        }
+      }
+    }
+    local.pseudo_seen += candidates.size();
+    for (const auto& [key, rid] : candidates) {
+      // Conditional instant share lock: granted means the deleting
+      // transaction has ended (committed), so the key is garbage.
+      LockOptions opt;
+      opt.conditional = true;
+      opt.instant = true;
+      Status lock = engine_->locks()->Lock(
+          txn->id(), RecordLockId(table, rid), LockMode::kS, opt);
+      if (lock.IsBusy()) {
+        ++local.skipped_locked;
+        continue;
+      }
+      OIB_RETURN_IF_ERROR(lock);
+      Status s = tree->GcRemove(key, rid);
+      if (s.ok()) {
+        ++local.removed;
+      } else if (!s.IsNotFound() && !s.IsInvalidArgument()) {
+        // NotFound/InvalidArgument: the entry was removed or reactivated
+        // since we released the latch; both are fine.
+        (void)engine_->Rollback(txn);
+        return s;
+      }
+    }
+  }
+  OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace oib

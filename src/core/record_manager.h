@@ -1,0 +1,162 @@
+// RecordManager: the record-operation front door transactions use, and
+// the component that implements the paper's Figure 1 (index updates during
+// forward processing) and Figure 2 (index updates during rollback).
+//
+// Responsibilities:
+//  * table IX / record X locking around heap operations;
+//  * computing the "count of visible indexes" under the data-page latch
+//    (via HeapFile's VisibleCountFn) and planning the exact index
+//    maintenance actions against the same snapshot;
+//  * index maintenance: direct tree updates for ready indexes, pseudo-
+//    delete discipline for an NSF build in progress, side-file appends
+//    for an SF build whose scan has passed the target RID;
+//  * Figure 2 rollback compensation (via HeapRm's undo hook, invoked
+//    under the data-page latch): comparing the logged count with the
+//    current count and logically undoing index changes on indexes made
+//    visible since the original data change — a side-file entry for an
+//    index still being built, a (redo-only) tree update for one that has
+//    completed.
+//
+// Active builds register here; the registry carries the SF scan position
+// (Current-RID), the Index_Build flag, and the drain gate IB uses to flip
+// the flag without losing in-flight appends.
+
+#ifndef OIB_CORE_RECORD_MANAGER_H_
+#define OIB_CORE_RECORD_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/schema.h"
+#include "txn/lock_manager.h"
+
+namespace oib {
+
+// Packs a RID into an atomically updatable word, preserving order.
+inline uint64_t PackRid(const Rid& rid) {
+  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+inline Rid UnpackRid(uint64_t v) {
+  return Rid(static_cast<PageId>(v >> 16), static_cast<SlotId>(v & 0xffff));
+}
+
+// One index being built by an active builder on some table.
+struct InBuildIndex {
+  IndexId id = kInvalidIndexId;
+  BTree* tree = nullptr;
+  SideFile* side_file = nullptr;  // SF only
+  bool unique = false;
+  std::vector<uint32_t> key_cols;
+};
+
+// Shared state between an index builder and concurrent transactions.
+struct ActiveBuild {
+  BuildAlgo algo = BuildAlgo::kNone;
+  std::vector<InBuildIndex> indexes;  // >1 for multi-index single scan
+  // SF: IB's scan position; MinusInfinity before the scan starts,
+  // Infinity after the last data page (section 3.2.2).
+  std::atomic<uint64_t> current_rid{PackRid(Rid::MinusInfinity())};
+  // Index_Build flag (section 3.2.1); cleared by IB after draining the
+  // side-file.
+  std::atomic<bool> index_build{true};
+  // Drain gate: transactions hold it shared from the visibility decision
+  // through their side-file append; IB holds it exclusive while applying
+  // the final side-file entries and flipping index_build, so no decided-
+  // but-unappended entry can be lost.
+  std::shared_mutex gate;
+
+  Rid CurrentRid() const { return UnpackRid(current_rid.load()); }
+  void SetCurrentRid(const Rid& rid) { current_rid.store(PackRid(rid)); }
+};
+
+struct RecordManagerStats {
+  std::atomic<uint64_t> side_file_appends{0};
+  std::atomic<uint64_t> nsf_duplicate_inserts{0};  // undo-only records
+  std::atomic<uint64_t> tombstone_inserts{0};
+  std::atomic<uint64_t> rollback_compensations{0};
+};
+
+class RecordManager {
+ public:
+  RecordManager(Catalog* catalog, LockManager* locks,
+                TransactionManager* txns, const Options* options)
+      : catalog_(catalog), locks_(locks), txns_(txns), options_(options) {}
+
+  RecordManager(const RecordManager&) = delete;
+  RecordManager& operator=(const RecordManager&) = delete;
+
+  // Wires the Figure 2 hook into the heap's recovery handler.
+  void AttachHeapRm(HeapRm* heap_rm);
+
+  // ---- record operations (Figure 1) ----
+  StatusOr<Rid> InsertRecord(Transaction* txn, TableId table,
+                             std::string_view record);
+  Status DeleteRecord(Transaction* txn, TableId table, Rid rid);
+  Status UpdateRecord(Transaction* txn, TableId table, Rid rid,
+                      std::string_view new_record);
+  StatusOr<std::string> ReadRecord(Transaction* txn, TableId table, Rid rid);
+  // Test helper: insert at a specific dead RID (paper 2.2.3 example).
+  Status InsertRecordAt(Transaction* txn, TableId table, Rid rid,
+                        std::string_view record);
+
+  // ---- build registry ----
+  std::shared_ptr<ActiveBuild> RegisterBuild(
+      TableId table, BuildAlgo algo, std::vector<InBuildIndex> indexes);
+  void UnregisterBuild(TableId table);
+  std::shared_ptr<ActiveBuild> GetBuild(TableId table) const;
+
+  const RecordManagerStats& stats() const { return stats_; }
+
+ private:
+  // Maintenance plan, fixed under the data-page latch.
+  struct MaintPlan {
+    std::vector<IndexDescriptor> ready;   // ready indexes, creation order
+    std::shared_ptr<ActiveBuild> build;   // null if no build active
+    std::shared_lock<std::shared_mutex> gate;  // held while build != null
+    bool sf_visible = false;  // SF: Target-RID < Current-RID at decision
+    uint32_t visible_count = 0;
+  };
+
+  // Runs under the data-page latch: decides visibility and the count.
+  MaintPlan PlanFor(TableId table, const Rid& rid);
+
+  // Key maintenance for one index change.
+  Status InsertKey(Transaction* txn, TableId table, BTree* tree, bool unique,
+                   bool nsf_build, std::string_view key, const Rid& rid);
+  Status DeleteKey(Transaction* txn, BTree* tree, bool nsf_build,
+                   std::string_view key, const Rid& rid);
+
+  // Applies the plan after a heap change.  old_rec/new_rec may be empty
+  // depending on the operation.
+  Status Maintain(Transaction* txn, TableId table, const MaintPlan& plan,
+                  HeapOp op, const Rid& rid, std::string_view old_rec,
+                  std::string_view new_rec);
+
+  // Figure 2 hook (called under the data-page latch, pre-CLR).
+  Status UndoHook(Transaction* txn, TableId table, HeapOp original_op,
+                  Rid rid, std::string_view before, std::string_view after,
+                  uint32_t logged_visible_count);
+
+  // For a unique index: resolves a key-value conflict with `existing`
+  // following the paper's committed-ness protocol.  Returns OK if the
+  // insert may proceed, UniqueViolation if it must fail.
+  Status ResolveUniqueConflict(Transaction* txn, TableId table, BTree* tree,
+                               std::string_view key, const Rid& new_rid);
+
+  Catalog* catalog_;
+  LockManager* locks_;
+  TransactionManager* txns_;
+  const Options* options_;
+
+  mutable std::mutex builds_mu_;
+  std::map<TableId, std::shared_ptr<ActiveBuild>> builds_;
+  RecordManagerStats stats_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_CORE_RECORD_MANAGER_H_

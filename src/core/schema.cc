@@ -1,0 +1,49 @@
+#include "core/schema.h"
+
+#include "common/coding.h"
+
+namespace oib {
+
+std::string Schema::EncodeRecord(const std::vector<std::string>& fields) {
+  std::string out;
+  PutFixed16(&out, static_cast<uint16_t>(fields.size()));
+  for (const std::string& f : fields) {
+    PutFixed16(&out, static_cast<uint16_t>(f.size()));
+    out.append(f);
+  }
+  return out;
+}
+
+Status Schema::DecodeRecord(std::string_view record,
+                            std::vector<std::string>* fields) {
+  BufferReader r(record);
+  uint16_t n;
+  if (!r.GetFixed16(&n)) return Status::Corruption("record header");
+  fields->clear();
+  fields->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t len;
+    if (!r.GetFixed16(&len) || r.remaining() < len) {
+      return Status::Corruption("record field");
+    }
+    fields->emplace_back(record.substr(r.position(), len));
+    r.Skip(len);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Schema::ExtractKey(
+    std::string_view record, const std::vector<uint32_t>& key_cols) {
+  std::vector<std::string> fields;
+  OIB_RETURN_IF_ERROR(DecodeRecord(record, &fields));
+  std::string key;
+  for (uint32_t col : key_cols) {
+    if (col >= fields.size()) {
+      return Status::Corruption("key column out of range");
+    }
+    key.append(fields[col]);
+  }
+  return key;
+}
+
+}  // namespace oib

@@ -1,0 +1,34 @@
+// Schema: minimal record codec and key extraction.
+//
+// A record is a sequence of string fields: [n u16] ([len u16][bytes])*.
+// An index key is the concatenation of the values of the key columns
+// (paper section 1.1: "key value is the concatenation of the values of
+// the columns of the table over which the index is defined").
+//
+// NOTE: plain concatenation is order-preserving only when each key column
+// is fixed-width (e.g. zero-padded decimal strings); workloads, examples,
+// and tests use fixed-width fields.
+
+#ifndef OIB_CORE_SCHEMA_H_
+#define OIB_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oib {
+
+class Schema {
+ public:
+  static std::string EncodeRecord(const std::vector<std::string>& fields);
+  static Status DecodeRecord(std::string_view record,
+                             std::vector<std::string>* fields);
+  // Concatenation of the named columns' values.
+  static StatusOr<std::string> ExtractKey(
+      std::string_view record, const std::vector<uint32_t>& key_cols);
+};
+
+}  // namespace oib
+
+#endif  // OIB_CORE_SCHEMA_H_

@@ -1,0 +1,662 @@
+// Algorithm SF — Bottom-Up Index Build with Side-File (paper section 3).
+//
+// No quiesce, ever.  The builder maintains Current-RID as it scans; a
+// transaction whose Target-RID is behind the scan sees the index as
+// visible and appends <op, key> entries to the side-file (Figure 1),
+// otherwise it ignores the index and IB extracts the final state.  Keys
+// are sorted (restartable) and loaded bottom-up with *no logging*;
+// durability comes from loader checkpoints that flush the index pages and
+// record the highest key + rightmost branch (3.2.4).  Finally IB drains
+// the side-file — logged, committed and checkpointed in batches — and
+// flips the Index_Build flag under a short drain gate (3.2.5).
+//
+// BuildMany() builds several indexes in one scan (section 6.2): one
+// sorter per index fed by a single pass over the data pages, then
+// per-index load and apply phases.
+
+#include <algorithm>
+#include <chrono>
+
+#include "btree/bulk_loader.h"
+#include "common/coding.h"
+#include "common/failpoint.h"
+#include "core/index_builder.h"
+#include "core/schema.h"
+#include "sort/external_sorter.h"
+
+namespace oib {
+
+namespace {
+
+// Phase-1 blob: [next_scan_page][n sort blobs (length-prefixed)].
+std::string EncodeSfScanState(PageId next_page,
+                              const std::vector<std::string>& sort_blobs) {
+  std::string out;
+  PutFixed32(&out, next_page);
+  PutFixed32(&out, static_cast<uint32_t>(sort_blobs.size()));
+  for (const std::string& b : sort_blobs) PutLengthPrefixed(&out, b);
+  return out;
+}
+
+Status DecodeSfScanState(const std::string& blob, PageId* next_page,
+                         std::vector<std::string>* sort_blobs) {
+  BufferReader r(blob);
+  uint32_t n;
+  if (!r.GetFixed32(next_page) || !r.GetFixed32(&n)) {
+    return Status::Corruption("sf scan state");
+  }
+  sort_blobs->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string b;
+    if (!r.GetLengthPrefixed(&b)) return Status::Corruption("sf sort blob");
+    sort_blobs->push_back(std::move(b));
+  }
+  return Status::OK();
+}
+
+// Phase-2 blob: [loading_idx][n sort blobs][loader blob (may be empty)].
+std::string EncodeSfLoadState(uint32_t loading_idx,
+                              const std::vector<std::string>& sort_blobs,
+                              const std::string& loader_blob) {
+  std::string out;
+  PutFixed32(&out, loading_idx);
+  PutFixed32(&out, static_cast<uint32_t>(sort_blobs.size()));
+  for (const std::string& b : sort_blobs) PutLengthPrefixed(&out, b);
+  PutLengthPrefixed(&out, loader_blob);
+  return out;
+}
+
+Status DecodeSfLoadState(const std::string& blob, uint32_t* loading_idx,
+                         std::vector<std::string>* sort_blobs,
+                         std::string* loader_blob) {
+  BufferReader r(blob);
+  uint32_t n;
+  if (!r.GetFixed32(loading_idx) || !r.GetFixed32(&n)) {
+    return Status::Corruption("sf load state");
+  }
+  sort_blobs->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string b;
+    if (!r.GetLengthPrefixed(&b)) return Status::Corruption("sf sort blob");
+    sort_blobs->push_back(std::move(b));
+  }
+  if (!r.GetLengthPrefixed(loader_blob)) {
+    return Status::Corruption("sf loader blob");
+  }
+  return Status::OK();
+}
+
+// Phase-3 blob: [applying_idx][cursor page][cursor slot][ordinal][applied].
+std::string EncodeSfApplyState(uint32_t applying_idx, PageId page,
+                               SlotId slot, uint64_t ordinal,
+                               uint64_t applied) {
+  std::string out;
+  PutFixed32(&out, applying_idx);
+  PutFixed32(&out, page);
+  PutFixed16(&out, slot);
+  PutFixed64(&out, ordinal);
+  PutFixed64(&out, applied);
+  return out;
+}
+
+Status DecodeSfApplyState(const std::string& blob, uint32_t* applying_idx,
+                          PageId* page, SlotId* slot, uint64_t* ordinal,
+                          uint64_t* applied) {
+  BufferReader r(blob);
+  uint16_t s;
+  if (!r.GetFixed32(applying_idx) || !r.GetFixed32(page) ||
+      !r.GetFixed16(&s) || !r.GetFixed64(ordinal) ||
+      !r.GetFixed64(applied)) {
+    return Status::Corruption("sf apply state");
+  }
+  *slot = s;
+  return Status::OK();
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool FencedOut(const std::vector<SideFileFence>& fences, uint64_t ordinal,
+               const Rid& rid) {
+  uint64_t packed = PackRid(rid);
+  for (const SideFileFence& f : fences) {
+    if (ordinal < f.before_ordinal && packed >= f.rid_floor) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SfIndexBuilder::Build(const BuildParams& params, IndexId* out,
+                             BuildStats* stats) {
+  std::vector<IndexId> ids;
+  OIB_RETURN_IF_ERROR(BuildMany({params}, &ids, stats));
+  if (out != nullptr) *out = ids[0];
+  return Status::OK();
+}
+
+Status SfIndexBuilder::BuildMany(const std::vector<BuildParams>& params,
+                                 std::vector<IndexId>* out,
+                                 BuildStats* stats) {
+  if (params.empty()) return Status::InvalidArgument("no indexes requested");
+  TableId table = params[0].table;
+  for (const BuildParams& p : params) {
+    if (p.table != table) {
+      return Status::InvalidArgument("one scan covers one table");
+    }
+  }
+  Catalog* catalog = engine_->catalog();
+
+  // Descriptor creation without quiescing (section 3.2.1); the
+  // Index_Build flag is raised by registering the ActiveBuild.
+  std::vector<IndexId> ids;
+  std::vector<InBuildIndex> in_build;
+  for (const BuildParams& p : params) {
+    auto desc =
+        catalog->CreateIndex(p.name, table, p.unique, p.key_cols,
+                             BuildAlgo::kSf);
+    if (!desc.ok()) return desc.status();
+    ids.push_back(desc->id);
+    InBuildIndex ib;
+    ib.id = desc->id;
+    ib.tree = catalog->index(desc->id);
+    ib.side_file = catalog->side_file(desc->id);
+    ib.unique = p.unique;
+    ib.key_cols = p.key_cols;
+    in_build.push_back(std::move(ib));
+  }
+  engine_->records()->RegisterBuild(table, BuildAlgo::kSf,
+                                    std::move(in_build));
+
+  BuildMeta meta;
+  meta.algo = BuildAlgo::kSf;
+  meta.indexes = ids;
+  meta.phase = 1;
+  meta.current_rid = PackRid(Rid::MinusInfinity());
+  meta.fences.assign(ids.size(), {});
+  OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+
+  if (out != nullptr) *out = ids;
+  return Run(table, ids, /*start_phase=*/1, "", stats);
+}
+
+Status SfIndexBuilder::Resume(TableId table, BuildStats* stats) {
+  auto meta = LoadBuildMeta(engine_, table);
+  if (!meta.ok()) return meta.status();
+  if (meta->algo != BuildAlgo::kSf) {
+    return Status::InvalidArgument("not an interrupted SF build");
+  }
+  return Run(table, meta->indexes, meta->phase, meta->phase_blob, stats);
+}
+
+Status SfIndexBuilder::Cancel(TableId table) {
+  auto meta = LoadBuildMeta(engine_, table);
+  if (!meta.ok()) return meta.status();
+  Transaction* txn = engine_->Begin();
+  LockOptions opt;
+  opt.timeout_ms = 60'000;
+  OIB_RETURN_IF_ERROR(engine_->locks()->Lock(
+      txn->id(), TableLockId(table), LockMode::kS, opt));
+  engine_->records()->UnregisterBuild(table);
+  for (IndexId id : meta->indexes) {
+    OIB_RETURN_IF_ERROR(engine_->catalog()->DropIndex(id));
+  }
+  OIB_RETURN_IF_ERROR(ClearBuildMeta(engine_, table));
+  return engine_->Commit(txn);
+}
+
+Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
+                           int start_phase, std::string phase_blob,
+                           BuildStats* stats) {
+  Catalog* catalog = engine_->catalog();
+  HeapFile* heap = catalog->table(table);
+  if (heap == nullptr) return Status::NotFound("no such table");
+  auto build = engine_->records()->GetBuild(table);
+  if (!build) return Status::Corruption("SF build not registered");
+  const Options& options = engine_->options();
+  LogStats log_before = engine_->log()->stats();
+  BuildStats local;
+
+  size_t n = ids.size();
+  std::vector<BTree*> trees(n);
+  std::vector<SideFile*> side_files(n);
+  std::vector<IndexDescriptor> descs(n);
+  for (size_t i = 0; i < n; ++i) {
+    trees[i] = catalog->index(ids[i]);
+    side_files[i] = catalog->side_file(ids[i]);
+    auto d = catalog->descriptor(ids[i]);
+    if (!d.ok()) return d.status();
+    descs[i] = *d;
+    if (trees[i] == nullptr || side_files[i] == nullptr) {
+      return Status::Corruption("missing SF build objects");
+    }
+  }
+
+  std::vector<std::unique_ptr<ExternalSorter>> sorters;
+  for (size_t i = 0; i < n; ++i) {
+    sorters.push_back(
+        std::make_unique<ExternalSorter>(engine_->runs(), &options));
+  }
+
+  BuildMeta meta;
+  {
+    auto loaded = LoadBuildMeta(engine_, table);
+    if (!loaded.ok()) return loaded.status();
+    meta = std::move(*loaded);
+  }
+
+  std::vector<std::string> sort_blobs;
+  uint32_t loading_idx = 0;
+  std::string loader_blob;
+
+  if (start_phase <= 1) {
+    // ---- Phase 1: scan + extract + pipelined sort.  Current-RID
+    // advances under each page's S latch (section 3.2.2).
+    auto t_scan = std::chrono::steady_clock::now();
+    PageId scan_page;
+    if (!phase_blob.empty()) {
+      OIB_RETURN_IF_ERROR(
+          DecodeSfScanState(phase_blob, &scan_page, &sort_blobs));
+      for (size_t i = 0; i < n; ++i) {
+        auto caller = sorters[i]->ResumeSortPhase(sort_blobs[i]);
+        if (!caller.ok()) return caller.status();
+      }
+    } else {
+      scan_page = heap->first_page();
+    }
+
+    uint64_t keys_since_ckpt = 0;
+    PageId last_scanned = kInvalidPageId;
+    while (scan_page != kInvalidPageId) {
+      OIB_FAIL_POINT("sf.scan");
+      std::vector<std::pair<Rid, std::string>> recs;
+      auto next = heap->ExtractPage(scan_page, &recs, [&]() {
+        // Still holding the page's S latch: every record in this page is
+        // now "behind" the scan.
+        build->SetCurrentRid(Rid(scan_page, kInvalidSlotId));
+      });
+      if (!next.ok()) return next.status();
+      for (const auto& [rid, rec] : recs) {
+        for (size_t i = 0; i < n; ++i) {
+          auto key = Schema::ExtractKey(rec, descs[i].key_cols);
+          if (!key.ok()) return key.status();
+          OIB_RETURN_IF_ERROR(sorters[i]->Add(std::move(*key), rid));
+        }
+        ++local.keys_extracted;
+        ++keys_since_ckpt;
+      }
+      ++local.data_pages_scanned;
+      // Unlike NSF, the SF scan follows the chain to its *current* end:
+      // records inserted ahead of the scan are extracted; records behind
+      // it go through the side-file; after the last page, Current-RID
+      // becomes infinity so extensions use the side-file too (3.2.2).
+      last_scanned = scan_page;
+      scan_page = *next;
+
+      if (options.sort_checkpoint_every_keys > 0 &&
+          keys_since_ckpt >= options.sort_checkpoint_every_keys &&
+          scan_page != kInvalidPageId) {
+        sort_blobs.clear();
+        for (size_t i = 0; i < n; ++i) {
+          auto b = sorters[i]->CheckpointSortPhase("");
+          if (!b.ok()) return b.status();
+          sort_blobs.push_back(std::move(*b));
+        }
+        meta.phase = 1;
+        meta.current_rid = build->current_rid.load();
+        meta.phase_blob = EncodeSfScanState(scan_page, sort_blobs);
+        OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+        ++local.checkpoints;
+        keys_since_ckpt = 0;
+      }
+    }
+    build->SetCurrentRid(Rid::Infinity());
+    // Extension race: a transaction may have chained a new page after the
+    // scan read next == invalid but before Current-RID became infinity;
+    // its inserts decided "invisible" and made no side-file entries.  Now
+    // that infinity is published, re-read the tail's next under the latch:
+    // any page linked before that re-read must still be extracted (pages
+    // linked after it see infinity and go through the side-file — the
+    // extraction below is then merely redundant, which the tolerant apply
+    // handles).
+    while (last_scanned != kInvalidPageId) {
+      PageId more = kInvalidPageId;
+      {
+        std::vector<std::pair<Rid, std::string>> probe;
+        auto next = heap->ExtractPage(last_scanned, &probe);
+        if (!next.ok()) return next.status();
+        // Records on last_scanned were already extracted; only the link
+        // matters (ExtractPage reads it under the latch).
+        more = *next;
+      }
+      if (more == kInvalidPageId) break;
+      std::vector<std::pair<Rid, std::string>> recs;
+      auto next = heap->ExtractPage(more, &recs);
+      if (!next.ok()) return next.status();
+      for (const auto& [rid, rec] : recs) {
+        for (size_t i = 0; i < n; ++i) {
+          auto key = Schema::ExtractKey(rec, descs[i].key_cols);
+          if (!key.ok()) return key.status();
+          OIB_RETURN_IF_ERROR(sorters[i]->Add(std::move(*key), rid));
+        }
+        ++local.keys_extracted;
+      }
+      ++local.data_pages_scanned;
+      last_scanned = more;
+    }
+
+    sort_blobs.clear();
+    for (size_t i = 0; i < n; ++i) {
+      OIB_RETURN_IF_ERROR(sorters[i]->FinishInput());
+      OIB_RETURN_IF_ERROR(sorters[i]->PrepareMerge());
+      local.sort_runs += sorters[i]->runs().size();
+      auto b = sorters[i]->CheckpointSortPhase("");
+      if (!b.ok()) return b.status();
+      sort_blobs.push_back(std::move(*b));
+    }
+    meta.phase = 2;
+    meta.current_rid = PackRid(Rid::Infinity());
+    meta.phase_blob = EncodeSfLoadState(0, sort_blobs, "");
+    OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+    local.scan_ms = MsSince(t_scan);
+  } else if (start_phase == 2) {
+    OIB_RETURN_IF_ERROR(DecodeSfLoadState(phase_blob, &loading_idx,
+                                          &sort_blobs, &loader_blob));
+    for (size_t i = loading_idx; i < n; ++i) {
+      auto caller = sorters[i]->ResumeSortPhase(sort_blobs[i]);
+      if (!caller.ok()) return caller.status();
+    }
+  }
+
+  // A transaction used only for the unique-verification lock protocol and
+  // the side-file application.
+  Transaction* txn = engine_->Begin();
+  auto abort_build = [&](const Status& cause) -> Status {
+    (void)engine_->Rollback(txn);
+    OIB_RETURN_IF_ERROR(Cancel(table));
+    return cause;
+  };
+
+  auto t_load = std::chrono::steady_clock::now();
+  if (start_phase <= 2) {
+    // ---- Phase 2: bottom-up, unlogged, checkpointed load (3.2.4).
+    for (uint32_t idx = loading_idx; idx < n; ++idx) {
+      BulkLoader loader(trees[idx], engine_->pool(), &options);
+      std::unique_ptr<MergeCursor> cursor;
+      if (idx == loading_idx && !loader_blob.empty()) {
+        auto caller = loader.Resume(loader_blob);
+        if (!caller.ok()) return caller.status();
+        BufferReader r(*caller);
+        std::vector<uint64_t> counters;
+        if (!GetCounters(&r, &counters)) {
+          return Status::Corruption("sf loader counters");
+        }
+        auto c = sorters[idx]->OpenMerge(&counters);
+        if (!c.ok()) return c.status();
+        cursor = std::move(*c);
+      } else {
+        // After a crash without a loader checkpoint the tree may contain
+        // flushed-but-abandoned pages; start from an empty root.
+        OIB_RETURN_IF_ERROR(loader.ResetToEmpty());
+        auto c = sorters[idx]->OpenMerge(nullptr);
+        if (!c.ok()) return c.status();
+        cursor = std::move(*c);
+      }
+
+      std::string prev_key;
+      Rid prev_rid;
+      bool has_prev = loader.has_high_key();
+      if (has_prev) {
+        prev_key = loader.high_key();
+        prev_rid = loader.high_rid();
+      }
+      uint64_t since_ckpt = 0;
+      for (;;) {
+        SortItem item;
+        auto more = cursor->Next(&item);
+        if (!more.ok()) return abort_build(more.status());
+        if (!*more) break;
+        {
+          Status fp = [&]() -> Status {
+            OIB_FAIL_POINT("sf.load");
+            return Status::OK();
+          }();
+          if (!fp.ok()) return fp;
+        }
+        if (descs[idx].unique && has_prev && item.key == prev_key &&
+            !(item.rid == prev_rid)) {
+          Status s = VerifyUniqueConflict(engine_, txn->id(), table,
+                                          descs[idx].key_cols, item.key,
+                                          prev_rid, item.rid);
+          if (!s.ok()) {
+            if (s.IsUniqueViolation()) return abort_build(s);
+            return abort_build(s);
+          }
+        }
+        OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
+        prev_key = item.key;
+        prev_rid = item.rid;
+        has_prev = true;
+        ++local.keys_loaded;
+        ++since_ckpt;
+        if (options.ib_checkpoint_every_keys > 0 &&
+            since_ckpt >= options.ib_checkpoint_every_keys) {
+          std::string counters_blob;
+          PutCounters(&counters_blob, cursor->counters());
+          auto ckpt = loader.Checkpoint(counters_blob);
+          if (!ckpt.ok()) return ckpt.status();
+          meta.phase = 2;
+          meta.phase_blob = EncodeSfLoadState(idx, sort_blobs, *ckpt);
+          OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+          ++local.checkpoints;
+          since_ckpt = 0;
+        }
+      }
+      OIB_RETURN_IF_ERROR(loader.Finish());
+      OIB_RETURN_IF_ERROR(engine_->pool()->FlushAll());
+      meta.phase = 2;
+      meta.phase_blob = EncodeSfLoadState(idx + 1, sort_blobs, "");
+      OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+    }
+    meta.phase = 3;
+    meta.phase_blob = EncodeSfApplyState(0, kInvalidPageId, 0, 0, 0);
+    OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+    phase_blob = meta.phase_blob;
+  }
+  local.load_ms = MsSince(t_load);
+  auto t_apply = std::chrono::steady_clock::now();
+
+  // ---- Phase 3: side-file application (3.2.5).
+  uint32_t applying_idx = 0;
+  PageId cur_page = kInvalidPageId;
+  SlotId cur_slot = 0;
+  uint64_t ordinal = 0, applied = 0;
+  OIB_RETURN_IF_ERROR(DecodeSfApplyState(
+      start_phase == 3 ? phase_blob : meta.phase_blob, &applying_idx,
+      &cur_page, &cur_slot, &ordinal, &applied));
+
+  // Re-load fences (restart may have added some).
+  {
+    auto loaded = LoadBuildMeta(engine_, table);
+    if (loaded.ok()) meta.fences = loaded->fences;
+    if (meta.fences.size() != n) meta.fences.assign(n, {});
+  }
+
+  auto apply_entry = [&](uint32_t idx, const SideFile::Entry& e) -> Status {
+    BTree* tree = trees[idx];
+    if (e.op == SideFileOp::kInsertKey) {
+      if (descs[idx].unique) {
+        // Verify value uniqueness against whatever entry exists.
+        auto vm = tree->FindKeyValue(e.key);
+        if (!vm.ok()) return vm.status();
+        if (vm->found && !(vm->rid == e.rid) && !vm->pseudo_deleted) {
+          Status s = VerifyUniqueConflict(engine_, txn->id(), table,
+                                          descs[idx].key_cols, e.key,
+                                          vm->rid, e.rid);
+          if (!s.ok()) return s;
+        }
+      }
+      auto r = tree->Insert(txn, e.key, e.rid);
+      if (!r.ok()) return r.status();
+      // kAlreadyPresent / kReactivated are expected: IB may have loaded
+      // the key, or a stale duplicate was filtered by commit/crash races.
+      return Status::OK();
+    }
+    // Delete: remove if present; absent is fine (the corresponding insert
+    // entry was lost to a pre-commit crash, or this is a crash-repeated
+    // compensation) — see DESIGN.md.
+    Status s = tree->PhysicalDelete(txn, e.key, e.rid);
+    if (s.IsNotFound()) return Status::OK();
+    return s;
+  };
+
+  for (uint32_t idx = applying_idx; idx < n; ++idx) {
+    SideFile::Cursor cursor;
+    if (idx == applying_idx && cur_page != kInvalidPageId) {
+      cursor.page = cur_page;
+      cursor.slot = cur_slot;
+    } else {
+      cursor = side_files[idx]->Begin();
+      ordinal = 0;
+      applied = 0;
+    }
+    if (options.sf_sort_side_file) {
+      // Section 3.2.5 optimization: "IB could sort the entries of the
+      // side-file, without modifying the relative positions of the
+      // identical keys, before applying those updates to the index."
+      // Entries appended while the sorted batch is applied are processed
+      // sequentially by the normal loop below.  This pass is not
+      // checkpointed (a crash repeats it; the application is idempotent
+      // only as a full in-order replay, so the whole batch re-runs).
+      std::vector<std::pair<uint64_t, SideFile::Entry>> batch;
+      for (;;) {
+        std::vector<SideFile::Entry> entries;
+        auto got = side_files[idx]->ReadBatch(&cursor, 1024, &entries);
+        if (!got.ok()) return abort_build(got.status());
+        if (*got == 0) break;
+        for (SideFile::Entry& e : entries) {
+          if (!FencedOut(meta.fences[idx], ordinal, e.rid)) {
+            batch.emplace_back(ordinal, std::move(e));
+          } else {
+            ++local.side_file_skipped_stale;
+          }
+          ++ordinal;
+        }
+      }
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const auto& a, const auto& b) {
+                         int c = a.second.key.compare(b.second.key);
+                         if (c != 0) return c < 0;
+                         if (a.second.rid < b.second.rid) return true;
+                         if (b.second.rid < a.second.rid) return false;
+                         return false;  // stable keeps append order
+                       });
+      for (const auto& [ord, e] : batch) {
+        (void)ord;
+        Status s = apply_entry(idx, e);
+        if (!s.ok()) return abort_build(s);
+        ++applied;
+        ++local.side_file_applied;
+      }
+      OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+      ++local.commits;
+      txn = engine_->Begin();
+    }
+    uint64_t since_commit = 0;
+    for (;;) {
+      OIB_FAIL_POINT("sf.apply");
+      std::vector<SideFile::Entry> entries;
+      auto got = side_files[idx]->ReadBatch(&cursor, options.sf_apply_batch,
+                                            &entries);
+      if (!got.ok()) return abort_build(got.status());
+      if (*got == 0) break;  // caught up (for now)
+      for (const SideFile::Entry& e : entries) {
+        if (FencedOut(meta.fences[idx], ordinal, e.rid)) {
+          ++ordinal;
+          ++local.side_file_skipped_stale;
+          continue;
+        }
+        ++ordinal;
+        Status s = apply_entry(idx, e);
+        if (!s.ok()) {
+          if (s.IsUniqueViolation()) return abort_build(s);
+          return abort_build(s);
+        }
+        ++applied;
+        ++local.side_file_applied;
+      }
+      since_commit += *got;
+      if (since_commit >= options.sf_apply_batch) {
+        // Periodic commit + progress checkpoint (3.2.5).
+        OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+        ++local.commits;
+        meta.phase = 3;
+        meta.phase_blob = EncodeSfApplyState(idx, cursor.page, cursor.slot,
+                                             ordinal, applied);
+        OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
+        ++local.checkpoints;
+        txn = engine_->Begin();
+        since_commit = 0;
+      }
+    }
+  }
+
+  // Final drain under the gate: no transaction can be between its
+  // visibility decision and its append, so after applying the residual
+  // entries and flipping the flag, every future update goes directly to
+  // the index.
+  {
+    std::unique_lock<std::shared_mutex> gate(build->gate);
+    for (uint32_t idx = 0; idx < n; ++idx) {
+      // Residual entries appended since each index's catch-up loop ended.
+      // (Cheap: re-walk from the recorded cursor for the last index; for
+      // the others, from their own end positions we did not retain, so
+      // walk from the beginning and skip already-applied entries by
+      // ordinal.)
+      SideFile::Cursor cursor = side_files[idx]->Begin();
+      uint64_t ord = 0;
+      for (;;) {
+        std::vector<SideFile::Entry> entries;
+        auto got = side_files[idx]->ReadBatch(&cursor, 256, &entries);
+        if (!got.ok()) return got.status();
+        if (*got == 0) break;
+        for (const SideFile::Entry& e : entries) {
+          bool already_applied =
+              (idx == n - 1) ? (ord < ordinal) : false;
+          bool fenced = FencedOut(meta.fences[idx], ord, e.rid);
+          ++ord;
+          if (fenced) continue;
+          if (already_applied) continue;
+          if (idx != n - 1) {
+            // Re-apply idempotently: Insert tolerates duplicates and
+            // Delete tolerates absence.
+          }
+          Status s = apply_entry(idx, e);
+          if (!s.ok()) {
+            if (s.IsUniqueViolation()) return abort_build(s);
+            return s;
+          }
+          ++local.side_file_applied;
+        }
+      }
+      OIB_RETURN_IF_ERROR(catalog->SetIndexReady(ids[idx]));
+    }
+    build->index_build.store(false);
+  }
+  OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+  ++local.commits;
+  engine_->records()->UnregisterBuild(table);
+  OIB_RETURN_IF_ERROR(ClearBuildMeta(engine_, table));
+  local.apply_ms = MsSince(t_apply);
+
+  LogStats log_after = engine_->log()->stats();
+  local.log_records = log_after.records - log_before.records;
+  local.log_bytes = log_after.bytes - log_before.bytes;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace oib

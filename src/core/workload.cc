@@ -1,0 +1,232 @@
+#include "core/workload.h"
+
+#include <chrono>
+
+#include "core/schema.h"
+
+namespace oib {
+
+Workload::~Workload() {
+  if (!threads_.empty()) Stop();
+}
+
+std::string Workload::MakeKey(uint64_t id, size_t width) {
+  std::string digits = std::to_string(id);
+  if (digits.size() < width) {
+    digits.insert(0, width - digits.size(), '0');
+  }
+  return digits;
+}
+
+std::string Workload::MakeRecord(const std::string& key,
+                                 size_t payload_width, Random* rng) {
+  return Schema::EncodeRecord({key, rng->NextString(payload_width)});
+}
+
+StatusOr<std::vector<Rid>> Workload::Populate(
+    Engine* engine, TableId table, uint64_t rows,
+    const WorkloadOptions& options) {
+  Random rng(options.seed ^ 0xabcdef);
+  std::vector<Rid> rids;
+  rids.reserve(rows);
+  Transaction* txn = engine->Begin();
+  for (uint64_t i = 0; i < rows; ++i) {
+    std::string key = MakeKey(i, options.key_width);
+    auto rid = engine->records()->InsertRecord(
+        txn, table, MakeRecord(key, options.payload_width, &rng));
+    if (!rid.ok()) {
+      (void)engine->Rollback(txn);
+      return rid.status();
+    }
+    rids.push_back(*rid);
+    if ((i + 1) % 1024 == 0) {
+      OIB_RETURN_IF_ERROR(engine->Commit(txn));
+      txn = engine->Begin();
+    }
+  }
+  OIB_RETURN_IF_ERROR(engine->Commit(txn));
+  return rids;
+}
+
+void Workload::Seed(const std::vector<Rid>& rids, uint64_t next_key_id) {
+  shards_.assign(options_.threads, {});
+  key_counter_.store(next_key_id);
+  // Rebuild keys from ids: Populate assigned key i to the i-th rid.
+  for (size_t i = 0; i < rids.size(); ++i) {
+    Shard& shard = shards_[i % options_.threads];
+    shard.live.emplace_back(rids[i],
+                            MakeKey(i, options_.key_width));
+  }
+}
+
+void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
+  Shard& shard = shards_[worker];
+  Transaction* txn = engine_->Begin();
+
+  // Shard-local changes staged until commit.
+  std::vector<std::pair<Rid, std::string>> added;
+  std::vector<size_t> removed_idx;
+  struct KeyChange {
+    size_t idx;
+    std::string new_key;
+  };
+  std::vector<KeyChange> key_changes;
+  WorkloadStats txn_stats;
+
+  bool failed = false;
+  for (uint32_t op = 0; op < options_.ops_per_txn && !failed; ++op) {
+    double dice = rng->NextDouble();
+    Status s;
+    if (dice < options_.insert_pct || shard.live.empty()) {
+      uint64_t id = key_counter_.fetch_add(1);
+      std::string key = MakeKey(id, options_.key_width);
+      auto rid = engine_->records()->InsertRecord(
+          txn, table_, MakeRecord(key, options_.payload_width, rng));
+      if (rid.ok()) {
+        added.emplace_back(*rid, std::move(key));
+        ++txn_stats.inserts;
+      } else {
+        s = rid.status();
+      }
+    } else if (dice < options_.insert_pct + options_.delete_pct) {
+      size_t idx = rng->Uniform(shard.live.size());
+      bool staged = false;
+      for (size_t r : removed_idx) {
+        if (r == idx) {
+          staged = true;
+          break;
+        }
+      }
+      if (staged) continue;
+      s = engine_->records()->DeleteRecord(txn, table_,
+                                           shard.live[idx].first);
+      if (s.ok()) {
+        removed_idx.push_back(idx);
+        ++txn_stats.deletes;
+      }
+    } else if (dice <
+               options_.insert_pct + options_.delete_pct +
+                   options_.update_pct) {
+      size_t idx = rng->Uniform(shard.live.size());
+      bool staged = false;
+      for (size_t r : removed_idx) {
+        if (r == idx) {
+          staged = true;
+          break;
+        }
+      }
+      if (staged) continue;
+      std::string key = shard.live[idx].second;
+      bool change_key = rng->NextDouble() < options_.update_changes_key;
+      if (change_key) {
+        key = MakeKey(key_counter_.fetch_add(1), options_.key_width);
+      }
+      s = engine_->records()->UpdateRecord(
+          txn, table_, shard.live[idx].first,
+          MakeRecord(key, options_.payload_width, rng));
+      if (s.ok()) {
+        ++txn_stats.updates;
+        if (change_key) key_changes.push_back({idx, std::move(key)});
+      }
+    } else {
+      size_t idx = rng->Uniform(shard.live.size());
+      auto rec = engine_->records()->ReadRecord(txn, table_,
+                                                shard.live[idx].first);
+      s = rec.ok() ? Status::OK() : rec.status();
+      if (s.ok()) ++txn_stats.reads;
+    }
+    if (!s.ok()) {
+      if (s.IsUniqueViolation()) {
+        ++txn_stats.unique_rejections;
+      }
+      failed = true;
+    }
+  }
+
+  bool deliberate_rollback =
+      !failed && rng->NextDouble() < options_.rollback_pct;
+  if (failed || deliberate_rollback) {
+    Status rb = engine_->Rollback(txn);
+    if (!rb.ok()) ++stats->rollback_errors;
+    if (failed) {
+      ++stats->aborts;
+    } else {
+      ++stats->rollbacks;
+      // Rolled-back work is not visible: discard staged changes but keep
+      // the read/op counts out of the stats to keep "ops" = applied ops.
+    }
+    return;
+  }
+
+  Status commit = engine_->Commit(txn);
+  if (!commit.ok()) {
+    ++stats->aborts;
+    return;
+  }
+  ++stats->commits;
+  stats->Add(txn_stats);
+  ops_done_.fetch_add(txn_stats.ops());
+
+  // Apply staged shard changes (descending index order for removals).
+  std::sort(removed_idx.rbegin(), removed_idx.rend());
+  for (const KeyChange& kc : key_changes) {
+    shard.live[kc.idx].second = kc.new_key;
+  }
+  for (size_t idx : removed_idx) {
+    shard.live[idx] = shard.live.back();
+    shard.live.pop_back();
+  }
+  for (auto& a : added) shard.live.push_back(std::move(a));
+}
+
+void Workload::WorkerLoop(uint32_t worker, uint64_t op_budget) {
+  Random rng(options_.seed + worker * 7919 + 1);
+  WorkloadStats& stats = thread_stats_[worker];
+  uint64_t done = 0;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         (op_budget == 0 || done < op_budget)) {
+    uint64_t before = stats.ops();
+    RunTxn(worker, &rng, &stats);
+    done += stats.ops() - before + 1;  // +1 so failed txns still progress
+  }
+}
+
+Status Workload::Run(uint64_t total_ops, WorkloadStats* stats) {
+  if (shards_.empty()) shards_.assign(options_.threads, {});
+  thread_stats_.assign(options_.threads, {});
+  stop_.store(false);
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t per_thread = total_ops / options_.threads + 1;
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < options_.threads; ++w) {
+    threads.emplace_back([this, w, per_thread] { WorkerLoop(w, per_thread); });
+  }
+  for (auto& t : threads) t.join();
+  WorkloadStats total;
+  for (const auto& s : thread_stats_) total.Add(s);
+  total.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  if (stats != nullptr) *stats = total;
+  return Status::OK();
+}
+
+void Workload::Start() {
+  if (shards_.empty()) shards_.assign(options_.threads, {});
+  thread_stats_.assign(options_.threads, {});
+  stop_.store(false);
+  for (uint32_t w = 0; w < options_.threads; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w, 0); });
+  }
+}
+
+WorkloadStats Workload::Stop() {
+  stop_.store(true);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  WorkloadStats total;
+  for (const auto& s : thread_stats_) total.Add(s);
+  return total;
+}
+
+}  // namespace oib

@@ -1,0 +1,125 @@
+// Workload: the concurrent transaction driver used by tests, examples,
+// and benches — the "(ordinary) transactions" of the paper's execution
+// model, running insert/delete/update/read mixes against a table while an
+// index builder works on it.
+//
+// Each worker thread owns a shard of the table's rows (so threads do not
+// contend on the same records; the lock manager still sees real
+// inter-thread conflicts on pages and trees) and tracks its live RIDs
+// transactionally: local bookkeeping changes commit or roll back with the
+// transaction.  A configurable fraction of transactions is deliberately
+// rolled back to exercise the paper's undo paths.
+
+#ifndef OIB_CORE_WORKLOAD_H_
+#define OIB_CORE_WORKLOAD_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+
+namespace oib {
+
+struct WorkloadOptions {
+  uint32_t threads = 2;
+  uint32_t ops_per_txn = 4;
+  // Operation mix; the remainder after insert+del+update is point reads.
+  double insert_pct = 0.3;
+  double delete_pct = 0.2;
+  double update_pct = 0.3;
+  // Fraction of update operations that change the key column (causing
+  // index delete+insert) rather than only the payload.
+  double update_changes_key = 0.5;
+  // Fraction of transactions deliberately rolled back.
+  double rollback_pct = 0.05;
+  size_t key_width = 12;
+  size_t payload_width = 32;
+  uint64_t seed = 42;
+};
+
+struct WorkloadStats {
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;        // deliberate
+  uint64_t aborts = 0;           // lock-timeout / forced
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t reads = 0;
+  uint64_t unique_rejections = 0;
+  uint64_t rollback_errors = 0;  // Rollback() itself failed — always a bug
+  double elapsed_ms = 0;
+
+  void Add(const WorkloadStats& o) {
+    commits += o.commits;
+    rollbacks += o.rollbacks;
+    aborts += o.aborts;
+    inserts += o.inserts;
+    deletes += o.deletes;
+    updates += o.updates;
+    reads += o.reads;
+    unique_rejections += o.unique_rejections;
+    rollback_errors += o.rollback_errors;
+  }
+  uint64_t ops() const { return inserts + deletes + updates + reads; }
+};
+
+class Workload {
+ public:
+  Workload(Engine* engine, TableId table, WorkloadOptions options)
+      : engine_(engine), table_(table), options_(options) {}
+
+  ~Workload();
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  // Loads `rows` records (fixed-width zero-padded decimal keys, field 0)
+  // and returns their RIDs.  Uses its own transactions.
+  static StatusOr<std::vector<Rid>> Populate(Engine* engine, TableId table,
+                                             uint64_t rows,
+                                             const WorkloadOptions& options);
+  // Key/record helpers shared with tests and benches.
+  static std::string MakeKey(uint64_t id, size_t width);
+  static std::string MakeRecord(const std::string& key, size_t payload_width,
+                                Random* rng);
+
+  // Seeds the worker shards with existing rows (from Populate).
+  void Seed(const std::vector<Rid>& rids, uint64_t next_key_id);
+
+  // Runs `total_ops` operations (spread over the threads), synchronously.
+  Status Run(uint64_t total_ops, WorkloadStats* stats);
+
+  // Asynchronous mode for benches that run a builder concurrently.
+  void Start();
+  WorkloadStats Stop();
+
+  uint64_t ops_done() const { return ops_done_.load(); }
+
+ private:
+  struct Shard {
+    std::vector<std::pair<Rid, std::string>> live;  // (rid, key)
+    uint64_t next_key_id = 0;
+  };
+
+  void WorkerLoop(uint32_t worker, uint64_t op_budget);
+  // One transaction; updates shard-local state only on commit.
+  void RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats);
+
+  Engine* engine_;
+  TableId table_;
+  WorkloadOptions options_;
+
+  std::vector<Shard> shards_;
+  std::vector<std::thread> threads_;
+  std::vector<WorkloadStats> thread_stats_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> ops_done_{0};
+  std::atomic<uint64_t> key_counter_{0};
+};
+
+}  // namespace oib
+
+#endif  // OIB_CORE_WORKLOAD_H_

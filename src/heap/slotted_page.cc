@@ -1,0 +1,222 @@
+#include "heap/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace oib {
+
+namespace {
+// High bit of a slot's offset marks it dead; the remaining bits keep the
+// record's (reserved) location so undo-of-delete can restore in place.
+// Page sizes stay well below 32 KiB, so the bit never collides.
+constexpr uint16_t kDeadBit = 0x8000;
+}  // namespace
+
+void SlottedPage::Init(PageType type) {
+  data_[kTypeOff] = static_cast<char>(type);
+  data_[kTypeOff + 1] = 0;
+  set_slot_count(0);
+  set_free_end(static_cast<uint16_t>(page_size_));
+  set_next_page(kInvalidPageId);
+}
+
+PageType SlottedPage::type() const {
+  return static_cast<PageType>(static_cast<uint8_t>(data_[kTypeOff]));
+}
+
+uint16_t SlottedPage::slot_count() const {
+  return DecodeFixed16(data_ + kSlotCountOff);
+}
+
+void SlottedPage::set_slot_count(uint16_t v) {
+  EncodeFixed16(data_ + kSlotCountOff, v);
+}
+
+uint16_t SlottedPage::free_end() const {
+  return DecodeFixed16(data_ + kFreeEndOff);
+}
+
+void SlottedPage::set_free_end(uint16_t v) {
+  EncodeFixed16(data_ + kFreeEndOff, v);
+}
+
+PageId SlottedPage::next_page() const {
+  return DecodeFixed32(data_ + kNextPageOff);
+}
+
+void SlottedPage::set_next_page(PageId id) {
+  EncodeFixed32(data_ + kNextPageOff, id);
+}
+
+uint16_t SlottedPage::slot_offset(SlotId s) const {
+  return DecodeFixed16(data_ + kSlotsOff + s * kSlotSize);
+}
+
+uint16_t SlottedPage::slot_len(SlotId s) const {
+  return DecodeFixed16(data_ + kSlotsOff + s * kSlotSize + 2);
+}
+
+void SlottedPage::set_slot(SlotId s, uint16_t off, uint16_t len) {
+  EncodeFixed16(data_ + kSlotsOff + s * kSlotSize, off);
+  EncodeFixed16(data_ + kSlotsOff + s * kSlotSize + 2, len);
+}
+
+size_t SlottedPage::ContiguousFree() const {
+  size_t dir_end = kSlotsOff + slot_count() * kSlotSize;
+  uint16_t fe = free_end();
+  return fe > dir_end ? fe - dir_end : 0;
+}
+
+size_t SlottedPage::TotalFree() const {
+  // Bytes of live records AND dead-but-reserved records are not free.
+  size_t held = 0;
+  for (SlotId s = 0; s < slot_count(); ++s) {
+    if (slot_offset(s) != 0) held += slot_len(s);
+  }
+  size_t dir_end = kSlotsOff + slot_count() * kSlotSize;
+  return page_size_ - dir_end - held;
+}
+
+size_t SlottedPage::FreeSpaceForInsert() const {
+  size_t total = TotalFree();
+  bool has_dead = false;
+  for (SlotId s = 0; s < slot_count(); ++s) {
+    if (!IsLive(s)) {
+      has_dead = true;
+      break;
+    }
+  }
+  size_t slot_cost = has_dead ? 0 : kSlotSize;
+  return total > slot_cost ? total - slot_cost : 0;
+}
+
+void SlottedPage::Compact() {
+  struct Held {
+    SlotId slot;
+    uint16_t flags;  // kDeadBit or 0
+    uint16_t len;
+    std::string bytes;
+  };
+  std::vector<Held> held;
+  for (SlotId s = 0; s < slot_count(); ++s) {
+    uint16_t off = slot_offset(s);
+    if (off == 0) continue;
+    uint16_t real = static_cast<uint16_t>(off & ~kDeadBit);
+    uint16_t len = slot_len(s);
+    held.push_back({s, static_cast<uint16_t>(off & kDeadBit), len,
+                    std::string(data_ + real, len)});
+  }
+  uint16_t fe = static_cast<uint16_t>(page_size_);
+  for (const Held& r : held) {
+    fe = static_cast<uint16_t>(fe - r.len);
+    std::memcpy(data_ + fe, r.bytes.data(), r.len);
+    set_slot(r.slot, static_cast<uint16_t>(fe | r.flags), r.len);
+  }
+  set_free_end(fe);
+}
+
+StatusOr<SlotId> SlottedPage::Insert(std::string_view rec) {
+  SlotId target = kInvalidSlotId;
+  for (SlotId s = 0; s < slot_count(); ++s) {
+    if (!IsLive(s)) {
+      target = s;
+      break;
+    }
+  }
+  if (target != kInvalidSlotId) {
+    OIB_RETURN_IF_ERROR(InsertAt(target, rec));
+    return target;
+  }
+  target = slot_count();
+  OIB_RETURN_IF_ERROR(InsertAt(target, rec));
+  return target;
+}
+
+Status SlottedPage::InsertAt(SlotId slot, std::string_view rec) {
+  if (slot < slot_count() && IsLive(slot)) {
+    return Status::InvalidArgument("slot already live");
+  }
+  // Reusing a dead slot reclaims its reserved bytes; same-or-smaller
+  // records go straight back into the reserved region (this is what makes
+  // undo-of-delete infallible).
+  if (slot < slot_count() && slot_offset(slot) != 0) {
+    uint16_t off = static_cast<uint16_t>(slot_offset(slot) & ~kDeadBit);
+    uint16_t reserved = slot_len(slot);
+    if (rec.size() <= reserved) {
+      std::memcpy(data_ + off, rec.data(), rec.size());
+      set_slot(slot, off, static_cast<uint16_t>(rec.size()));
+      return Status::OK();
+    }
+    // Larger: release the reservation and fall through to allocation.
+    set_slot(slot, 0, 0);
+  }
+  size_t new_slots = slot >= slot_count() ? (slot - slot_count() + 1) : 0;
+  size_t need = rec.size() + new_slots * kSlotSize;
+  if (TotalFree() < need) return Status::Busy("page full");
+  // Compact before growing the directory: the new slot entries must not
+  // overwrite record bytes sitting at the old free boundary.
+  if (ContiguousFree() < need) Compact();
+  if (slot >= slot_count()) {
+    for (SlotId s = slot_count(); s <= slot; ++s) set_slot(s, 0, 0);
+    set_slot_count(static_cast<uint16_t>(slot + 1));
+  }
+  uint16_t fe = static_cast<uint16_t>(free_end() - rec.size());
+  std::memcpy(data_ + fe, rec.data(), rec.size());
+  set_free_end(fe);
+  set_slot(slot, fe, static_cast<uint16_t>(rec.size()));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (slot >= slot_count() || !IsLive(slot)) {
+    return Status::NotFound("no such record");
+  }
+  // Keep offset and length: the bytes stay reserved for a possible undo.
+  set_slot(slot, static_cast<uint16_t>(slot_offset(slot) | kDeadBit),
+           slot_len(slot));
+  return Status::OK();
+}
+
+Status SlottedPage::Update(SlotId slot, std::string_view rec) {
+  if (slot >= slot_count() || !IsLive(slot)) {
+    return Status::NotFound("no such record");
+  }
+  uint16_t off = slot_offset(slot);
+  uint16_t old_len = slot_len(slot);
+  if (rec.size() <= old_len) {
+    std::memcpy(data_ + off, rec.data(), rec.size());
+    set_slot(slot, off, static_cast<uint16_t>(rec.size()));
+    return Status::OK();
+  }
+  // Grow: release the old region, then place the new image.  (A grow
+  // rolled back later may need to re-grow; see DESIGN.md on update
+  // reservations.)
+  set_slot(slot, 0, 0);
+  if (TotalFree() < rec.size()) {
+    set_slot(slot, off, old_len);  // restore
+    return Status::Busy("page full");
+  }
+  if (ContiguousFree() < rec.size()) Compact();
+  uint16_t fe = static_cast<uint16_t>(free_end() - rec.size());
+  std::memcpy(data_ + fe, rec.data(), rec.size());
+  set_free_end(fe);
+  set_slot(slot, fe, static_cast<uint16_t>(rec.size()));
+  return Status::OK();
+}
+
+StatusOr<std::string_view> SlottedPage::Get(SlotId slot) const {
+  if (slot >= slot_count() || !IsLive(slot)) {
+    return Status::NotFound("no such record");
+  }
+  return std::string_view(data_ + slot_offset(slot), slot_len(slot));
+}
+
+bool SlottedPage::IsLive(SlotId slot) const {
+  if (slot >= slot_count()) return false;
+  uint16_t off = slot_offset(slot);
+  return off != 0 && (off & kDeadBit) == 0;
+}
+
+}  // namespace oib

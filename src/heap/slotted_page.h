@@ -1,0 +1,111 @@
+// SlottedPage: classic slot-directory page layout for variable-length
+// records, viewed over a raw page buffer.
+//
+// Layout (offsets within the page):
+//   [0..8)    page LSN (owned by storage/page.h)
+//   [8]       page type
+//   [9]       flags (unused)
+//   [10..12)  slot count
+//   [12..14)  free_end — lowest byte offset used by record data
+//   [14..18)  next page id (intrusive singly-linked file chain)
+//   [18..)    slot directory, 4 bytes per slot: record offset u16, len u16
+//   ...       free space
+//   [free_end..page_size)  record data, growing downward
+//
+// Slots are never removed once allocated, so RIDs stay stable across
+// deletes; a dead slot can be *reused* by a later insert, which is exactly
+// the "T2 inserts a record at the same location (RID R)" situation in the
+// paper's section 2.2.3 example.
+//
+// Space reservation: deleting a record marks the slot dead (high bit of
+// its offset) but RETAINS its bytes.  The bytes are reclaimed only when
+// the slot itself is reused (InsertAt) — and callers gate slot reuse on
+// the record lock — so the undo of an uncommitted delete can always
+// restore the record in place.  Without this, concurrent inserts could
+// consume the freed bytes and make rollback fail with "page full".
+
+#ifndef OIB_HEAP_SLOTTED_PAGE_H_
+#define OIB_HEAP_SLOTTED_PAGE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oib {
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kHeap = 1,
+  kBtreeLeaf = 2,
+  kBtreeInternal = 3,
+  kSideFile = 4,
+};
+
+class SlottedPage {
+ public:
+  SlottedPage(char* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  // Formats a fresh page.
+  void Init(PageType type);
+
+  PageType type() const;
+  uint16_t slot_count() const;
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  // Inserts a record, reusing a dead slot if one exists.  Fails with Busy
+  // when the page lacks space (after compaction).  NOTE: reuses dead
+  // slots unconditionally; callers that must respect the delete
+  // reservation protocol enumerate dead slots themselves and use
+  // InsertAt after claiming the RID lock.
+  StatusOr<SlotId> Insert(std::string_view rec);
+
+  // Places a record into a specific slot (must be dead or beyond the
+  // current count).  Used by redo and by undo-of-delete, which must
+  // restore the original RID.
+  Status InsertAt(SlotId slot, std::string_view rec);
+
+  // Marks a slot dead.  The record bytes become reclaimable garbage.
+  Status Delete(SlotId slot);
+
+  // Replaces a record in place (same RID).  Fails with Busy if the page
+  // cannot hold the new image even after compaction.
+  Status Update(SlotId slot, std::string_view rec);
+
+  StatusOr<std::string_view> Get(SlotId slot) const;
+  bool IsLive(SlotId slot) const;
+
+  // Space available for a fresh insert that also needs a new slot entry.
+  size_t FreeSpaceForInsert() const;
+
+ private:
+  static constexpr size_t kTypeOff = 8;
+  static constexpr size_t kSlotCountOff = 10;
+  static constexpr size_t kFreeEndOff = 12;
+  static constexpr size_t kNextPageOff = 14;
+  static constexpr size_t kSlotsOff = 18;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t free_end() const;
+  void set_free_end(uint16_t v);
+  void set_slot_count(uint16_t v);
+  uint16_t slot_offset(SlotId s) const;
+  uint16_t slot_len(SlotId s) const;
+  void set_slot(SlotId s, uint16_t off, uint16_t len);
+
+  // Contiguous free bytes between slot directory end and free_end.
+  size_t ContiguousFree() const;
+  // Total reclaimable bytes (contiguous + dead-record garbage).
+  size_t TotalFree() const;
+  // Rewrites record data to squeeze out garbage.
+  void Compact();
+
+  char* data_;
+  size_t page_size_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_HEAP_SLOTTED_PAGE_H_

@@ -1,0 +1,284 @@
+#include "sort/external_sorter.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace oib {
+
+// --------------------------- RunGenerator ---------------------------
+
+RunGenerator::RunGenerator(RunStore* store, size_t workspace_keys)
+    : store_(store),
+      k_(workspace_keys == 0 ? 1 : workspace_keys),
+      items_(k_),
+      tags_(k_, 0),
+      valid_(k_, false),
+      tree_(k_, [this](size_t a, size_t b) {
+        // Valid sorts before invalid; ties by (tag, key, rid).  Slots at
+        // or beyond k_ are power-of-two padding and always invalid.
+        bool va = a < k_ && valid_[a];
+        bool vb = b < k_ && valid_[b];
+        if (!va) return false;
+        if (!vb) return true;
+        if (tags_[a] != tags_[b]) return tags_[a] < tags_[b];
+        return CompareSortItem(items_[a], items_[b]) < 0;
+      }) {
+  free_.reserve(k_);
+  for (size_t i = 0; i < k_; ++i) free_.push_back(k_ - 1 - i);
+}
+
+Status RunGenerator::EnsureRunOpen() {
+  if (current_run_ == 0) {
+    current_run_ = store_->CreateRun();
+    runs_.push_back(current_run_);
+  }
+  return Status::OK();
+}
+
+Status RunGenerator::Output(size_t slot) {
+  if (tags_[slot] > current_tag_) {
+    // Winner belongs to the next run: close the current one.
+    current_tag_ = tags_[slot];
+    current_run_ = 0;
+  }
+  OIB_RETURN_IF_ERROR(EnsureRunOpen());
+  OIB_RETURN_IF_ERROR(store_->Append(current_run_, items_[slot]));
+  last_output_ = std::move(items_[slot]);
+  has_last_output_ = true;
+  return Status::OK();
+}
+
+Status RunGenerator::Add(SortItem item) {
+  uint64_t tag = current_tag_;
+  if (has_last_output_ && CompareSortItem(item, last_output_) < 0) {
+    tag = current_tag_ + 1;
+  }
+  if (!free_.empty()) {
+    size_t slot = free_.back();
+    free_.pop_back();
+    items_[slot] = std::move(item);
+    tags_[slot] = tag;
+    valid_[slot] = true;
+    if (free_.empty()) {
+      tree_.Init();
+      tree_built_ = true;
+    }
+    return Status::OK();
+  }
+  // Workspace full: emit the winner, then take its slot.
+  size_t w = tree_.Winner();
+  OIB_RETURN_IF_ERROR(Output(w));
+  // Recompute the tag: last_output_ just changed.
+  tag = current_tag_;
+  if (CompareSortItem(item, last_output_) < 0) tag = current_tag_ + 1;
+  items_[w] = std::move(item);
+  tags_[w] = tag;
+  tree_.Update(w);
+  return Status::OK();
+}
+
+Status RunGenerator::Drain() {
+  if (!tree_built_) {
+    // Workspace never filled: sort what's there directly.
+    std::vector<size_t> live;
+    for (size_t i = 0; i < k_; ++i) {
+      if (valid_[i]) live.push_back(i);
+    }
+    std::sort(live.begin(), live.end(), [this](size_t a, size_t b) {
+      if (tags_[a] != tags_[b]) return tags_[a] < tags_[b];
+      return CompareSortItem(items_[a], items_[b]) < 0;
+    });
+    for (size_t slot : live) {
+      OIB_RETURN_IF_ERROR(Output(slot));
+      valid_[slot] = false;
+      free_.push_back(slot);
+    }
+    return Status::OK();
+  }
+  for (;;) {
+    size_t w = tree_.Winner();
+    if (!valid_[w]) break;
+    OIB_RETURN_IF_ERROR(Output(w));
+    valid_[w] = false;
+    free_.push_back(w);
+    tree_.Update(w);
+  }
+  tree_built_ = false;
+  return Status::OK();
+}
+
+Status RunGenerator::FinishInput() {
+  OIB_RETURN_IF_ERROR(Drain());
+  current_run_ = 0;  // close the run
+  return Status::OK();
+}
+
+void RunGenerator::Restore(std::vector<RunId> runs, RunId current_run,
+                           bool has_last_output, SortItem last_output) {
+  runs_ = std::move(runs);
+  current_run_ = current_run;
+  current_tag_ = 0;
+  has_last_output_ = has_last_output;
+  last_output_ = std::move(last_output);
+  std::fill(valid_.begin(), valid_.end(), false);
+  free_.clear();
+  for (size_t i = 0; i < k_; ++i) free_.push_back(k_ - 1 - i);
+  tree_built_ = false;
+}
+
+// ---------------------------- MergeCursor ----------------------------
+
+Status MergeCursor::Init(RunStore* store, const std::vector<RunId>& runs,
+                         const std::vector<uint64_t>* counters) {
+  store_ = store;
+  runs_ = runs;
+  size_t n = runs.size();
+  if (counters != nullptr && counters->size() != n) {
+    return Status::InvalidArgument("counter vector size mismatch");
+  }
+  readers_.clear();
+  items_.assign(n, {});
+  valid_.assign(n, false);
+  out_counts_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    readers_.push_back(std::make_unique<RunReader>(store, runs[i]));
+    if (counters != nullptr) {
+      OIB_RETURN_IF_ERROR(readers_[i]->SeekToItem((*counters)[i]));
+      out_counts_[i] = (*counters)[i];
+    }
+    OIB_RETURN_IF_ERROR(Refill(i));
+  }
+  tree_ = std::make_unique<LoserTree>(
+      n == 0 ? 1 : n, [this](size_t a, size_t b) {
+        bool va = a < valid_.size() && valid_[a];
+        bool vb = b < valid_.size() && valid_[b];
+        if (!va) return false;
+        if (!vb) return true;
+        return CompareSortItem(items_[a], items_[b]) < 0;
+      });
+  tree_->Init();
+  return Status::OK();
+}
+
+Status MergeCursor::Refill(size_t slot) {
+  auto more = readers_[slot]->Read(&items_[slot]);
+  if (!more.ok()) return more.status();
+  valid_[slot] = *more;
+  return Status::OK();
+}
+
+StatusOr<bool> MergeCursor::Next(SortItem* item) {
+  if (valid_.empty()) return false;
+  size_t w = tree_->Winner();
+  if (w >= valid_.size() || !valid_[w]) return false;
+  *item = std::move(items_[w]);
+  ++out_counts_[w];
+  OIB_RETURN_IF_ERROR(Refill(w));
+  tree_->Update(w);
+  return true;
+}
+
+// --------------------------- ExternalSorter ---------------------------
+
+StatusOr<std::string> ExternalSorter::CheckpointSortPhase(
+    const std::string& caller_state) {
+  OIB_RETURN_IF_ERROR(gen_.Drain());
+  for (RunId id : gen_.runs()) {
+    OIB_RETURN_IF_ERROR(store_->Flush(id));
+  }
+  std::string blob;
+  PutLengthPrefixed(&blob, caller_state);
+  PutFixed32(&blob, static_cast<uint32_t>(gen_.runs().size()));
+  for (RunId id : gen_.runs()) {
+    auto size = store_->Size(id);
+    if (!size.ok()) return size.status();
+    PutFixed64(&blob, id);
+    PutFixed64(&blob, *size);
+  }
+  PutFixed64(&blob, gen_.current_run());
+  blob.push_back(gen_.has_last_output() ? 1 : 0);
+  if (gen_.has_last_output()) {
+    PutLengthPrefixed(&blob, gen_.last_output().key);
+    PutFixed32(&blob, gen_.last_output().rid.page);
+    PutFixed16(&blob, gen_.last_output().rid.slot);
+  }
+  return blob;
+}
+
+StatusOr<std::string> ExternalSorter::ResumeSortPhase(
+    const std::string& blob) {
+  BufferReader r(blob);
+  std::string caller_state;
+  uint32_t n;
+  if (!r.GetLengthPrefixed(&caller_state) || !r.GetFixed32(&n)) {
+    return Status::Corruption("sort checkpoint blob");
+  }
+  std::vector<RunId> runs;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id, size;
+    if (!r.GetFixed64(&id) || !r.GetFixed64(&size)) {
+      return Status::Corruption("sort checkpoint run entry");
+    }
+    // Reposition the stream to its checkpointed end-of-file (5.1).
+    OIB_RETURN_IF_ERROR(store_->Truncate(id, size));
+    runs.push_back(id);
+  }
+  uint64_t current_run;
+  uint8_t has_last;
+  if (!r.GetFixed64(&current_run) || !r.GetByte(&has_last)) {
+    return Status::Corruption("sort checkpoint tail");
+  }
+  SortItem last;
+  if (has_last != 0) {
+    uint16_t slot;
+    if (!r.GetLengthPrefixed(&last.key) || !r.GetFixed32(&last.rid.page) ||
+        !r.GetFixed16(&slot)) {
+      return Status::Corruption("sort checkpoint last key");
+    }
+    last.rid.slot = slot;
+  }
+  gen_.Restore(std::move(runs), current_run, has_last != 0,
+               std::move(last));
+  return caller_state;
+}
+
+Status ExternalSorter::PrepareMerge() {
+  // Merge the oldest fan-in runs into one until we fit a single pass.
+  // These passes are not checkpointed (a crash repeats the incomplete
+  // pass); the final pass is the restartable one.
+  size_t fanin = options_->sort_merge_fanin < 2 ? 2
+                                                : options_->sort_merge_fanin;
+  while (gen_.runs().size() > fanin) {
+    std::vector<RunId> batch(gen_.runs().begin(),
+                             gen_.runs().begin() + fanin);
+    MergeCursor cursor;
+    OIB_RETURN_IF_ERROR(cursor.Init(store_, batch, nullptr));
+    RunId merged = store_->CreateRun();
+    SortItem item;
+    for (;;) {
+      auto more = cursor.Next(&item);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      OIB_RETURN_IF_ERROR(store_->Append(merged, item));
+    }
+    OIB_RETURN_IF_ERROR(store_->Flush(merged));
+    std::vector<RunId> remaining;
+    remaining.push_back(merged);
+    remaining.insert(remaining.end(), gen_.runs().begin() + fanin,
+                     gen_.runs().end());
+    for (RunId id : batch) store_->Remove(id);
+    gen_.Restore(std::move(remaining), 0, gen_.has_last_output(),
+                 gen_.last_output());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<MergeCursor>> ExternalSorter::OpenMerge(
+    const std::vector<uint64_t>* counters) {
+  auto cursor = std::make_unique<MergeCursor>();
+  OIB_RETURN_IF_ERROR(cursor->Init(store_, gen_.runs(), counters));
+  return cursor;
+}
+
+}  // namespace oib

@@ -1,0 +1,140 @@
+// ExternalSorter: replacement-selection run generation + N-way merge, both
+// restartable per the paper's section 5.
+//
+// Sort phase (5.1): keys stream in from the IB scan; a tournament tree
+// performs replacement selection, emitting sorted runs (~2x workspace per
+// run on random input).  A checkpoint waits for the tree to output all
+// extracted keys (Drain), forces the runs, and records the run list, the
+// last (open) run, and the highest key output — plus the caller's scan
+// position, which travels in the same blob.  Resume discards unknown runs,
+// truncates known runs to their checkpointed sizes, and applies the
+// paper's append-or-new-stream rule for the first post-restart output.
+//
+// Merge phase (5.2): a loser tree merges the runs; each input stream is
+// permanently bound to one leaf, so a vector of per-stream output counters
+// identifies the exact restart position.  A merge checkpoint is just that
+// counter vector (the consumer checkpoints its own output position
+// alongside).
+
+#ifndef OIB_SORT_EXTERNAL_SORTER_H_
+#define OIB_SORT_EXTERNAL_SORTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "sort/run.h"
+#include "sort/tournament_tree.h"
+
+namespace oib {
+
+// Replacement selection over a fixed workspace.
+class RunGenerator {
+ public:
+  RunGenerator(RunStore* store, size_t workspace_keys);
+
+  Status Add(SortItem item);
+  // Outputs every buffered key (checkpoint prerequisite: "we wait for the
+  // tournament tree to output all the keys that have so far been
+  // extracted").  The current run stays open.
+  Status Drain();
+  // Drain + close the current run.
+  Status FinishInput();
+
+  const std::vector<RunId>& runs() const { return runs_; }
+  RunId current_run() const { return current_run_; }
+  bool has_last_output() const { return has_last_output_; }
+  const SortItem& last_output() const { return last_output_; }
+
+  // Restart: adopt the checkpointed run list / open run / highest key.
+  void Restore(std::vector<RunId> runs, RunId current_run,
+               bool has_last_output, SortItem last_output);
+
+ private:
+  Status Output(size_t slot);
+  Status EnsureRunOpen();
+
+  RunStore* store_;
+  size_t k_;
+  std::vector<SortItem> items_;
+  std::vector<uint64_t> tags_;
+  std::vector<bool> valid_;
+  std::vector<size_t> free_;
+  LoserTree tree_;
+  bool tree_built_ = false;
+
+  std::vector<RunId> runs_;
+  RunId current_run_ = 0;  // 0 = none open
+  uint64_t current_tag_ = 0;
+  SortItem last_output_;
+  bool has_last_output_ = false;
+};
+
+class MergeCursor {
+ public:
+  // `counters` (if given) are per-input output counts from a checkpoint;
+  // each input is repositioned so its counters[i]-th item is next.
+  Status Init(RunStore* store, const std::vector<RunId>& runs,
+              const std::vector<uint64_t>* counters);
+
+  // False at end of merge.
+  StatusOr<bool> Next(SortItem* item);
+
+  // Output counts per input stream — the section 5.2 checkpoint vector.
+  const std::vector<uint64_t>& counters() const { return out_counts_; }
+  const std::vector<RunId>& runs() const { return runs_; }
+
+ private:
+  Status Refill(size_t slot);
+
+  RunStore* store_ = nullptr;
+  std::vector<RunId> runs_;
+  std::vector<std::unique_ptr<RunReader>> readers_;
+  std::vector<SortItem> items_;
+  std::vector<bool> valid_;
+  std::vector<uint64_t> out_counts_;
+  std::unique_ptr<LoserTree> tree_;
+};
+
+class ExternalSorter {
+ public:
+  ExternalSorter(RunStore* store, const Options* options)
+      : store_(store), options_(options),
+        gen_(store, options->sort_workspace_keys) {}
+
+  Status Add(std::string key, const Rid& rid) {
+    ++items_added_;
+    return gen_.Add(SortItem{std::move(key), rid});
+  }
+
+  // Section 5.1 checkpoint: drain + force runs + serialize state.  The
+  // caller embeds its scan position via `caller_state` (opaque here).
+  StatusOr<std::string> CheckpointSortPhase(const std::string& caller_state);
+  // Returns the embedded caller state.
+  StatusOr<std::string> ResumeSortPhase(const std::string& blob);
+
+  Status FinishInput() { return gen_.FinishInput(); }
+
+  // Reduces the run count to the merge fan-in with extra (non-checkpointed)
+  // merge passes.
+  Status PrepareMerge();
+
+  StatusOr<std::unique_ptr<MergeCursor>> OpenMerge(
+      const std::vector<uint64_t>* counters = nullptr);
+
+  const std::vector<RunId>& runs() const { return gen_.runs(); }
+  uint64_t items_added() const { return items_added_; }
+  RunStore* store() { return store_; }
+
+ private:
+  RunStore* store_;
+  const Options* options_;
+  RunGenerator gen_;
+  uint64_t items_added_ = 0;
+};
+
+}  // namespace oib
+
+#endif  // OIB_SORT_EXTERNAL_SORTER_H_

@@ -1,0 +1,160 @@
+#include "sort/run.h"
+
+#include "common/coding.h"
+
+namespace oib {
+
+int CompareSortItem(const SortItem& a, const SortItem& b) {
+  int c = a.key.compare(b.key);
+  if (c != 0) return c;
+  if (a.rid < b.rid) return -1;
+  if (b.rid < a.rid) return 1;
+  return 0;
+}
+
+RunId RunStore::CreateRun() {
+  std::lock_guard<std::mutex> g(mu_);
+  RunId id = next_id_++;
+  runs_[id];
+  return id;
+}
+
+Status RunStore::Append(RunId id, const SortItem& item) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  std::string& d = it->second.data;
+  PutFixed16(&d, static_cast<uint16_t>(item.key.size()));
+  d.append(item.key);
+  PutFixed32(&d, item.rid.page);
+  PutFixed16(&d, item.rid.slot);
+  ++it->second.items;
+  return Status::OK();
+}
+
+Status RunStore::Flush(RunId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  it->second.durable = it->second.data.size();
+  return Status::OK();
+}
+
+void RunStore::DropUnflushed() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [id, run] : runs_) {
+    (void)id;
+    run.data.resize(run.durable);
+    // Recount items in the durable prefix.
+    uint64_t items = 0, off = 0;
+    while (off + 2 <= run.data.size()) {
+      uint16_t klen = DecodeFixed16(run.data.data() + off);
+      if (off + 2 + klen + 6 > run.data.size()) break;
+      off += 2 + klen + 6;
+      ++items;
+    }
+    run.data.resize(off);  // drop a torn trailing item
+    run.durable = off;
+    run.items = items;
+  }
+}
+
+void RunStore::Remove(RunId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  runs_.erase(id);
+}
+
+Status RunStore::Truncate(RunId id, uint64_t bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  Run& run = it->second;
+  if (bytes > run.data.size()) {
+    return Status::InvalidArgument("truncate beyond run end");
+  }
+  run.data.resize(bytes);
+  if (run.durable > bytes) run.durable = bytes;
+  uint64_t items = 0, off = 0;
+  while (off + 2 <= run.data.size()) {
+    uint16_t klen = DecodeFixed16(run.data.data() + off);
+    if (off + 2 + klen + 6 > run.data.size()) {
+      return Status::Corruption("truncate split an item");
+    }
+    off += 2 + klen + 6;
+    ++items;
+  }
+  run.items = items;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> RunStore::DurableSize(RunId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  return it->second.durable;
+}
+
+StatusOr<uint64_t> RunStore::Size(RunId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  return static_cast<uint64_t>(it->second.data.size());
+}
+
+StatusOr<uint64_t> RunStore::ItemCount(RunId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = runs_.find(id);
+  if (it == runs_.end()) return Status::NotFound("no such run");
+  return it->second.items;
+}
+
+size_t RunStore::run_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return runs_.size();
+}
+
+uint64_t RunStore::total_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, run] : runs_) {
+    (void)id;
+    total += run.data.size();
+  }
+  return total;
+}
+
+Status RunReader::SeekToItem(uint64_t index) {
+  offset_ = 0;
+  items_read_ = 0;
+  std::lock_guard<std::mutex> g(store_->mu_);
+  auto it = store_->runs_.find(id_);
+  if (it == store_->runs_.end()) return Status::NotFound("no such run");
+  const std::string& d = it->second.data;
+  for (uint64_t i = 0; i < index; ++i) {
+    if (offset_ + 2 > d.size()) return Status::Corruption("seek past end");
+    uint16_t klen = DecodeFixed16(d.data() + offset_);
+    offset_ += 2 + klen + 6;
+    if (offset_ > d.size()) return Status::Corruption("seek past end");
+    ++items_read_;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> RunReader::Read(SortItem* item) {
+  std::lock_guard<std::mutex> g(store_->mu_);
+  auto it = store_->runs_.find(id_);
+  if (it == store_->runs_.end()) return Status::NotFound("no such run");
+  const std::string& d = it->second.data;
+  if (offset_ >= d.size()) return false;
+  if (offset_ + 2 > d.size()) return Status::Corruption("torn item");
+  uint16_t klen = DecodeFixed16(d.data() + offset_);
+  if (offset_ + 2 + klen + 6 > d.size()) return Status::Corruption("torn item");
+  item->key.assign(d.data() + offset_ + 2, klen);
+  item->rid.page = DecodeFixed32(d.data() + offset_ + 2 + klen);
+  item->rid.slot = DecodeFixed16(d.data() + offset_ + 2 + klen + 4);
+  offset_ += 2 + klen + 6;
+  ++items_read_;
+  return true;
+}
+
+}  // namespace oib

@@ -1,0 +1,100 @@
+// Sorted-run storage for the external sorter.
+//
+// Runs are scratch data, not WAL-protected; durability is modeled the same
+// way as the log: each run has a *durable* prefix (what would be on disk at
+// a crash) and a volatile tail, with Flush() moving the boundary.  The
+// paper's restartable-sort checkpoints (section 5) force runs to disk and
+// record their sizes; after a simulated crash, RunStore::DropUnflushed()
+// discards the volatile tails and Resume truncates runs to the
+// checkpointed lengths.
+//
+// Run payload: a sequence of items [klen u16][key bytes][rid u32+u16].
+
+#ifndef OIB_SORT_RUN_H_
+#define OIB_SORT_RUN_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oib {
+
+struct SortItem {
+  std::string key;
+  Rid rid;
+};
+
+// (key, rid) ordering — identical to the index entry order.
+int CompareSortItem(const SortItem& a, const SortItem& b);
+
+using RunId = uint64_t;
+
+class RunStore {
+ public:
+  RunStore() = default;
+
+  RunStore(const RunStore&) = delete;
+  RunStore& operator=(const RunStore&) = delete;
+
+  RunId CreateRun();
+  Status Append(RunId id, const SortItem& item);
+  // Marks everything appended so far durable.
+  Status Flush(RunId id);
+  // Crash simulation: every run loses its volatile tail.
+  void DropUnflushed();
+  // Deletes a run entirely.
+  void Remove(RunId id);
+  // Truncates a run to `bytes` (restart repositioning, section 5.1).
+  Status Truncate(RunId id, uint64_t bytes);
+
+  StatusOr<uint64_t> DurableSize(RunId id) const;
+  StatusOr<uint64_t> Size(RunId id) const;
+  StatusOr<uint64_t> ItemCount(RunId id) const;
+
+  size_t run_count() const;
+  uint64_t total_bytes() const;
+
+ private:
+  friend class RunReader;
+
+  struct Run {
+    std::string data;
+    uint64_t durable = 0;
+    uint64_t items = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<RunId, Run> runs_;
+  RunId next_id_ = 1;
+};
+
+// Sequential reader over a run, positionable by item index.
+class RunReader {
+ public:
+  RunReader(RunStore* store, RunId id) : store_(store), id_(id) {}
+
+  // Positions so the next Read returns item `index` (0-based).  O(index)
+  // skip — restart repositioning per the merge checkpoint counters
+  // (section 5.2).
+  Status SeekToItem(uint64_t index);
+
+  // False at end of run.
+  StatusOr<bool> Read(SortItem* item);
+
+  uint64_t items_read() const { return items_read_; }
+
+ private:
+  RunStore* store_;
+  RunId id_;
+  uint64_t offset_ = 0;
+  uint64_t items_read_ = 0;
+};
+
+}  // namespace oib
+
+#endif  // OIB_SORT_RUN_H_

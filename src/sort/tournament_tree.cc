@@ -1,0 +1,48 @@
+#include "sort/tournament_tree.h"
+
+#include <cassert>
+
+namespace oib {
+
+namespace {
+// Rounds k up to a power of two so the tree is a complete binary tree;
+// slots >= real k are permanently invalid (the less callback handles them
+// via an index range check in the wrapper below).
+size_t RoundUpPow2(size_t k) {
+  size_t p = 1;
+  while (p < k) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LoserTree::LoserTree(size_t k, LessFn less) : less_(std::move(less)) {
+  k_ = RoundUpPow2(k == 0 ? 1 : k);
+  tree_.assign(k_, 0);
+}
+
+size_t LoserTree::InitRange(size_t node) {
+  if (node >= k_) return node - k_;  // leaf: slot index
+  size_t left = InitRange(2 * node);
+  size_t right = InitRange(2 * node + 1);
+  if (less_(right, left)) {
+    tree_[node] = left;  // left loses
+    return right;
+  }
+  tree_[node] = right;
+  return left;
+}
+
+void LoserTree::Init() { winner_ = InitRange(1); }
+
+void LoserTree::Update(size_t slot) {
+  assert(slot < k_);
+  size_t cur = slot;
+  for (size_t node = (slot + k_) / 2; node >= 1; node /= 2) {
+    if (less_(tree_[node], cur)) {
+      std::swap(tree_[node], cur);
+    }
+  }
+  winner_ = cur;
+}
+
+}  // namespace oib

@@ -1,0 +1,53 @@
+// Tournament (loser) tree [Knut73], the selection structure the paper's
+// restartable sort is built on (section 5).
+//
+// Internal nodes store the *losers* of their sub-tournaments; the overall
+// winner sits at tree_[0].  After the winner's slot is refilled, a single
+// leaf-to-root replay restores the invariant in O(log k) comparisons.
+//
+// The property the merge-phase checkpoint relies on — "a particular leaf
+// node of the tree is always fed from the same input stream" (section
+// 5.2) — holds by construction: slot i is permanently bound to input i.
+
+#ifndef OIB_SORT_TOURNAMENT_TREE_H_
+#define OIB_SORT_TOURNAMENT_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace oib {
+
+class LoserTree {
+ public:
+  // `less(a, b)`: slot a's current value sorts strictly before slot b's.
+  // Invalid (exhausted) slots must compare after every valid slot; the
+  // callback receives slot indices and owns that logic.
+  using LessFn = std::function<bool(size_t, size_t)>;
+
+  LoserTree(size_t k, LessFn less);
+
+  // Builds the tournament from scratch over all k slots.
+  void Init();
+
+  // Index of the winning slot (call after Init).
+  size_t Winner() const { return winner_; }
+
+  // Re-runs the tournament along slot's leaf-to-root path after the
+  // slot's value changed (refill or invalidation).
+  void Update(size_t slot);
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t InitRange(size_t node);  // returns winner of subtree
+
+  size_t k_;
+  LessFn less_;
+  std::vector<size_t> tree_;  // tree_[1..k-1]: losers; winner_ cached
+  size_t winner_ = 0;
+};
+
+}  // namespace oib
+
+#endif  // OIB_SORT_TOURNAMENT_TREE_H_

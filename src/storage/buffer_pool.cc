@@ -1,0 +1,249 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace oib {
+
+// ----------------------------- guards -----------------------------
+
+ReadPageGuard& ReadPageGuard::operator=(ReadPageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    page_ = o.page_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+  return *this;
+}
+
+void ReadPageGuard::Release() {
+  if (page_ != nullptr) {
+    page_->UnlatchShared();
+    pool_->Unpin(page_, /*dirty=*/false);
+    page_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+WritePageGuard& WritePageGuard::operator=(WritePageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    page_ = o.page_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+    o.dirty_ = false;
+  }
+  return *this;
+}
+
+void WritePageGuard::Release() {
+  if (page_ != nullptr) {
+    page_->UnlatchExclusive();
+    pool_->Unpin(page_, dirty_);
+    page_ = nullptr;
+    pool_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+// --------------------------- BufferPool ---------------------------
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_pages) : disk_(disk) {
+  frames_.reserve(pool_pages);
+  free_.reserve(pool_pages);
+  for (size_t i = 0; i < pool_pages; ++i) {
+    frames_.push_back(std::make_unique<Page>(disk->page_size()));
+    free_.push_back(pool_pages - 1 - i);
+  }
+}
+
+StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {
+  Page* page;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto r = FetchPageLocked(page_id);
+    if (!r.ok()) return r.status();
+    page = *r;
+  }
+  page->LatchShared();
+  return ReadPageGuard(this, page);
+}
+
+StatusOr<WritePageGuard> BufferPool::FetchWrite(PageId page_id) {
+  Page* page;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto r = FetchPageLocked(page_id);
+    if (!r.ok()) return r.status();
+    page = *r;
+  }
+  page->LatchExclusive();
+  return WritePageGuard(this, page);
+}
+
+StatusOr<WritePageGuard> BufferPool::NewPage(PageId* page_id) {
+  auto alloc = disk_->AllocatePage();
+  if (!alloc.ok()) return alloc.status();
+  *page_id = *alloc;
+  return BindNewPage(*page_id);
+}
+
+StatusOr<WritePageGuard> BufferPool::NewPageNoReuse(PageId* page_id) {
+  auto alloc = disk_->AllocatePageNoReuse();
+  if (!alloc.ok()) return alloc.status();
+  *page_id = *alloc;
+  return BindNewPage(*page_id);
+}
+
+StatusOr<WritePageGuard> BufferPool::BindNewPage(PageId page_id) {
+  Page* page;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto r = PinNewFrame(page_id);
+    if (!r.ok()) return r.status();
+    page = *r;
+    // Fresh page: contents are zeroes; no disk read needed.
+  }
+  page->LatchExclusive();
+  WritePageGuard guard(this, page);
+  guard.MarkDirty();
+  return guard;
+}
+
+StatusOr<Page*> BufferPool::FetchPageLocked(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Page* page = frames_[it->second].get();
+    page->Pin();
+    TouchLru(page_id);
+    return page;
+  }
+  auto r = PinNewFrame(page_id);
+  if (!r.ok()) return r.status();
+  Page* page = *r;
+  Status s = disk_->ReadPage(page_id, page->data());
+  if (!s.ok()) {
+    // Roll back the frame binding.
+    page->Unpin();
+    page_table_.erase(page_id);
+    auto lit = lru_pos_.find(page_id);
+    if (lit != lru_pos_.end()) {
+      lru_.erase(lit->second);
+      lru_pos_.erase(lit);
+    }
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].get() == page) {
+        free_.push_back(i);
+        break;
+      }
+    }
+    return s;
+  }
+  return page;
+}
+
+StatusOr<Page*> BufferPool::PinNewFrame(PageId page_id) {
+  if (free_.empty()) {
+    OIB_RETURN_IF_ERROR(EvictOne());
+  }
+  size_t idx = free_.back();
+  free_.pop_back();
+  Page* page = frames_[idx].get();
+  page->Reset(page_id);
+  page->Pin();
+  page_table_[page_id] = idx;
+  TouchLru(page_id);
+  return page;
+}
+
+Status BufferPool::EvictOne() {
+  // Scan from least-recently-used; skip pinned frames.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    PageId victim = *it;
+    size_t idx = page_table_.at(victim);
+    Page* page = frames_[idx].get();
+    if (page->pin_count() > 0) continue;
+    if (page->is_dirty()) {
+      if (wal_flush_) OIB_RETURN_IF_ERROR(wal_flush_(page->page_lsn()));
+      OIB_RETURN_IF_ERROR(disk_->WritePage(victim, page->data()));
+    }
+    page_table_.erase(victim);
+    lru_.erase(std::next(it).base());
+    lru_pos_.erase(victim);
+    free_.push_back(idx);
+    ++evictions_;
+    return Status::OK();
+  }
+  return Status::Busy("buffer pool exhausted: all pages pinned");
+}
+
+void BufferPool::Unpin(Page* page, bool dirty) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (dirty) page->set_dirty(true);
+  page->Unpin();
+}
+
+void BufferPool::TouchLru(PageId page_id) {
+  auto it = lru_pos_.find(page_id);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(page_id);
+  lru_pos_[page_id] = lru_.begin();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  Page* page;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = page_table_.find(page_id);
+    if (it == page_table_.end()) return Status::OK();  // not cached
+    page = frames_[it->second].get();
+    page->Pin();
+  }
+  page->LatchShared();
+  Status s;
+  if (page->is_dirty()) {
+    if (wal_flush_) s = wal_flush_(page->page_lsn());
+    if (s.ok()) s = disk_->WritePage(page_id, page->data());
+    if (s.ok()) page->set_dirty(false);
+  }
+  page->UnlatchShared();
+  Unpin(page, /*dirty=*/false);
+  return s;
+}
+
+Status BufferPool::FlushAll() {
+  std::vector<PageId> cached;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    cached.reserve(page_table_.size());
+    for (const auto& [pid, idx] : page_table_) {
+      (void)idx;
+      cached.push_back(pid);
+    }
+  }
+  for (PageId pid : cached) {
+    OIB_RETURN_IF_ERROR(FlushPage(pid));
+  }
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [pid, idx] : page_table_) {
+    (void)pid;
+    assert(frames_[idx]->pin_count() == 0 && "discard with live pins");
+  }
+  page_table_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  free_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    frames_[i]->Reset(kInvalidPageId);
+    free_.push_back(frames_.size() - 1 - i);
+  }
+}
+
+}  // namespace oib

@@ -1,0 +1,145 @@
+// BufferPool: fixed-size cache of pages with pin/unpin, LRU eviction, and
+// the write-ahead-logging rule (a dirty page is written to disk only after
+// the log is flushed up to that page's LSN).
+//
+// RAII page guards combine pin + latch acquisition in the safe order
+// (pin first, then latch), so an evictable frame can never be latched.
+
+#ifndef OIB_STORAGE_BUFFER_POOL_H_
+#define OIB_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace oib {
+
+class BufferPool;
+
+// Shared-latched, pinned view of a page.  Movable, not copyable.
+class ReadPageGuard {
+ public:
+  ReadPageGuard() = default;
+  ReadPageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ReadPageGuard(ReadPageGuard&& o) noexcept { *this = std::move(o); }
+  ReadPageGuard& operator=(ReadPageGuard&& o) noexcept;
+  ~ReadPageGuard() { Release(); }
+
+  ReadPageGuard(const ReadPageGuard&) = delete;
+  ReadPageGuard& operator=(const ReadPageGuard&) = delete;
+
+  bool valid() const { return page_ != nullptr; }
+  const char* data() const { return page_->data(); }
+  PageId page_id() const { return page_->page_id(); }
+  Lsn page_lsn() const { return page_->page_lsn(); }
+
+  // Unlatches and unpins early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+// Exclusively-latched, pinned view of a page.  Marks the page dirty on
+// release if the holder declared a modification via MarkDirty()/set_page_lsn.
+class WritePageGuard {
+ public:
+  WritePageGuard() = default;
+  WritePageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  WritePageGuard(WritePageGuard&& o) noexcept { *this = std::move(o); }
+  WritePageGuard& operator=(WritePageGuard&& o) noexcept;
+  ~WritePageGuard() { Release(); }
+
+  WritePageGuard(const WritePageGuard&) = delete;
+  WritePageGuard& operator=(const WritePageGuard&) = delete;
+
+  bool valid() const { return page_ != nullptr; }
+  char* data() { return page_->data(); }
+  const char* data() const { return page_->data(); }
+  PageId page_id() const { return page_->page_id(); }
+  Lsn page_lsn() const { return page_->page_lsn(); }
+
+  void MarkDirty() { dirty_ = true; }
+  void set_page_lsn(Lsn lsn) {
+    page_->set_page_lsn(lsn);
+    dirty_ = true;
+  }
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Called with a page LSN before a dirty page with that LSN is written to
+  // disk; must flush the log at least that far (the WAL rule).
+  void SetWalFlushHook(std::function<Status(Lsn)> hook) {
+    wal_flush_ = std::move(hook);
+  }
+
+  // Guard-based accessors (preferred).
+  StatusOr<ReadPageGuard> FetchRead(PageId page_id);
+  StatusOr<WritePageGuard> FetchWrite(PageId page_id);
+  // Allocates a fresh page and returns it exclusively latched.
+  StatusOr<WritePageGuard> NewPage(PageId* page_id);
+  // Same, but never reuses a freed page id (see DiskManager).
+  StatusOr<WritePageGuard> NewPageNoReuse(PageId* page_id);
+
+  // Writes one page / all dirty pages to disk (respecting the WAL rule).
+  Status FlushPage(PageId page_id);
+  Status FlushAll();
+
+  // Crash simulation: drops every frame without flushing.  Pins must be
+  // released first (asserted).
+  void DiscardAll();
+
+  DiskManager* disk() { return disk_; }
+
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  friend class ReadPageGuard;
+  friend class WritePageGuard;
+
+  // Returns a pinned (unlatched) frame for page_id, reading from disk on
+  // miss.  Caller must eventually Unpin().
+  StatusOr<WritePageGuard> BindNewPage(PageId page_id);
+  StatusOr<Page*> FetchPageLocked(PageId page_id);
+  StatusOr<Page*> PinNewFrame(PageId page_id);
+  Status EvictOne();  // Requires mu_ held; frees one frame into free_.
+  void Unpin(Page* page, bool dirty);
+  void TouchLru(PageId page_id);
+
+  DiskManager* disk_;
+  std::function<Status(Lsn)> wal_flush_;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::vector<size_t> free_;                       // free frame indexes
+  std::unordered_map<PageId, size_t> page_table_;  // page -> frame index
+  std::list<PageId> lru_;                          // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace oib
+
+#endif  // OIB_STORAGE_BUFFER_POOL_H_

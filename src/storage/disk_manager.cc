@@ -1,0 +1,252 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/coding.h"
+
+namespace oib {
+
+// --------------------------- InMemoryDisk ---------------------------
+
+Status InMemoryDisk::ReadPage(PageId page_id, char* out) {
+  uint32_t delay;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (page_id >= pages_.size()) {
+      return Status::IoError("read of unallocated page " +
+                             std::to_string(page_id));
+    }
+    std::memcpy(out, pages_[page_id].data(), page_size_);
+    ++reads_;
+    delay = read_delay_us_;
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+  return Status::OK();
+}
+
+Status InMemoryDisk::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_id >= pages_.size()) {
+    return Status::IoError("write of unallocated page " +
+                           std::to_string(page_id));
+  }
+  pages_[page_id].assign(data, page_size_);
+  ++writes_;
+  return Status::OK();
+}
+
+StatusOr<PageId> InMemoryDisk::AllocatePage() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id].assign(page_size_, '\0');
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  pages_.emplace_back(page_size_, '\0');
+  return id;
+}
+
+StatusOr<PageId> InMemoryDisk::AllocatePageNoReuse() {
+  std::lock_guard<std::mutex> g(mu_);
+  PageId id = static_cast<PageId>(pages_.size());
+  pages_.emplace_back(page_size_, '\0');
+  return id;
+}
+
+Status InMemoryDisk::FreePage(PageId page_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_id >= pages_.size()) {
+    return Status::InvalidArgument("free of unallocated page");
+  }
+  free_list_.push_back(page_id);
+  return Status::OK();
+}
+
+PageId InMemoryDisk::PageCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return static_cast<PageId>(pages_.size());
+}
+
+Status InMemoryDisk::PutMeta(const std::string& key,
+                             const std::string& value) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return Status::OK();
+    }
+  }
+  meta_.emplace_back(key, value);
+  return Status::OK();
+}
+
+Status InMemoryDisk::GetMeta(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& kv : meta_) {
+    if (kv.first == key) {
+      *value = kv.second;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("meta key " + key);
+}
+
+// ----------------------------- FileDisk -----------------------------
+
+StatusOr<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path,
+                                                   size_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  auto disk =
+      std::unique_ptr<FileDisk>(new FileDisk(path, f, page_size));
+  std::fseek(f, 0, SEEK_END);
+  long end = std::ftell(f);
+  disk->page_count_ = static_cast<PageId>(end / page_size);
+  Status s = disk->LoadMeta();
+  if (!s.ok() && !s.IsNotFound()) return s;
+  return disk;
+}
+
+FileDisk::~FileDisk() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDisk::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_id >= page_count_) {
+    return Status::IoError("read of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * page_size_, SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short read");
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status FileDisk::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_id >= page_count_) {
+    return Status::IoError("write of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * page_size_, SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write");
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+StatusOr<PageId> FileDisk::AllocatePage() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  PageId id = page_count_++;
+  std::string zeros(page_size_, '\0');
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("extend failed");
+  }
+  return id;
+}
+
+StatusOr<PageId> FileDisk::AllocatePageNoReuse() {
+  std::lock_guard<std::mutex> g(mu_);
+  PageId id = page_count_++;
+  std::string zeros(page_size_, '\0');
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("extend failed");
+  }
+  return id;
+}
+
+Status FileDisk::FreePage(PageId page_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  free_list_.push_back(page_id);
+  return Status::OK();
+}
+
+PageId FileDisk::PageCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return page_count_;
+}
+
+Status FileDisk::PutMeta(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> g(mu_);
+  bool found = false;
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = value;
+      found = true;
+      break;
+    }
+  }
+  if (!found) meta_.emplace_back(key, value);
+  return StoreMeta();
+}
+
+Status FileDisk::GetMeta(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& kv : meta_) {
+    if (kv.first == key) {
+      *value = kv.second;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("meta key " + key);
+}
+
+Status FileDisk::LoadMeta() {
+  std::FILE* f = std::fopen((path_ + ".meta").c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no meta file");
+  std::string blob;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+  BufferReader reader(blob);
+  uint32_t count;
+  if (!reader.GetFixed32(&count)) return Status::Corruption("meta header");
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string k, v;
+    if (!reader.GetLengthPrefixed(&k) || !reader.GetLengthPrefixed(&v)) {
+      return Status::Corruption("meta entry");
+    }
+    meta_.emplace_back(std::move(k), std::move(v));
+  }
+  return Status::OK();
+}
+
+Status FileDisk::StoreMeta() {
+  std::string blob;
+  PutFixed32(&blob, static_cast<uint32_t>(meta_.size()));
+  for (const auto& kv : meta_) {
+    PutLengthPrefixed(&blob, kv.first);
+    PutLengthPrefixed(&blob, kv.second);
+  }
+  std::FILE* f = std::fopen((path_ + ".meta").c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot write meta");
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (written != blob.size()) return Status::IoError("short meta write");
+  return Status::OK();
+}
+
+}  // namespace oib

@@ -1,0 +1,129 @@
+// DiskManager: the durable page store underneath the buffer pool.
+//
+// Two implementations:
+//  * InMemoryDisk — a vector of page images.  "Durable" here means "survives
+//    Engine::SimulateCrash()", which discards only volatile state (buffer
+//    pool, unflushed log).  This is the substrate for all crash/restart
+//    tests and benches; it exercises exactly the recovery code paths the
+//    paper describes while staying deterministic and fast.
+//  * FileDisk — a real file accessed with pread/pwrite, for the examples.
+//
+// Both also expose a tiny side-channel metadata blob (PutMeta/GetMeta) used
+// to persist the catalog and builder checkpoints; writes to it are atomic
+// with respect to simulated crashes.
+
+#ifndef OIB_STORAGE_DISK_MANAGER_H_
+#define OIB_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oib {
+
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+  virtual Status WritePage(PageId page_id, const char* data) = 0;
+
+  // Allocates a fresh page id (possibly reusing a freed one).
+  virtual StatusOr<PageId> AllocatePage() = 0;
+  // Allocates a page id strictly greater than every id allocated so far.
+  // Heap files use this so that RID order agrees with scan (chain) order,
+  // which SF's Current-RID visibility test requires.
+  virtual StatusOr<PageId> AllocatePageNoReuse() = 0;
+  // Returns a page to the allocator.  Used by SF restart to discard index
+  // pages allocated after the last IB checkpoint (paper section 3.2.4).
+  virtual Status FreePage(PageId page_id) = 0;
+
+  // Highest page id ever allocated + 1 (freed pages included).
+  virtual PageId PageCount() const = 0;
+
+  virtual Status PutMeta(const std::string& key, const std::string& value) = 0;
+  virtual Status GetMeta(const std::string& key, std::string* value) = 0;
+
+  virtual size_t page_size() const = 0;
+
+  // I/O counters (benches report these as proxies for disk cost).
+  virtual uint64_t reads() const = 0;
+  virtual uint64_t writes() const = 0;
+};
+
+class InMemoryDisk : public DiskManager {
+ public:
+  explicit InMemoryDisk(size_t page_size) : page_size_(page_size) {}
+
+  // Benches simulate an I/O-bound environment (the paper's "several days
+  // to scan a petabyte table") by charging a fixed latency per page read.
+  void set_read_delay_us(uint32_t us) { read_delay_us_ = us; }
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  StatusOr<PageId> AllocatePage() override;
+  StatusOr<PageId> AllocatePageNoReuse() override;
+  Status FreePage(PageId page_id) override;
+  PageId PageCount() const override;
+  Status PutMeta(const std::string& key, const std::string& value) override;
+  Status GetMeta(const std::string& key, std::string* value) override;
+  size_t page_size() const override { return page_size_; }
+  uint64_t reads() const override { return reads_; }
+  uint64_t writes() const override { return writes_; }
+
+ private:
+  size_t page_size_;
+  mutable std::mutex mu_;
+  std::vector<std::string> pages_;
+  std::vector<PageId> free_list_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint32_t read_delay_us_ = 0;
+};
+
+class FileDisk : public DiskManager {
+ public:
+  // Creates/opens `path` (page store) and `path`.meta (metadata blob).
+  static StatusOr<std::unique_ptr<FileDisk>> Open(const std::string& path,
+                                                  size_t page_size);
+  ~FileDisk() override;
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  StatusOr<PageId> AllocatePage() override;
+  StatusOr<PageId> AllocatePageNoReuse() override;
+  Status FreePage(PageId page_id) override;
+  PageId PageCount() const override;
+  Status PutMeta(const std::string& key, const std::string& value) override;
+  Status GetMeta(const std::string& key, std::string* value) override;
+  size_t page_size() const override { return page_size_; }
+  uint64_t reads() const override { return reads_; }
+  uint64_t writes() const override { return writes_; }
+
+ private:
+  FileDisk(std::string path, std::FILE* file, size_t page_size)
+      : path_(std::move(path)), file_(file), page_size_(page_size) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+
+  std::string path_;
+  std::FILE* file_;
+  size_t page_size_;
+  mutable std::mutex mu_;
+  PageId page_count_ = 0;
+  std::vector<PageId> free_list_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace oib
+
+#endif  // OIB_STORAGE_DISK_MANAGER_H_

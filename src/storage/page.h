@@ -1,0 +1,79 @@
+// A buffer-pool frame holding one disk page, with its latch and pin state.
+//
+// Terminology follows the paper: a *latch* is the cheap physical-consistency
+// lock on a page (share mode for readers, exclusive for updaters); it is
+// completely distinct from transaction *locks* (see txn/lock_manager.h).
+//
+// Every page begins with an 8-byte page LSN (the LSN of the last log record
+// describing a change to the page), as required by write-ahead logging.
+
+#ifndef OIB_STORAGE_PAGE_H_
+#define OIB_STORAGE_PAGE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+
+#include "common/coding.h"
+#include "common/types.h"
+
+namespace oib {
+
+// Byte offset where type-specific page payload begins (after the page LSN).
+inline constexpr size_t kPageHeaderLsnSize = 8;
+
+class Page {
+ public:
+  explicit Page(size_t page_size)
+      : size_(page_size), data_(new char[page_size]) {
+    Reset(kInvalidPageId);
+  }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  Lsn page_lsn() const { return DecodeFixed64(data_.get()); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(data_.get(), lsn); }
+
+  bool is_dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+  int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
+  void Pin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
+  void Unpin() { pin_count_.fetch_sub(1, std::memory_order_relaxed); }
+
+  // Page latch.  S for readers, X for updaters; held only across short
+  // critical sections, never across I/O initiated by the holder's caller.
+  void LatchShared() { latch_.lock_shared(); }
+  void UnlatchShared() { latch_.unlock_shared(); }
+  void LatchExclusive() { latch_.lock(); }
+  void UnlatchExclusive() { latch_.unlock(); }
+  bool TryLatchExclusive() { return latch_.try_lock(); }
+
+  // Zeroes content and rebinds the frame to `id`.
+  void Reset(PageId id) {
+    page_id_ = id;
+    dirty_ = false;
+    pin_count_.store(0, std::memory_order_relaxed);
+    std::memset(data_.get(), 0, size_);
+  }
+
+ private:
+  size_t size_;
+  std::unique_ptr<char[]> data_;
+  PageId page_id_ = kInvalidPageId;
+  bool dirty_ = false;
+  std::atomic<int> pin_count_{0};
+  std::shared_mutex latch_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_STORAGE_PAGE_H_

@@ -1,0 +1,195 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace oib {
+
+namespace {
+// compat[held][requested]
+constexpr bool kCompat[5][5] = {
+    //            IS     IX     S      SIX    X
+    /* IS  */ {true, true, true, true, false},
+    /* IX  */ {true, true, false, false, false},
+    /* S   */ {true, false, true, false, false},
+    /* SIX */ {true, false, false, false, false},
+    /* X   */ {false, false, false, false, false},
+};
+
+// sup[a][b]
+constexpr LockMode kSup[5][5] = {
+    /* IS  */ {LockMode::kIS, LockMode::kIX, LockMode::kS, LockMode::kSIX,
+               LockMode::kX},
+    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kX},
+    /* S   */ {LockMode::kS, LockMode::kSIX, LockMode::kS, LockMode::kSIX,
+               LockMode::kX},
+    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kX},
+    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX},
+};
+}  // namespace
+
+bool LockCompatible(LockMode held, LockMode requested) {
+  return kCompat[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+LockMode LockSupremum(LockMode a, LockMode b) {
+  return kSup[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+const char* LockModeName(LockMode m) {
+  static const char* kNames[] = {"IS", "IX", "S", "SIX", "X"};
+  return kNames[static_cast<int>(m)];
+}
+
+LockId TableLockId(TableId table) {
+  return (static_cast<uint64_t>(1) << 56) | table;
+}
+
+LockId RecordLockId(TableId table, const Rid& rid) {
+  // (2, table, page, slot) packed; table in bits 48..55.
+  return (static_cast<uint64_t>(2) << 56) |
+         (static_cast<uint64_t>(table & 0xff) << 48) |
+         (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+
+bool LockManager::Grantable(const LockState& st, TxnId txn, LockMode mode) {
+  auto self = st.holders.find(txn);
+  LockMode effective = mode;
+  if (self != st.holders.end()) {
+    effective = LockSupremum(self->second, mode);
+  }
+  for (const auto& [holder, held_mode] : st.holders) {
+    if (holder == txn) continue;
+    if (!LockCompatible(held_mode, effective)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
+                         const LockOptions& options) {
+  std::unique_lock<std::mutex> g(mu_);
+  LockState& st = locks_[lock];
+
+  // Re-entrant fast path: already held in a sufficient mode.
+  auto self = st.holders.find(txn);
+  if (self != st.holders.end() &&
+      LockSupremum(self->second, mode) == self->second) {
+    return Status::OK();
+  }
+
+  auto grant = [&]() {
+    LockMode new_mode = mode;
+    auto it = st.holders.find(txn);
+    if (it != st.holders.end()) new_mode = LockSupremum(it->second, mode);
+    if (options.instant) {
+      // Instant duration: grant is the answer; don't retain (unless the
+      // txn already held the lock, which stays as-is).
+      return;
+    }
+    st.holders[txn] = new_mode;
+    held_[txn].insert(lock);
+  };
+
+  // Conversions (already a holder) jump the queue, as is standard;
+  // fresh requests respect FIFO order among waiters.
+  bool is_conversion = self != st.holders.end();
+  bool queue_clear = is_conversion || st.waiters.empty();
+  if (queue_clear && Grantable(st, txn, mode)) {
+    grant();
+    return Status::OK();
+  }
+
+  if (options.conditional) return Status::Busy("lock not available");
+
+  // Wait with timeout.
+  ++waits_;
+  uint64_t timeout = options.timeout_ms ? options.timeout_ms
+                                        : default_timeout_ms_;
+  st.waiters.emplace_back(txn, mode);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout);
+  for (;;) {
+    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      // Remove self from the queue and abort.
+      auto& q = locks_[lock].waiters;
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->first == txn && it->second == mode) {
+          q.erase(it);
+          break;
+        }
+      }
+      ++timeouts_;
+      cv_.notify_all();
+      return Status::Aborted("lock wait timeout (presumed deadlock)");
+    }
+    LockState& cur = locks_[lock];
+    bool at_head = !cur.waiters.empty() && cur.waiters.front().first == txn;
+    bool conv = cur.holders.count(txn) > 0;
+    if ((at_head || conv) && Grantable(cur, txn, mode)) {
+      // Dequeue self.
+      for (auto it = cur.waiters.begin(); it != cur.waiters.end(); ++it) {
+        if (it->first == txn && it->second == mode) {
+          cur.waiters.erase(it);
+          break;
+        }
+      }
+      LockMode new_mode = mode;
+      auto h = cur.holders.find(txn);
+      if (h != cur.holders.end()) new_mode = LockSupremum(h->second, mode);
+      if (!options.instant) {
+        cur.holders[txn] = new_mode;
+        held_[txn].insert(lock);
+      }
+      cv_.notify_all();
+      return Status::OK();
+    }
+  }
+}
+
+void LockManager::Unlock(TxnId txn, LockId lock) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = locks_.find(lock);
+  if (it == locks_.end()) return;
+  it->second.holders.erase(txn);
+  auto h = held_.find(txn);
+  if (h != held_.end()) h->second.erase(lock);
+  if (it->second.holders.empty() && it->second.waiters.empty()) {
+    locks_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto h = held_.find(txn);
+  if (h == held_.end()) return;
+  for (LockId lock : h->second) {
+    auto it = locks_.find(lock);
+    if (it == locks_.end()) continue;
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty() && it->second.waiters.empty()) {
+      locks_.erase(it);
+    }
+  }
+  held_.erase(h);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, LockId lock, LockMode mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = locks_.find(lock);
+  if (it == locks_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return LockSupremum(h->second, mode) == h->second;
+}
+
+size_t LockManager::held_count(TxnId txn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto h = held_.find(txn);
+  return h == held_.end() ? 0 : h->second.size();
+}
+
+}  // namespace oib

@@ -1,0 +1,90 @@
+// TransactionManager: begin/commit/rollback and the logging helpers every
+// resource manager uses to chain records onto a transaction.
+//
+// Rollback walks the transaction's log chain backwards, dispatching undo to
+// the owning resource manager; CLRs are written so that a crash during
+// rollback never repeats completed undo work (ARIES).  The same machinery
+// rolls back loser transactions during restart recovery.
+
+#ifndef OIB_TXN_TRANSACTION_MANAGER_H_
+#define OIB_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "wal/log_manager.h"
+#include "wal/resource_manager.h"
+
+namespace oib {
+
+class TransactionManager {
+ public:
+  TransactionManager(LogManager* log, LockManager* locks, RmRegistry* rms)
+      : log_(log), locks_(locks), rms_(rms) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  // Starts a transaction (writes its Begin record).
+  Transaction* Begin();
+
+  // Commits: Commit record, log force, lock release.
+  Status Commit(Transaction* txn);
+
+  // Rolls back all of txn's work, then releases locks.
+  Status Rollback(Transaction* txn);
+
+  // Appends a record on txn's chain (sets prev_lsn/last_lsn).  For records
+  // not tied to a transaction (txn == nullptr) the chain fields stay empty.
+  Status AppendLog(Transaction* txn, LogRecord* rec);
+
+  // Appends a CLR compensating `undone`, with undo_next = undone.prev_lsn.
+  // Returns the CLR's LSN via rec->lsn.
+  Status AppendClr(Transaction* txn, const LogRecord& undone,
+                   LogRecord* rec);
+
+  // Restart-recovery hook: adopts a loser transaction reconstructed by
+  // analysis so Rollback can drive its undo.
+  Transaction* AdoptLoser(TxnId id, Lsn last_lsn);
+
+  // Ends (forgets) a transaction object after commit/rollback.  Any raw
+  // pointer to it becomes invalid.
+  void End(Transaction* txn);
+
+  // Snapshot of active transactions (id, last_lsn) for fuzzy checkpoints.
+  std::vector<std::pair<TxnId, Lsn>> ActiveTransactions() const;
+
+  // Ensures future txn ids start above `floor` (used after restart).
+  void BumpNextTxnId(TxnId floor);
+
+  LockManager* locks() { return locks_; }
+  LogManager* log() { return log_; }
+  RmRegistry* rms() { return rms_; }
+
+  uint64_t commits() const { return commits_.load(); }
+  uint64_t aborts() const { return aborts_.load(); }
+
+ private:
+  // Undo dispatch loop shared by Rollback and restart undo.
+  Status UndoChain(Transaction* txn);
+
+  LogManager* log_;
+  LockManager* locks_;
+  RmRegistry* rms_;
+
+  std::atomic<TxnId> next_txn_id_{1};
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+}  // namespace oib
+
+#endif  // OIB_TXN_TRANSACTION_MANAGER_H_

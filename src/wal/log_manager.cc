@@ -1,0 +1,107 @@
+#include "wal/log_manager.h"
+
+#include <functional>
+
+#include "common/coding.h"
+
+namespace oib {
+
+namespace {
+// Each record is framed as [len:u32][payload:len].
+constexpr size_t kFrameHeader = 4;
+}  // namespace
+
+Status LogManager::Append(LogRecord* rec) {
+  std::string payload;
+  rec->SerializeTo(&payload);
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn lsn = durable_.size() + tail_.size() + 1;
+  rec->lsn = lsn;
+  PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
+  tail_.append(payload);
+  ++stats_.records;
+  stats_.bytes += kFrameHeader + payload.size();
+  size_t rm = static_cast<size_t>(rec->rm_id);
+  if (rm < stats_.records_by_rm.size()) {
+    ++stats_.records_by_rm[rm];
+    stats_.bytes_by_rm[rm] += kFrameHeader + payload.size();
+  }
+  return Status::OK();
+}
+
+Status LogManager::Flush(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  // Records never straddle the durable boundary (flush always moves the
+  // whole tail), so a record is durable iff it starts inside durable_.
+  if (lsn != kInvalidLsn && lsn - 1 < durable_.size()) return Status::OK();
+  if (tail_.empty()) return Status::OK();
+  durable_.append(tail_);
+  tail_.clear();
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lsn == kInvalidLsn) return Status::InvalidArgument("invalid lsn");
+  size_t off = lsn - 1;
+  auto read_from = [&](const std::string& region, size_t pos) -> Status {
+    if (pos + kFrameHeader > region.size()) {
+      return Status::Corruption("lsn beyond log end");
+    }
+    uint32_t len = DecodeFixed32(region.data() + pos);
+    if (pos + kFrameHeader + len > region.size()) {
+      return Status::Corruption("truncated record");
+    }
+    Status s = LogRecord::DeserializeFrom(
+        std::string_view(region.data() + pos + kFrameHeader, len), rec);
+    if (s.ok()) rec->lsn = lsn;
+    return s;
+  };
+  if (off < durable_.size()) return read_from(durable_, off);
+  return read_from(tail_, off - durable_.size());
+}
+
+Status LogManager::ScanDurable(
+    Lsn start_lsn, const std::function<bool(const LogRecord&)>& fn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t pos = (start_lsn == kInvalidLsn) ? 0 : start_lsn - 1;
+  while (pos + kFrameHeader <= durable_.size()) {
+    uint32_t len = DecodeFixed32(durable_.data() + pos);
+    if (pos + kFrameHeader + len > durable_.size()) break;  // torn tail
+    LogRecord rec;
+    OIB_RETURN_IF_ERROR(LogRecord::DeserializeFrom(
+        std::string_view(durable_.data() + pos + kFrameHeader, len), &rec));
+    rec.lsn = pos + 1;
+    if (!fn(rec)) break;
+    pos += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return durable_.size() + tail_.size() + 1;
+}
+
+Lsn LogManager::flushed_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return durable_.size() + 1;
+}
+
+void LogManager::DropUnflushed() {
+  std::lock_guard<std::mutex> g(mu_);
+  tail_.clear();
+}
+
+LogStats LogManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void LogManager::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = LogStats{};
+}
+
+}  // namespace oib

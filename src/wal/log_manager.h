@@ -1,0 +1,76 @@
+// LogManager: the append-only write-ahead log.
+//
+// LSNs are byte offsets into the log stream plus one (so kInvalidLsn == 0
+// never collides with a real record).  The log is split into a *durable*
+// prefix (survives SimulateCrash) and a volatile tail; Flush() moves the
+// boundary.  This models a disk-resident log without real I/O so crash
+// tests stay deterministic; the durable prefix plays the role of the log
+// file contents at the moment of a failure.
+//
+// Statistics (records/bytes appended, per-RM breakdown) feed the E4
+// logging-overhead experiment.
+
+#ifndef OIB_WAL_LOG_MANAGER_H_
+#define OIB_WAL_LOG_MANAGER_H_
+
+#include <array>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace oib {
+
+struct LogStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  // Indexed by RmId (kNone..kSideFile).
+  std::array<uint64_t, 4> records_by_rm{};
+  std::array<uint64_t, 4> bytes_by_rm{};
+  uint64_t flushes = 0;
+};
+
+class LogManager {
+ public:
+  LogManager() = default;
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  // Appends `rec`, assigning rec->lsn.  Does not flush.
+  Status Append(LogRecord* rec);
+
+  // Makes the log durable at least up to `lsn` (kInvalidLsn → everything).
+  Status Flush(Lsn lsn);
+  Status FlushAll() { return Flush(kInvalidLsn); }
+
+  // Random access read of the record at `lsn` (durable or volatile region).
+  Status ReadRecord(Lsn lsn, LogRecord* rec) const;
+
+  // Sequential scan of the *durable* log from `start_lsn` (or from the
+  // beginning).  Calls fn for each record; stops early if fn returns false.
+  Status ScanDurable(Lsn start_lsn,
+                     const std::function<bool(const LogRecord&)>& fn) const;
+
+  Lsn next_lsn() const;
+  Lsn flushed_lsn() const;
+
+  // Crash simulation: discards the volatile tail.
+  void DropUnflushed();
+
+  LogStats stats() const;
+  void ResetStats();
+
+ private:
+  mutable std::mutex mu_;
+  std::string durable_;
+  std::string tail_;  // appended after durable_
+  LogStats stats_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_WAL_LOG_MANAGER_H_

@@ -1,0 +1,173 @@
+#include "btree/btree_page.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace oib {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+class BTreePageTest : public ::testing::Test {
+ protected:
+  BTreePageTest() : buf_(kPageSize, '\0'), page_(buf_.data(), kPageSize) {}
+
+  std::string buf_;
+  BTreePage page_;
+};
+
+TEST(CompareIndexKeyTest, OrdersByValueThenRid) {
+  EXPECT_LT(CompareIndexKey("a", Rid(1, 1), "b", Rid(0, 0)), 0);
+  EXPECT_GT(CompareIndexKey("b", Rid(0, 0), "a", Rid(9, 9)), 0);
+  EXPECT_LT(CompareIndexKey("a", Rid(1, 1), "a", Rid(1, 2)), 0);
+  EXPECT_LT(CompareIndexKey("a", Rid(1, 9), "a", Rid(2, 0)), 0);
+  EXPECT_EQ(CompareIndexKey("a", Rid(1, 1), "a", Rid(1, 1)), 0);
+  // Prefix ordering: "ab" > "a".
+  EXPECT_GT(CompareIndexKey("ab", Rid(0, 0), "a", Rid(9, 9)), 0);
+}
+
+TEST_F(BTreePageTest, LeafInsertSortedLookup) {
+  page_.Init(/*leaf=*/true, 0);
+  EXPECT_TRUE(page_.is_leaf());
+  EXPECT_EQ(page_.level(), 0);
+  // Insert out of order at computed positions.
+  for (const char* k : {"mango", "apple", "zebra", "kiwi"}) {
+    int pos = page_.LowerBound(k, Rid(1, 1));
+    ASSERT_TRUE(page_.InsertLeafAt(pos, k, Rid(1, 1), 0).ok());
+  }
+  ASSERT_EQ(page_.count(), 4);
+  EXPECT_EQ(page_.KeyAt(0), "apple");
+  EXPECT_EQ(page_.KeyAt(1), "kiwi");
+  EXPECT_EQ(page_.KeyAt(2), "mango");
+  EXPECT_EQ(page_.KeyAt(3), "zebra");
+  EXPECT_EQ(page_.FindExact("mango", Rid(1, 1)), 2);
+  EXPECT_EQ(page_.FindExact("mango", Rid(1, 2)), -1);
+  EXPECT_EQ(page_.FindExact("grape", Rid(1, 1)), -1);
+}
+
+TEST_F(BTreePageTest, FlagsRoundTrip) {
+  page_.Init(true, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(0, "k", Rid(3, 4), 0).ok());
+  EXPECT_EQ(page_.FlagsAt(0), 0);
+  page_.SetFlagsAt(0, kEntryPseudoDeleted);
+  EXPECT_EQ(page_.FlagsAt(0), kEntryPseudoDeleted);
+  EXPECT_EQ(page_.RidAt(0), Rid(3, 4));
+  page_.SetFlagsAt(0, 0);
+  EXPECT_EQ(page_.FlagsAt(0), 0);
+}
+
+TEST_F(BTreePageTest, InternalRouting) {
+  page_.Init(/*leaf=*/false, 1);
+  page_.set_leftmost_child(100);
+  // Children: [100) "g" [200) "p" [300).
+  ASSERT_TRUE(page_.InsertInternalAt(0, "g", Rid(0, 0), 200).ok());
+  ASSERT_TRUE(page_.InsertInternalAt(1, "p", Rid(0, 0), 300).ok());
+  EXPECT_EQ(page_.Route("a", Rid(0, 0)), 100u);
+  EXPECT_EQ(page_.Route("g", Rid(0, 0)), 200u);  // exact separator
+  EXPECT_EQ(page_.Route("h", Rid(5, 5)), 200u);
+  EXPECT_EQ(page_.Route("p", Rid(0, 0)), 300u);
+  EXPECT_EQ(page_.Route("z", Rid(0, 0)), 300u);
+  EXPECT_EQ(page_.ChildAt(-1), 100u);
+  EXPECT_EQ(page_.ChildAt(0), 200u);
+}
+
+TEST_F(BTreePageTest, RemoveShiftsOrder) {
+  page_.Init(true, 0);
+  for (int i = 0; i < 5; ++i) {
+    std::string k = "k" + std::to_string(i);
+    ASSERT_TRUE(
+        page_.InsertLeafAt(page_.count(), k, Rid(i, 0), 0).ok());
+  }
+  page_.RemoveAt(2);
+  ASSERT_EQ(page_.count(), 4);
+  EXPECT_EQ(page_.KeyAt(2), "k3");
+  EXPECT_EQ(page_.FindExact("k2", Rid(2, 0)), -1);
+}
+
+TEST_F(BTreePageTest, SerializeEntriesRoundTrip) {
+  page_.Init(true, 0);
+  for (int i = 0; i < 8; ++i) {
+    std::string k = "key" + std::to_string(i);
+    ASSERT_TRUE(page_.InsertLeafAt(page_.count(), k, Rid(i, 1),
+                                   i % 2 ? kEntryPseudoDeleted : 0)
+                    .ok());
+  }
+  std::string blob = page_.SerializeEntries(3, 8);
+  page_.TruncateFrom(3);
+  ASSERT_EQ(page_.count(), 3);
+
+  std::string buf2(kPageSize, '\0');
+  BTreePage other(buf2.data(), kPageSize);
+  other.Init(true, 0);
+  ASSERT_TRUE(other.AppendSerialized(blob).ok());
+  ASSERT_EQ(other.count(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(other.KeyAt(i), "key" + std::to_string(i + 3));
+    EXPECT_EQ(other.RidAt(i), Rid(i + 3, 1));
+    EXPECT_EQ(other.FlagsAt(i) != 0, (i + 3) % 2 == 1);
+  }
+}
+
+TEST_F(BTreePageTest, SpaceAccountingAndCompaction) {
+  page_.Init(true, 0);
+  std::string key(100, 'x');
+  int inserted = 0;
+  while (page_.HasSpaceFor(key.size())) {
+    std::string k = key + std::to_string(inserted);
+    ASSERT_TRUE(
+        page_.InsertLeafAt(page_.count(), k, Rid(inserted, 0), 0).ok());
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 20);
+  // Remove half, reinsert; compaction must reclaim the garbage.
+  int removed = 0;
+  for (int i = page_.count() - 1; i >= 0; i -= 2) {
+    page_.RemoveAt(i);
+    ++removed;
+  }
+  int reinserted = 0;
+  while (page_.HasSpaceFor(key.size() + 2) && reinserted < removed) {
+    std::string k = key + "re" + std::to_string(reinserted);
+    int pos = page_.LowerBound(k, Rid(999, 0));
+    ASSERT_TRUE(page_.InsertLeafAt(pos, k, Rid(999, 0), 0).ok());
+    ++reinserted;
+  }
+  EXPECT_GE(reinserted, removed - 1);
+}
+
+TEST_F(BTreePageTest, RandomizedOracle) {
+  page_.Init(true, 0);
+  Random rng(31);
+  std::vector<std::pair<std::string, Rid>> oracle;
+  for (int step = 0; step < 1500; ++step) {
+    if (rng.NextDouble() < 0.6 || oracle.empty()) {
+      std::string k = rng.NextString(rng.Range(1, 24));
+      Rid rid(static_cast<PageId>(rng.Uniform(100)), 0);
+      if (page_.FindExact(k, rid) >= 0) continue;
+      if (!page_.HasSpaceFor(k.size())) continue;
+      int pos = page_.LowerBound(k, rid);
+      ASSERT_TRUE(page_.InsertLeafAt(pos, k, rid, 0).ok());
+      oracle.emplace_back(k, rid);
+    } else {
+      size_t i = rng.Uniform(oracle.size());
+      int pos = page_.FindExact(oracle[i].first, oracle[i].second);
+      ASSERT_GE(pos, 0);
+      page_.RemoveAt(pos);
+      oracle.erase(oracle.begin() + i);
+    }
+  }
+  ASSERT_EQ(page_.count(), static_cast<int>(oracle.size()));
+  std::sort(oracle.begin(), oracle.end(),
+            [](const auto& a, const auto& b) {
+              return CompareIndexKey(a.first, a.second, b.first, b.second) <
+                     0;
+            });
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(page_.KeyAt(i), oracle[i].first);
+    EXPECT_EQ(page_.RidAt(i), oracle[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace oib

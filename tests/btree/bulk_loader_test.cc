@@ -1,0 +1,195 @@
+#include "btree/bulk_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "btree/tree_verifier.h"
+#include "common/random.h"
+#include "core/index_builder.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class BulkLoaderTest : public EngineTest {
+ protected:
+  BTree* NewTree() {
+    table_ = MakeTable();
+    auto desc = engine_->catalog()->CreateIndex("idx", table_, false, {0},
+                                                BuildAlgo::kSf);
+    EXPECT_TRUE(desc.ok());
+    index_ = desc->id;
+    return engine_->catalog()->index(index_);
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    return buf;
+  }
+
+  void LoadRange(BulkLoader* loader, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      ASSERT_OK(loader->Add(Key(i), Rid(static_cast<PageId>(i), 0)));
+    }
+  }
+
+  void ExpectTreeHasExactly(BTree* tree, int n) {
+    uint64_t count = 0;
+    int expect = 0;
+    bool ordered = true;
+    ASSERT_OK(tree->ScanAll([&](std::string_view key, const Rid&, uint8_t) {
+      if (key != Key(expect)) ordered = false;
+      ++expect;
+      ++count;
+    }));
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(count, static_cast<uint64_t>(n));
+    TreeVerifier tv(tree, engine_->pool());
+    auto report = tv.Check();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok) << report->error;
+  }
+
+  TableId table_ = 0;
+  IndexId index_ = kInvalidIndexId;
+};
+
+TEST_F(BulkLoaderTest, LoadSmall) {
+  BTree* tree = NewTree();
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  ASSERT_OK(loader.Begin());
+  LoadRange(&loader, 0, 10);
+  ASSERT_OK(loader.Finish());
+  ExpectTreeHasExactly(tree, 10);
+}
+
+TEST_F(BulkLoaderTest, LoadEmpty) {
+  BTree* tree = NewTree();
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  ASSERT_OK(loader.Begin());
+  ASSERT_OK(loader.Finish());
+  ExpectTreeHasExactly(tree, 0);
+}
+
+TEST_F(BulkLoaderTest, LoadMultipleLevels) {
+  BTree* tree = NewTree();
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  ASSERT_OK(loader.Begin());
+  LoadRange(&loader, 0, 45000);
+  ASSERT_OK(loader.Finish());
+  ExpectTreeHasExactly(tree, 45000);
+  TreeVerifier tv(tree, engine_->pool());
+  ASSERT_OK_AND_ASSIGN(auto report, tv.Check());
+  EXPECT_GE(report.height, 3u);
+}
+
+TEST_F(BulkLoaderTest, RespectsFillFactor) {
+  BTree* tree = NewTree();
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  ASSERT_OK(loader.Begin());
+  LoadRange(&loader, 0, 5000);
+  ASSERT_OK(loader.Finish());
+  TreeVerifier tv(tree, engine_->pool());
+  ASSERT_OK_AND_ASSIGN(auto clustering, tv.Clustering());
+  // fill_factor 0.9: most leaves ~90% full, none over.
+  EXPECT_GT(clustering.utilization, 0.75);
+  EXPECT_LT(clustering.utilization, 0.95);
+}
+
+TEST_F(BulkLoaderTest, TreeUsableForPointOpsAfterLoad) {
+  BTree* tree = NewTree();
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  ASSERT_OK(loader.Begin());
+  LoadRange(&loader, 0, 3000);
+  ASSERT_OK(loader.Finish());
+  // Normal transactional ops work on the bulk-loaded tree.
+  ASSERT_OK_AND_ASSIGN(auto found, tree->Lookup(Key(1234), Rid(1234, 0)));
+  EXPECT_TRUE(found.found);
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(tree->Insert(txn, Key(99999), Rid(99999, 0)).status());
+  ASSERT_OK(tree->PseudoDelete(txn, Key(7), Rid(7, 0)).status());
+  ASSERT_OK(engine_->Commit(txn));
+  ASSERT_OK_AND_ASSIGN(auto pd, tree->Lookup(Key(7), Rid(7, 0)));
+  EXPECT_TRUE(pd.pseudo_deleted);
+}
+
+TEST_F(BulkLoaderTest, CheckpointResumeAfterCrash) {
+  BTree* tree = NewTree();
+  IndexId index = index_;
+  std::string ckpt;
+  {
+    BulkLoader loader(tree, engine_->pool(), &options_);
+    ASSERT_OK(loader.Begin());
+    LoadRange(&loader, 0, 1000);
+    ASSERT_OK_AND_ASSIGN(ckpt, loader.Checkpoint("merge@1000"));
+    // Post-checkpoint work that will be lost.
+    LoadRange(&loader, 1000, 1400);
+  }
+  CrashAndRestart();
+  tree = engine_->catalog()->index(index);
+  BulkLoader resumed(tree, engine_->pool(), &options_);
+  ASSERT_OK_AND_ASSIGN(std::string caller, resumed.Resume(ckpt));
+  EXPECT_EQ(caller, "merge@1000");
+  EXPECT_EQ(resumed.keys_loaded(), 1000u);
+  EXPECT_EQ(resumed.high_key(), Key(999));
+  LoadRange(&resumed, 1000, 2000);
+  ASSERT_OK(resumed.Finish());
+  ExpectTreeHasExactly(tree, 2000);
+}
+
+TEST_F(BulkLoaderTest, ResumeTruncatesFlushedOverrun) {
+  // Eviction pressure can push post-checkpoint pages to disk; Resume must
+  // truncate keys above the checkpointed high key anyway (section 3.2.4:
+  // "the index pages can be reset in such a way that the keys higher than
+  // the checkpointed key disappear").
+  BTree* tree = NewTree();
+  IndexId index = index_;
+  std::string ckpt;
+  {
+    BulkLoader loader(tree, engine_->pool(), &options_);
+    ASSERT_OK(loader.Begin());
+    LoadRange(&loader, 0, 1000);
+    ASSERT_OK_AND_ASSIGN(ckpt, loader.Checkpoint(""));
+    LoadRange(&loader, 1000, 1500);
+  }
+  // Force the overrun to disk, simulating eviction (the loader's latches
+  // are released once it goes out of scope).
+  ASSERT_OK(engine_->pool()->FlushAll());
+  CrashAndRestart();
+  tree = engine_->catalog()->index(index);
+  BulkLoader resumed(tree, engine_->pool(), &options_);
+  ASSERT_OK(resumed.Resume(ckpt).status());
+  LoadRange(&resumed, 1000, 2000);
+  ASSERT_OK(resumed.Finish());
+  ExpectTreeHasExactly(tree, 2000);
+}
+
+TEST_F(BulkLoaderTest, ResetToEmptyDiscardsFlushedPartialLoad) {
+  BTree* tree = NewTree();
+  IndexId index = index_;
+  {
+    BulkLoader loader(tree, engine_->pool(), &options_);
+    ASSERT_OK(loader.Begin());
+    LoadRange(&loader, 0, 500);
+  }
+  ASSERT_OK(engine_->pool()->FlushAll());
+  CrashAndRestart();
+  tree = engine_->catalog()->index(index);
+  BulkLoader fresh(tree, engine_->pool(), &options_);
+  ASSERT_OK(fresh.ResetToEmpty());
+  LoadRange(&fresh, 0, 800);
+  ASSERT_OK(fresh.Finish());
+  ExpectTreeHasExactly(tree, 800);
+}
+
+TEST_F(BulkLoaderTest, RejectsNonEmptyTree) {
+  BTree* tree = NewTree();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(tree->Insert(txn, Key(1), Rid(1, 0)).status());
+  ASSERT_OK(engine_->Commit(txn));
+  BulkLoader loader(tree, engine_->pool(), &options_);
+  EXPECT_TRUE(loader.Begin().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace oib

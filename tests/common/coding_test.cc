@@ -1,0 +1,77 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace oib {
+namespace {
+
+TEST(CodingTest, FixedWidthRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  BufferReader r(buf);
+  uint16_t v16;
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(r.GetFixed16(&v16));
+  ASSERT_TRUE(r.GetFixed32(&v32));
+  ASSERT_TRUE(r.GetFixed64(&v64));
+  EXPECT_EQ(v16, 0xBEEF);
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  BufferReader r(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(r.GetLengthPrefixed(&a));
+  ASSERT_TRUE(r.GetLengthPrefixed(&b));
+  ASSERT_TRUE(r.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(CodingTest, TruncationDetected) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  buf.resize(2);
+  BufferReader r(buf);
+  uint32_t v;
+  EXPECT_FALSE(r.GetFixed32(&v));
+}
+
+TEST(CodingTest, LengthPrefixTruncationDoesNotAdvance) {
+  std::string buf;
+  PutFixed32(&buf, 100);  // claims 100 bytes follow
+  buf.append("short");
+  BufferReader r(buf);
+  std::string out;
+  EXPECT_FALSE(r.GetLengthPrefixed(&out));
+  // Cursor restored: the length word can be re-read.
+  uint32_t len;
+  EXPECT_TRUE(r.GetFixed32(&len));
+  EXPECT_EQ(len, 100u);
+}
+
+TEST(CodingTest, ByteAndSkip) {
+  std::string buf = "abcdef";
+  BufferReader r(buf);
+  uint8_t b;
+  ASSERT_TRUE(r.GetByte(&b));
+  EXPECT_EQ(b, 'a');
+  ASSERT_TRUE(r.Skip(3));
+  ASSERT_TRUE(r.GetByte(&b));
+  EXPECT_EQ(b, 'e');
+  EXPECT_FALSE(r.Skip(5));
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,44 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace oib {
+namespace {
+
+Status GuardedOp() {
+  OIB_FAIL_POINT("test.point");
+  return Status::OK();
+}
+
+TEST(FailPointTest, DisarmedIsNoop) {
+  FailPointRegistry::Instance().Reset();
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST(FailPointTest, FiresOnce) {
+  FailPointRegistry::Instance().Reset();
+  FailPointRegistry::Instance().Arm("test.point");
+  EXPECT_TRUE(GuardedOp().IsInjected());
+  // Fires once, then disarms.
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(FailPointRegistry::Instance().fired_count(), 1);
+}
+
+TEST(FailPointTest, Countdown) {
+  FailPointRegistry::Instance().Reset();
+  FailPointRegistry::Instance().Arm("test.point", 2);
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_TRUE(GuardedOp().IsInjected());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST(FailPointTest, Disarm) {
+  FailPointRegistry::Instance().Reset();
+  FailPointRegistry::Instance().Arm("test.point", 5);
+  FailPointRegistry::Instance().Disarm("test.point");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(GuardedOp().ok());
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,60 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace oib {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random r(99);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RandomTest, NextStringAlphanumeric) {
+  Random r(5);
+  std::string s = r.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(ZipfTest, SkewsTowardLowIds) {
+  ZipfGenerator zipf(1000, 0.9, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // The most popular item should be drawn far more often than a uniform
+  // draw would suggest (20 expected uniform).
+  int max_count = 0;
+  for (auto& [k, c] : counts) {
+    (void)k;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 200);
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace oib {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing row");
+
+  EXPECT_TRUE(Status::DuplicateKey().IsDuplicateKey());
+  EXPECT_TRUE(Status::UniqueViolation().IsUniqueViolation());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Injected().IsInjected());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+}
+
+Status Fails() { return Status::IoError("disk on fire"); }
+Status Propagates() {
+  OIB_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates().IsIoError());
+}
+
+StatusOr<int> GiveValue() { return 42; }
+StatusOr<int> GiveError() { return Status::NotFound("nope"); }
+
+TEST(StatusOrTest, ValueAndError) {
+  auto v = GiveValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+
+  auto e = GiveError();
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsNotFound());
+}
+
+StatusOr<std::string> Compose() {
+  OIB_ASSIGN_OR_RETURN(int v, GiveValue());
+  return std::to_string(v);
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  auto r = Compose();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "42");
+}
+
+}  // namespace
+}  // namespace oib

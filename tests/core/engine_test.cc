@@ -1,0 +1,136 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index_builder.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class EngineLifecycleTest : public EngineTest {};
+
+TEST_F(EngineLifecycleTest, CatalogSurvivesRestart) {
+  TableId t1 = MakeTable("orders");
+  TableId t2 = MakeTable("lines");
+  EXPECT_NE(t1, t2);
+  CrashAndRestart();
+  ASSERT_OK_AND_ASSIGN(TableId r1,
+                       engine_->catalog()->TableByName("orders"));
+  ASSERT_OK_AND_ASSIGN(TableId r2, engine_->catalog()->TableByName("lines"));
+  EXPECT_EQ(r1, t1);
+  EXPECT_EQ(r2, t2);
+  // New tables get fresh ids.
+  TableId t3 = MakeTable("third");
+  EXPECT_GT(t3, t2);
+}
+
+TEST_F(EngineLifecycleTest, CheckpointBoundsRedoWork) {
+  TableId table = MakeTable();
+  Populate(table, 500);
+  ASSERT_OK(engine_->Checkpoint());
+  // A little more work after the checkpoint.
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord({"post-ckpt", "p"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+
+  CrashAndRestart();
+  // Redo scanned only the post-checkpoint suffix, far fewer records than
+  // the populate traffic.
+  EXPECT_LT(recovery_stats_.records_scanned, 100u);
+  HeapFile* heap = engine_->catalog()->table(table);
+  uint64_t count = 0;
+  ASSERT_OK(heap->ForEach(
+      [&](const Rid&, std::string_view) { ++count; }));
+  EXPECT_EQ(count, 501u);
+}
+
+TEST_F(EngineLifecycleTest, RepeatedCrashRestartCycles) {
+  TableId table = MakeTable();
+  uint64_t expected = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    Transaction* txn = engine_->Begin();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(engine_->records()
+                    ->InsertRecord(
+                        txn, table,
+                        Schema::EncodeRecord(
+                            {Workload::MakeKey(expected + i, 8), "p"}))
+                    .status());
+    }
+    ASSERT_OK(engine_->Commit(txn));
+    expected += 50;
+    if (cycle % 2 == 0) {
+      ASSERT_OK(engine_->Checkpoint());
+    }
+    CrashAndRestart();
+    HeapFile* heap = engine_->catalog()->table(table);
+    uint64_t count = 0;
+    ASSERT_OK(heap->ForEach(
+        [&](const Rid&, std::string_view) { ++count; }));
+    ASSERT_EQ(count, expected) << "after cycle " << cycle;
+  }
+}
+
+TEST_F(EngineLifecycleTest, CleanShutdownNeedsNoRedo) {
+  TableId table = MakeTable();
+  Populate(table, 200);
+  ASSERT_OK(engine_->Checkpoint());
+  ASSERT_OK(engine_->FlushAll());
+  CrashAndRestart();
+  EXPECT_LE(recovery_stats_.records_redone, 1u);
+  EXPECT_EQ(recovery_stats_.loser_txns, 0u);
+}
+
+TEST_F(EngineLifecycleTest, WorkloadRunsAndStaysConsistent) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 300);
+  OfflineIndexBuilder builder(engine_.get());
+  BuildParams params;
+  params.name = "idx";
+  params.table = table;
+  params.key_cols = {0};
+  IndexId index;
+  ASSERT_OK(builder.Build(params, &index));
+
+  WorkloadOptions wo;
+  wo.threads = 2;
+  wo.rollback_pct = 0.2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 300);
+  WorkloadStats stats;
+  ASSERT_OK(workload.Run(2000, &stats));
+  EXPECT_GT(stats.commits, 0u);
+  EXPECT_GT(stats.rollbacks, 0u);
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(EngineLifecycleTest, WorkloadSurvivesCrashMidStream) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 200);
+  OfflineIndexBuilder builder(engine_.get());
+  BuildParams params;
+  params.name = "idx";
+  params.table = table;
+  params.key_cols = {0};
+  IndexId index;
+  ASSERT_OK(builder.Build(params, &index));
+
+  WorkloadOptions wo;
+  wo.threads = 2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 200);
+  workload.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  WorkloadStats stats = workload.Stop();
+  EXPECT_GT(stats.ops(), 0u);
+
+  CrashAndRestart();
+  ExpectIndexConsistent(table, index);
+}
+
+}  // namespace
+}  // namespace oib

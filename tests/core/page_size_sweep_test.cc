@@ -1,0 +1,94 @@
+// Property-style sweep: the whole pipeline (populate -> concurrent-ish
+// build -> verify) must hold across page sizes and builder algorithms.
+
+#include <gtest/gtest.h>
+
+#include "core/index_builder.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+struct SweepParam {
+  size_t page_size;
+  BuildAlgo algo;
+};
+
+class PageSizeSweepTest
+    : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PageSizeSweepTest, BuildVerifiesAcrossGeometries) {
+  const SweepParam param = GetParam();
+  Options options;
+  options.page_size = param.page_size;
+  options.buffer_pool_pages = 4096;
+  options.sort_workspace_keys = 512;
+  options.ib_keys_per_call = 16;
+  auto env = Env::InMemory(options);
+  auto engine = std::move(*Engine::Open(options, env.get()));
+
+  TableId table = *engine->catalog()->CreateTable("t");
+  WorkloadOptions wo;
+  auto rids = *Workload::Populate(engine.get(), table, 2500, wo);
+
+  // A few pre-build deletes/updates so the heap has dead slots and mixed
+  // page occupancy.
+  Transaction* txn = engine->Begin();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine->records()->DeleteRecord(txn, table, rids[i * 7]).ok());
+  }
+  ASSERT_TRUE(engine->Commit(txn).ok());
+
+  BuildParams params;
+  params.name = "idx";
+  params.table = table;
+  params.key_cols = {0};
+  IndexId index;
+  Status s;
+  if (param.algo == BuildAlgo::kOffline) {
+    OfflineIndexBuilder b(engine.get());
+    s = b.Build(params, &index);
+  } else if (param.algo == BuildAlgo::kNsf) {
+    NsfIndexBuilder b(engine.get());
+    s = b.Build(params, &index);
+  } else {
+    SfIndexBuilder b(engine.get());
+    s = b.Build(params, &index);
+  }
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  IndexVerifier verifier(engine.get());
+  auto report = verifier.Verify(table, index);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok) << report->error;
+  EXPECT_EQ(report->live_entries, 2400u);
+
+  // Crash + restart: still consistent.
+  ASSERT_TRUE(engine->SimulateCrash().ok());
+  engine.reset();
+  engine = std::move(*Engine::Restart(options, env.get()));
+  IndexVerifier verifier2(engine.get());
+  auto report2 = verifier2.Verify(table, index);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_TRUE(report2->ok) << report2->error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PageSizeSweepTest,
+    ::testing::Values(SweepParam{2048, BuildAlgo::kOffline},
+                      SweepParam{2048, BuildAlgo::kNsf},
+                      SweepParam{2048, BuildAlgo::kSf},
+                      SweepParam{4096, BuildAlgo::kNsf},
+                      SweepParam{8192, BuildAlgo::kOffline},
+                      SweepParam{8192, BuildAlgo::kNsf},
+                      SweepParam{8192, BuildAlgo::kSf},
+                      SweepParam{16384, BuildAlgo::kSf}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string algo = info.param.algo == BuildAlgo::kOffline ? "offline"
+                         : info.param.algo == BuildAlgo::kNsf   ? "nsf"
+                                                                : "sf";
+      return algo + "_" + std::to_string(info.param.page_size);
+    });
+
+}  // namespace
+}  // namespace oib

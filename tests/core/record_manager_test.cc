@@ -1,0 +1,234 @@
+#include "core/record_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/index_builder.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class RecordManagerTest : public EngineTest {
+ protected:
+  // A table with one READY index on column 0, built offline while empty.
+  void SetUpTableWithIndex(bool unique = false) {
+    table_ = MakeTable();
+    OfflineIndexBuilder builder(engine_.get());
+    BuildParams params;
+    params.name = "idx";
+    params.table = table_;
+    params.unique = unique;
+    params.key_cols = {0};
+    ASSERT_OK(builder.Build(params, &index_));
+  }
+
+  std::string Rec(const std::string& key, const std::string& payload = "p") {
+    return Schema::EncodeRecord({key, payload});
+  }
+
+  TableId table_ = 0;
+  IndexId index_ = kInvalidIndexId;
+};
+
+TEST_F(RecordManagerTest, InsertMaintainsReadyIndex) {
+  SetUpTableWithIndex();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid,
+      engine_->records()->InsertRecord(txn, table_, Rec("aaa")));
+  ASSERT_OK(engine_->Commit(txn));
+  BTree* tree = engine_->catalog()->index(index_);
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("aaa", rid));
+  EXPECT_TRUE(look.found);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, DeleteRemovesKeyFromReadyIndex) {
+  SetUpTableWithIndex();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid,
+      engine_->records()->InsertRecord(txn, table_, Rec("aaa")));
+  ASSERT_OK(engine_->Commit(txn));
+
+  txn = engine_->Begin();
+  ASSERT_OK(engine_->records()->DeleteRecord(txn, table_, rid));
+  ASSERT_OK(engine_->Commit(txn));
+  BTree* tree = engine_->catalog()->index(index_);
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("aaa", rid));
+  EXPECT_FALSE(look.found);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, UpdateChangingKeyMovesIndexEntry) {
+  SetUpTableWithIndex();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid,
+      engine_->records()->InsertRecord(txn, table_, Rec("aaa")));
+  ASSERT_OK(engine_->Commit(txn));
+
+  txn = engine_->Begin();
+  ASSERT_OK(engine_->records()->UpdateRecord(txn, table_, rid, Rec("bbb")));
+  ASSERT_OK(engine_->Commit(txn));
+  BTree* tree = engine_->catalog()->index(index_);
+  ASSERT_OK_AND_ASSIGN(auto old_look, tree->Lookup("aaa", rid));
+  EXPECT_FALSE(old_look.found);
+  ASSERT_OK_AND_ASSIGN(auto new_look, tree->Lookup("bbb", rid));
+  EXPECT_TRUE(new_look.found);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, UpdateSameKeyLeavesIndexUntouched) {
+  SetUpTableWithIndex();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid,
+      engine_->records()->InsertRecord(txn, table_, Rec("aaa", "v1")));
+  ASSERT_OK(engine_->Commit(txn));
+  LogStats before = engine_->log()->stats();
+  txn = engine_->Begin();
+  ASSERT_OK(engine_->records()->UpdateRecord(txn, table_, rid,
+                                             Rec("aaa", "v2")));
+  ASSERT_OK(engine_->Commit(txn));
+  LogStats after = engine_->log()->stats();
+  EXPECT_EQ(after.records_by_rm[static_cast<size_t>(RmId::kBtree)],
+            before.records_by_rm[static_cast<size_t>(RmId::kBtree)]);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, RollbackRestoresIndexAndTable) {
+  SetUpTableWithIndex();
+  Transaction* setup = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid keep,
+      engine_->records()->InsertRecord(setup, table_, Rec("keep")));
+  ASSERT_OK(engine_->Commit(setup));
+
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(
+      engine_->records()->InsertRecord(txn, table_, Rec("temp")).status());
+  ASSERT_OK(engine_->records()->UpdateRecord(txn, table_, keep,
+                                             Rec("moved")));
+  ASSERT_OK(engine_->Rollback(txn));
+
+  BTree* tree = engine_->catalog()->index(index_);
+  ASSERT_OK_AND_ASSIGN(auto keep_look, tree->Lookup("keep", keep));
+  EXPECT_TRUE(keep_look.found);
+  ASSERT_OK_AND_ASSIGN(auto moved_look, tree->Lookup("moved", keep));
+  EXPECT_FALSE(moved_look.found);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, UniqueIndexRejectsDuplicateValue) {
+  SetUpTableWithIndex(/*unique=*/true);
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(
+      engine_->records()->InsertRecord(txn, table_, Rec("dup")).status());
+  ASSERT_OK(engine_->Commit(txn));
+
+  txn = engine_->Begin();
+  auto second = engine_->records()->InsertRecord(txn, table_, Rec("dup"));
+  EXPECT_TRUE(second.status().IsUniqueViolation())
+      << second.status().ToString();
+  ASSERT_OK(engine_->Rollback(txn));
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, UniqueInsertSucceedsAfterCommittedDelete) {
+  SetUpTableWithIndex(/*unique=*/true);
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid, engine_->records()->InsertRecord(txn, table_, Rec("val")));
+  ASSERT_OK(engine_->Commit(txn));
+  txn = engine_->Begin();
+  ASSERT_OK(engine_->records()->DeleteRecord(txn, table_, rid));
+  ASSERT_OK(engine_->Commit(txn));
+
+  txn = engine_->Begin();
+  ASSERT_OK(
+      engine_->records()->InsertRecord(txn, table_, Rec("val")).status());
+  ASSERT_OK(engine_->Commit(txn));
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, UniqueInsertWaitsForUncommittedConflict) {
+  SetUpTableWithIndex(/*unique=*/true);
+  Transaction* t1 = engine_->Begin();
+  ASSERT_OK(
+      engine_->records()->InsertRecord(t1, table_, Rec("hot")).status());
+
+  std::atomic<bool> t2_done{false};
+  Status t2_status;
+  std::thread t2([&] {
+    Transaction* txn = engine_->Begin();
+    auto r = engine_->records()->InsertRecord(txn, table_, Rec("hot"));
+    t2_status = r.status();
+    if (r.ok()) {
+      (void)engine_->Commit(txn);
+    } else {
+      (void)engine_->Rollback(txn);
+    }
+    t2_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(t2_done.load());  // blocked on t1's record lock
+  // t1 rolls back: its key disappears, so t2 must succeed.
+  ASSERT_OK(engine_->Rollback(t1));
+  t2.join();
+  EXPECT_OK(t2_status);
+  ExpectIndexConsistent(table_, index_);
+}
+
+TEST_F(RecordManagerTest, ReadRecordTakesSharedLock) {
+  SetUpTableWithIndex();
+  Transaction* t1 = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid, engine_->records()->InsertRecord(t1, table_, Rec("r")));
+  ASSERT_OK(engine_->Commit(t1));
+
+  Transaction* reader = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(std::string rec,
+                       engine_->records()->ReadRecord(reader, table_, rid));
+  std::vector<std::string> fields;
+  ASSERT_OK(Schema::DecodeRecord(rec, &fields));
+  EXPECT_EQ(fields[0], "r");
+  // A writer cannot delete while the reader holds its S lock.
+  Transaction* writer = engine_->Begin();
+  LockOptions opt;
+  opt.conditional = true;
+  EXPECT_TRUE(engine_->locks()
+                  ->Lock(writer->id(), RecordLockId(table_, rid),
+                         LockMode::kX, opt)
+                  .IsBusy());
+  ASSERT_OK(engine_->Commit(reader));
+  ASSERT_OK(engine_->Rollback(writer));
+}
+
+TEST_F(RecordManagerTest, CrashRestartKeepsTableAndIndexAligned) {
+  SetUpTableWithIndex();
+  Transaction* txn = engine_->Begin();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(engine_->records()
+                  ->InsertRecord(txn, table_,
+                                 Rec(Workload::MakeKey(i, 8)))
+                  .status());
+  }
+  ASSERT_OK(engine_->Commit(txn));
+
+  // A loser transaction with mixed ops, durable but uncommitted.
+  Transaction* loser = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(loser, table_, Rec("zzz-loser"))
+                .status());
+  ASSERT_OK(engine_->log()->FlushAll());
+
+  CrashAndRestart();
+  ExpectIndexConsistent(table_, index_);
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,46 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace oib {
+namespace {
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  std::vector<std::string> fields = {"alpha", "", "gamma with spaces"};
+  std::string rec = Schema::EncodeRecord(fields);
+  std::vector<std::string> out;
+  ASSERT_TRUE(Schema::DecodeRecord(rec, &out).ok());
+  EXPECT_EQ(out, fields);
+}
+
+TEST(SchemaTest, ExtractSingleColumn) {
+  std::string rec = Schema::EncodeRecord({"key-part", "payload"});
+  auto key = Schema::ExtractKey(rec, {0});
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, "key-part");
+}
+
+TEST(SchemaTest, ExtractConcatenatesColumns) {
+  // "Key value is the concatenation of the values of the columns of the
+  // table over which the index is defined" (section 1.1).
+  std::string rec = Schema::EncodeRecord({"AA", "BB", "CC"});
+  auto key = Schema::ExtractKey(rec, {2, 0});
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, "CCAA");
+}
+
+TEST(SchemaTest, ExtractOutOfRangeColumn) {
+  std::string rec = Schema::EncodeRecord({"only-one"});
+  EXPECT_TRUE(Schema::ExtractKey(rec, {3}).status().IsCorruption());
+}
+
+TEST(SchemaTest, DecodeGarbageFails) {
+  std::vector<std::string> out;
+  EXPECT_TRUE(Schema::DecodeRecord("x", &out).IsCorruption());
+  std::string truncated = Schema::EncodeRecord({"abcdef"});
+  truncated.resize(truncated.size() - 3);
+  EXPECT_TRUE(Schema::DecodeRecord(truncated, &out).IsCorruption());
+}
+
+}  // namespace
+}  // namespace oib

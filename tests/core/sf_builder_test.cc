@@ -1,0 +1,454 @@
+// SF (Side-File) algorithm tests — paper section 3.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "btree/tree_verifier.h"
+#include "core/index_builder.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class SfBuilderTest : public EngineTest {
+ protected:
+  BuildParams Params(TableId table, bool unique = false,
+                     const std::string& name = "sf_idx") {
+    BuildParams p;
+    p.name = name;
+    p.table = table;
+    p.unique = unique;
+    p.key_cols = {0};
+    return p;
+  }
+};
+
+TEST_F(SfBuilderTest, QuietBuildMatchesTable) {
+  TableId table = MakeTable();
+  Populate(table, 3000);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  BuildStats stats;
+  ASSERT_OK(builder.Build(Params(table), &index, &stats));
+  EXPECT_EQ(stats.keys_extracted, 3000u);
+  EXPECT_EQ(stats.keys_loaded, 3000u);
+  EXPECT_EQ(stats.side_file_applied, 0u);  // no concurrent updates
+  EXPECT_EQ(stats.quiesce_ms, 0.0);        // SF never quiesces
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(SfBuilderTest, BottomUpLoadWritesNoKeyLogRecords) {
+  // "No log records are written by IB for inserting keys until side-file
+  // processing begins" (section 4).
+  TableId table = MakeTable();
+  Populate(table, 3000);
+  LogStats before = engine_->log()->stats();
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  ASSERT_OK(builder.Build(Params(table), &index));
+  LogStats after = engine_->log()->stats();
+  uint64_t btree_records =
+      after.records_by_rm[static_cast<size_t>(RmId::kBtree)] -
+      before.records_by_rm[static_cast<size_t>(RmId::kBtree)];
+  // Only tree-creation NTAs and the final anchor publish; no per-key or
+  // per-leaf records for the 3000 keys.
+  EXPECT_LT(btree_records, 10u);
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(SfBuilderTest, SfIndexMorePerfectlyClusteredThanNsf) {
+  // Section 4: "the index built by SF would be more clustered... than the
+  // one built by NSF" even without updates (page allocation interleaves
+  // with NSF's logged top-down inserts only when updates run; quiet NSF
+  // is also sequential, so compare under concurrent churn in the bench;
+  // here just assert SF achieves perfect adjacency).
+  TableId table = MakeTable();
+  Populate(table, 4000);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  ASSERT_OK(builder.Build(Params(table), &index));
+  BTree* tree = engine_->catalog()->index(index);
+  TreeVerifier tv(tree, engine_->pool());
+  ASSERT_OK_AND_ASSIGN(auto clustering, tv.Clustering());
+  EXPECT_GT(clustering.adjacency, 0.9);
+}
+
+TEST_F(SfBuilderTest, ConcurrentWorkloadBuildStaysCorrect) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 2000);
+  WorkloadOptions wo;
+  wo.threads = 2;
+  wo.rollback_pct = 0.15;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 2000);
+  workload.Start();
+  WaitForOps(&workload, 20);
+
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  BuildStats stats;
+  Status s = builder.Build(Params(table), &index, &stats);
+  WorkloadStats wstats = workload.Stop();
+  ASSERT_OK(s);
+  EXPECT_GT(wstats.ops(), 0u);
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(SfBuilderTest, SideFileCollectsOnlyBehindTheScanUpdates) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 10000);
+  WorkloadOptions wo;
+  wo.threads = 2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 10000);
+  workload.Start();
+  WaitForOps(&workload, 20);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  BuildStats stats;
+  uint64_t ops_before = workload.ops_done();
+  Status s = builder.Build(Params(table), &index, &stats);
+  uint64_t ops_during = workload.ops_done() - ops_before;
+  workload.Stop();
+  ASSERT_OK(s);
+  if (ops_during > 500) {
+    // Enough of the workload demonstrably overlapped the build that some
+    // updates must have landed behind the scan (everything is "behind"
+    // once Current-RID reaches infinity for the load/apply phases); those
+    // flowed through the side-file.
+    EXPECT_GT(engine_->records()->stats().side_file_appends.load(), 0u);
+  }
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(SfBuilderTest, ConcurrentWorkloadManyThreadsHighChurn) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 1500);
+  WorkloadOptions wo;
+  wo.threads = 4;
+  wo.update_changes_key = 0.9;
+  wo.rollback_pct = 0.3;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 1500);
+  workload.Start();
+  WaitForOps(&workload, 20);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  WorkloadStats wstats = workload.Stop();
+  ASSERT_OK(s);
+  EXPECT_GT(wstats.commits, 0u);
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(SfBuilderTest, UpdatesAfterFlagFlipGoDirectlyToIndex) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 500);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  ASSERT_OK(builder.Build(Params(table), &index));
+
+  uint64_t appends_before =
+      engine_->records()->stats().side_file_appends.load();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord({"zzz-direct", "p"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+  EXPECT_EQ(engine_->records()->stats().side_file_appends.load(),
+            appends_before);
+  ExpectIndexConsistent(table, index);
+  (void)rids;
+}
+
+TEST_F(SfBuilderTest, RollbackDuringBuildCompensatesViaSideFile) {
+  // Section 3.2.3 / Figure 2: a transaction's rollback appends inverse
+  // entries for an index whose build scan has passed its records.
+  TableId table = MakeTable();
+  auto rids = Populate(table, 1000);
+
+  // Descriptor + registration by hand so we control the scan position.
+  auto desc = engine_->catalog()->CreateIndex("sf_idx", table, false, {0},
+                                              BuildAlgo::kSf);
+  ASSERT_TRUE(desc.ok());
+  InBuildIndex ib;
+  ib.id = desc->id;
+  ib.tree = engine_->catalog()->index(desc->id);
+  ib.side_file = engine_->catalog()->side_file(desc->id);
+  ib.key_cols = {0};
+  auto build =
+      engine_->records()->RegisterBuild(table, BuildAlgo::kSf, {ib});
+  // Pretend the scan has passed everything.
+  build->SetCurrentRid(Rid::Infinity());
+
+  SideFile* sf = ib.side_file;
+  uint64_t before = sf->entries_appended();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid, engine_->records()->InsertRecord(
+                   txn, table, Schema::EncodeRecord({"zzzz-rb", "p"})));
+  EXPECT_EQ(sf->entries_appended(), before + 1);  // forward insert entry
+  ASSERT_OK(engine_->Rollback(txn));
+  // The rollback appended the inverse (delete) entry.
+  EXPECT_EQ(sf->entries_appended(), before + 2);
+
+  // Read them back and check the op sequence.
+  SideFile::Cursor cursor = sf->Begin();
+  std::vector<SideFile::Entry> entries;
+  ASSERT_OK(sf->ReadBatch(&cursor, 1000, &entries).status());
+  ASSERT_EQ(entries.size(), before + 2);
+  EXPECT_EQ(entries[before].op, SideFileOp::kInsertKey);
+  EXPECT_EQ(entries[before].rid, rid);
+  EXPECT_EQ(entries[before + 1].op, SideFileOp::kDeleteKey);
+  EXPECT_EQ(entries[before + 1].rid, rid);
+  engine_->records()->UnregisterBuild(table);
+  (void)rids;
+}
+
+TEST_F(SfBuilderTest, InvisibleUpdatesMakeNoSideFileEntries) {
+  TableId table = MakeTable();
+  Populate(table, 100);
+  auto desc = engine_->catalog()->CreateIndex("sf_idx", table, false, {0},
+                                              BuildAlgo::kSf);
+  ASSERT_TRUE(desc.ok());
+  InBuildIndex ib;
+  ib.id = desc->id;
+  ib.tree = engine_->catalog()->index(desc->id);
+  ib.side_file = engine_->catalog()->side_file(desc->id);
+  ib.key_cols = {0};
+  auto build =
+      engine_->records()->RegisterBuild(table, BuildAlgo::kSf, {ib});
+  build->SetCurrentRid(Rid::MinusInfinity());  // scan not started
+
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord({"zzzz-inv", "p"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+  EXPECT_EQ(ib.side_file->entries_appended(), 0u);
+  engine_->records()->UnregisterBuild(table);
+}
+
+TEST_F(SfBuilderTest, UniqueBuildSucceedsAndDetectsViolation) {
+  TableId table = MakeTable();
+  Populate(table, 500);
+  {
+    SfIndexBuilder builder(engine_.get());
+    IndexId index;
+    ASSERT_OK(builder.Build(Params(table, true, "u1"), &index));
+    ExpectIndexConsistent(table, index);
+  }
+  // Drop u1 so a duplicate key value can exist in the table, then try
+  // another unique build over the now non-unique data.
+  auto all = engine_->catalog()->IndexesOf(table);
+  for (const auto& d : all) {
+    ASSERT_OK(engine_->catalog()->DropIndex(d.id));
+  }
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord(
+                                   {Workload::MakeKey(7, 12), "dup"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table, true, "u2"), &index);
+  EXPECT_TRUE(s.IsUniqueViolation()) << s.ToString();
+  EXPECT_TRUE(engine_->catalog()->IndexesOf(table).empty());
+}
+
+TEST_F(SfBuilderTest, BuildManyInOneScan) {
+  // Section 6.2: multiple indexes in one scan of the data.
+  TableId table = MakeTable();
+  auto rids = Populate(table, 1500);
+  WorkloadOptions wo;
+  wo.threads = 2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 1500);
+  workload.Start();
+  WaitForOps(&workload, 20);
+
+  SfIndexBuilder builder(engine_.get());
+  std::vector<BuildParams> params;
+  BuildParams p1 = Params(table, false, "multi_key");
+  BuildParams p2 = Params(table, false, "multi_payload");
+  p2.key_cols = {1};  // payload column — non-unique random strings
+  params.push_back(p1);
+  params.push_back(p2);
+  std::vector<IndexId> ids;
+  BuildStats stats;
+  Status s = builder.BuildMany(params, &ids, &stats);
+  workload.Stop();
+  ASSERT_OK(s);
+  ASSERT_EQ(ids.size(), 2u);
+  // One scan fed both: pages scanned counted once.
+  EXPECT_GT(stats.data_pages_scanned, 0u);
+  ExpectIndexConsistent(table, ids[0]);
+  ExpectIndexConsistent(table, ids[1]);
+}
+
+// ---- crash / resume ----
+
+TEST_F(SfBuilderTest, ResumeAfterCrashDuringScan) {
+  TableId table = MakeTable();
+  Populate(table, 3000);
+  options_.sort_checkpoint_every_keys = 500;
+  ReopenWithOptions();
+
+  FailPointRegistry::Instance().Arm("sf.scan", 10);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  BuildStats stats;
+  ASSERT_OK(resumed.Resume(table, &stats));
+  EXPECT_LT(stats.keys_extracted, 3000u);  // partial rescan only
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, ResumeAfterCrashDuringLoad) {
+  TableId table = MakeTable();
+  Populate(table, 3000);
+  options_.ib_checkpoint_every_keys = 500;
+  ReopenWithOptions();
+
+  FailPointRegistry::Instance().Arm("sf.load", 1200);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  BuildStats stats;
+  ASSERT_OK(resumed.Resume(table, &stats));
+  // The load resumed from the checkpointed highest key.
+  EXPECT_LT(stats.keys_loaded, 3000u);
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, ResumeAfterCrashDuringApply) {
+  TableId table = MakeTable();
+  auto rids = Populate(table, 2000);
+  options_.sf_apply_batch = 16;
+  ReopenWithOptions();
+
+  // Generate side-file traffic during the build, then crash during apply.
+  WorkloadOptions wo;
+  wo.threads = 2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 2000);
+  workload.Start();
+  FailPointRegistry::Instance().Arm("sf.apply", 3);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  workload.Stop();
+  if (s.ok()) {
+    // Not enough side-file traffic to hit the fail point; still verify.
+    auto descs = engine_->catalog()->IndexesOf(table);
+    ExpectIndexConsistent(table, descs[0].id);
+    return;
+  }
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  ASSERT_OK(resumed.Resume(table, nullptr));
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, CrashBeforeFirstCheckpointRestartsCleanly) {
+  TableId table = MakeTable();
+  Populate(table, 1000);
+  FailPointRegistry::Instance().Arm("sf.scan", 2);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected());
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  BuildStats stats;
+  ASSERT_OK(resumed.Resume(table, &stats));
+  EXPECT_EQ(stats.keys_extracted, 1000u);  // full rescan
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, StaleSideFileEntriesFencedAfterScanRestart) {
+  // A crash resets the scan position backwards; entries appended when the
+  // (old) scan had passed a RID must be skipped after restart because the
+  // resumed scan re-extracts those records (see DESIGN.md).
+  TableId table = MakeTable();
+  auto rids = Populate(table, 2000);
+  options_.sort_checkpoint_every_keys = 300;
+  ReopenWithOptions();
+
+  WorkloadOptions wo;
+  wo.threads = 2;
+  wo.update_changes_key = 1.0;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 2000);
+  workload.Start();
+  FailPointRegistry::Instance().Arm("sf.scan", 20);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  WorkloadStats mid = workload.Stop();
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+  EXPECT_GT(mid.ops(), 0u);
+
+  CrashAndRestart();
+  // More updates between restart and resume.
+  Workload workload2(engine_.get(), table, wo);
+  // Rebuild shard seeds from the current table contents.
+  std::vector<Rid> live;
+  ASSERT_OK(engine_->catalog()->table(table)->ForEach(
+      [&](const Rid& rid, std::string_view) { live.push_back(rid); }));
+  workload2.Seed(live, 100000);
+  WorkloadStats post;
+  ASSERT_OK(workload2.Run(300, &post));
+
+  SfIndexBuilder resumed(engine_.get());
+  BuildStats stats;
+  ASSERT_OK(resumed.Resume(table, &stats));
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, CancelDropsEverything) {
+  TableId table = MakeTable();
+  Populate(table, 500);
+  FailPointRegistry::Instance().Arm("sf.scan", 2);
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected());
+  ASSERT_OK(builder.Cancel(table));
+  EXPECT_TRUE(engine_->catalog()->IndexesOf(table).empty());
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord({"post-cancel", "p"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+}
+
+}  // namespace
+}  // namespace oib

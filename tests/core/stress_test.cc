@@ -1,0 +1,272 @@
+// Stress scenarios: memory pressure (tiny buffer pool forces eviction and
+// the WAL-before-data rule through every code path), repeated crashes,
+// GC under live load, and multi-threaded tree churn.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "btree/tree_verifier.h"
+#include "core/index_builder.h"
+#include "core/pseudo_delete_gc.h"
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class StressTest : public EngineTest {};
+
+TEST_F(StressTest, BuildsUnderSevereBufferPoolPressure) {
+  // 64 pages of pool for a ~270-page table + index: every phase must
+  // survive constant eviction, and evicted dirty pages force WAL flushes.
+  options_.buffer_pool_pages = 64;
+  ReopenWithOptions();
+  TableId table = MakeTable();
+  auto rids = Populate(table, 20000);
+  EXPECT_GT(engine_->pool()->evictions(), 0u);
+
+  for (const char* algo : {"sf", "nsf"}) {
+    BuildParams params;
+    params.name = std::string("idx_") + algo;
+    params.table = table;
+    params.key_cols = {0};
+    IndexId index;
+    Status s;
+    if (std::string(algo) == "sf") {
+      SfIndexBuilder b(engine_.get());
+      s = b.Build(params, &index);
+    } else {
+      NsfIndexBuilder b(engine_.get());
+      s = b.Build(params, &index);
+    }
+    ASSERT_OK(s);
+    ExpectIndexConsistent(table, index);
+  }
+  (void)rids;
+}
+
+TEST_F(StressTest, CrashUnderBufferPressureRecovers) {
+  options_.buffer_pool_pages = 64;
+  ReopenWithOptions();
+  TableId table = MakeTable();
+  Populate(table, 10000);
+  // Under pressure many pages are already on disk; recovery must cope
+  // with an arbitrary mix of flushed and unflushed state.
+  CrashAndRestart();
+  uint64_t count = 0;
+  ASSERT_OK(engine_->catalog()->table(table)->ForEach(
+      [&](const Rid&, std::string_view) { ++count; }));
+  EXPECT_EQ(count, 10000u);
+}
+
+TEST_F(StressTest, DoubleCrashDuringResumedBuild) {
+  TableId table = MakeTable();
+  Populate(table, 4000);
+  options_.sort_checkpoint_every_keys = 500;
+  options_.ib_checkpoint_every_keys = 500;
+  ReopenWithOptions();
+
+  // First crash during the scan.
+  FailPointRegistry::Instance().Arm("sf.scan", 10);
+  {
+    SfIndexBuilder builder(engine_.get());
+    BuildParams p;
+    p.name = "i";
+    p.table = table;
+    p.key_cols = {0};
+    IndexId index;
+    ASSERT_TRUE(builder.Build(p, &index).IsInjected());
+  }
+  CrashAndRestart();
+
+  // Second crash during the resumed build's load phase.
+  FailPointRegistry::Instance().Arm("sf.load", 1000);
+  {
+    SfIndexBuilder builder(engine_.get());
+    Status s = builder.Resume(table, nullptr);
+    ASSERT_TRUE(s.IsInjected()) << s.ToString();
+  }
+  CrashAndRestart();
+
+  // Third attempt completes.
+  SfIndexBuilder builder(engine_.get());
+  ASSERT_OK(builder.Resume(table, nullptr));
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(StressTest, NsfDoubleCrashAcrossPhases) {
+  TableId table = MakeTable();
+  Populate(table, 4000);
+  options_.sort_checkpoint_every_keys = 500;
+  options_.ib_checkpoint_every_keys = 500;
+  ReopenWithOptions();
+
+  FailPointRegistry::Instance().Arm("nsf.scan", 10);
+  {
+    NsfIndexBuilder builder(engine_.get());
+    BuildParams p;
+    p.name = "i";
+    p.table = table;
+    p.key_cols = {0};
+    IndexId index;
+    ASSERT_TRUE(builder.Build(p, &index).IsInjected());
+  }
+  CrashAndRestart();
+
+  FailPointRegistry::Instance().Arm("nsf.insert_batch", 20);
+  {
+    NsfIndexBuilder builder(engine_.get());
+    IndexId index;
+    ASSERT_TRUE(builder.Resume(table, &index, nullptr).IsInjected());
+  }
+  CrashAndRestart();
+
+  NsfIndexBuilder builder(engine_.get());
+  IndexId index;
+  ASSERT_OK(builder.Resume(table, &index, nullptr));
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(StressTest, GcRunsAsBackgroundActivityUnderLoad) {
+  // Section 2.2.4: "garbage collection ... can be scheduled as a
+  // background activity" — run it while transactions keep updating.
+  TableId table = MakeTable();
+  auto rids = Populate(table, 2000);
+  WorkloadOptions wo;
+  wo.threads = 2;
+  wo.delete_pct = 0.4;
+  wo.update_changes_key = 1.0;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 2000);
+  workload.Start();
+  WaitForOps(&workload, 20);
+
+  NsfIndexBuilder builder(engine_.get());
+  BuildParams p;
+  p.name = "i";
+  p.table = table;
+  p.key_cols = {0};
+  IndexId index;
+  ASSERT_OK(builder.Build(p, &index));
+
+  // GC passes while the workload is still running.
+  PseudoDeleteGC gc(engine_.get());
+  for (int pass = 0; pass < 3; ++pass) {
+    GcStats stats;
+    ASSERT_OK(gc.Run(index, &stats));
+  }
+  workload.Stop();
+  // Quiesced now: one final pass, then exact verification.
+  GcStats final_stats;
+  ASSERT_OK(gc.Run(index, &final_stats));
+  ExpectIndexConsistent(table, index);
+  BTree* tree = engine_->catalog()->index(index);
+  TreeVerifier tv(tree, engine_->pool());
+  ASSERT_OK_AND_ASSIGN(auto clustering, tv.Clustering());
+  EXPECT_EQ(clustering.pseudo_deleted, 0u);
+}
+
+TEST_F(StressTest, ConcurrentMixedTreeChurnMatchesOracle) {
+  // Multiple threads hammer one tree with inserts and pseudo-deletes on
+  // disjoint key ranges; the final tree must match the union of the
+  // per-thread oracles and pass the structural check.
+  TableId table = MakeTable();
+  auto desc = engine_->catalog()->CreateIndex("t", table, false, {0},
+                                              BuildAlgo::kOffline);
+  ASSERT_TRUE(desc.ok());
+  BTree* tree = engine_->catalog()->index(desc->id);
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1500;
+  std::vector<std::map<std::pair<std::string, Rid>, bool>> oracles(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(t * 31 + 5);
+      Transaction* txn = engine_->Begin();
+      auto& oracle = oracles[t];
+      for (int i = 0; i < kOps; ++i) {
+        char buf[24];
+        snprintf(buf, sizeof(buf), "T%d-%06llu", t,
+                 (unsigned long long)rng.Uniform(500));
+        std::string key = buf;
+        Rid rid(static_cast<PageId>(t), 0);
+        auto entry = std::make_pair(key, rid);
+        if (rng.NextDouble() < 0.6) {
+          auto r = tree->Insert(txn, key, rid);
+          ASSERT_TRUE(r.ok());
+          oracle[entry] = true;
+        } else {
+          auto r = tree->PseudoDelete(txn, key, rid);
+          ASSERT_TRUE(r.ok());
+          oracle[entry] = false;
+        }
+        if (i % 500 == 499) {
+          ASSERT_TRUE(engine_->Commit(txn).ok());
+          txn = engine_->Begin();
+        }
+      }
+      ASSERT_TRUE(engine_->Commit(txn).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::map<std::pair<std::string, Rid>, bool> seen;
+  ASSERT_OK(tree->ScanAll([&](std::string_view key, const Rid& rid,
+                              uint8_t flags) {
+    seen[{std::string(key), rid}] = (flags & kEntryPseudoDeleted) == 0;
+  }));
+  size_t expected = 0;
+  for (const auto& oracle : oracles) {
+    expected += oracle.size();
+    for (const auto& [entry, live] : oracle) {
+      auto it = seen.find(entry);
+      ASSERT_NE(it, seen.end()) << entry.first;
+      EXPECT_EQ(it->second, live) << entry.first;
+    }
+  }
+  EXPECT_EQ(seen.size(), expected);
+  TreeVerifier tv(tree, engine_->pool());
+  ASSERT_OK_AND_ASSIGN(auto report, tv.Check());
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST_F(StressTest, BackToBackBuildsOnSameTable) {
+  // Build, drop, rebuild with the other algorithm, repeatedly, with a
+  // workload running throughout.
+  TableId table = MakeTable();
+  auto rids = Populate(table, 1500);
+  WorkloadOptions wo;
+  wo.threads = 2;
+  Workload workload(engine_.get(), table, wo);
+  workload.Seed(rids, 1500);
+  workload.Start();
+  WaitForOps(&workload, 10);
+
+  for (int round = 0; round < 3; ++round) {
+    BuildParams p;
+    p.name = "idx_round" + std::to_string(round);
+    p.table = table;
+    p.key_cols = {0};
+    IndexId index;
+    Status s;
+    if (round % 2 == 0) {
+      SfIndexBuilder b(engine_.get());
+      s = b.Build(p, &index);
+    } else {
+      NsfIndexBuilder b(engine_.get());
+      s = b.Build(p, &index);
+    }
+    ASSERT_OK(s);
+    // Keep maintaining all the ready indexes built so far.
+  }
+  workload.Stop();
+  for (const auto& d : engine_->catalog()->IndexesOf(table)) {
+    ExpectIndexConsistent(table, d.id);
+  }
+}
+
+}  // namespace
+}  // namespace oib

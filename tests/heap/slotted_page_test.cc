@@ -1,0 +1,176 @@
+#include "heap/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace oib {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_(kPageSize, '\0'), page_(buf_.data(), kPageSize) {
+    page_.Init(PageType::kHeap);
+  }
+
+  std::string buf_;
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  auto slot = page_.Insert("hello");
+  ASSERT_TRUE(slot.ok());
+  auto rec = page_.Get(*slot);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, "hello");
+}
+
+TEST_F(SlottedPageTest, DeleteKeepsSlotStable) {
+  auto a = page_.Insert("aaa");
+  auto b = page_.Insert("bbb");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(page_.Delete(*a).ok());
+  EXPECT_FALSE(page_.IsLive(*a));
+  // b's slot id unchanged, record intact.
+  auto rec = page_.Get(*b);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, "bbb");
+  EXPECT_TRUE(page_.Get(*a).status().IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeadSlotReused) {
+  auto a = page_.Insert("aaa");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(page_.Delete(*a).ok());
+  auto b = page_.Insert("bbb");
+  ASSERT_TRUE(b.ok());
+  // The paper's section 2.2.3 example: a new record can land at the same
+  // RID as a deleted one.
+  EXPECT_EQ(*b, *a);
+}
+
+TEST_F(SlottedPageTest, InsertAtRestoresExactRid) {
+  auto a = page_.Insert("aaa");
+  ASSERT_TRUE(a.ok());
+  auto b = page_.Insert("bbb");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(page_.Delete(*a).ok());
+  // Undo-of-delete must restore the same slot.
+  ASSERT_TRUE(page_.InsertAt(*a, "aaa2").ok());
+  auto rec = page_.Get(*a);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, "aaa2");
+}
+
+TEST_F(SlottedPageTest, InsertAtRejectsLiveSlot) {
+  auto a = page_.Insert("aaa");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(page_.InsertAt(*a, "xxx").IsInvalidArgument());
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceAndGrow) {
+  auto a = page_.Insert(std::string(100, 'a'));
+  ASSERT_TRUE(a.ok());
+  // Shrink.
+  ASSERT_TRUE(page_.Update(*a, "tiny").ok());
+  EXPECT_EQ(*page_.Get(*a), "tiny");
+  // Grow.
+  ASSERT_TRUE(page_.Update(*a, std::string(500, 'b')).ok());
+  EXPECT_EQ(page_.Get(*a)->size(), 500u);
+}
+
+TEST_F(SlottedPageTest, FullPageReportsBusy) {
+  std::string rec(200, 'x');
+  int inserted = 0;
+  for (;;) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsBusy());
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 15);
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsGarbage) {
+  std::string rec(200, 'x');
+  std::vector<SlotId> slots;
+  for (;;) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  // Delete every other record, then insert records that only fit if the
+  // holes are coalesced.
+  size_t deleted = 0;
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Delete(slots[i]).ok());
+    ++deleted;
+  }
+  size_t reinserted = 0;
+  for (size_t i = 0; i < deleted; ++i) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) break;
+    ++reinserted;
+  }
+  EXPECT_EQ(reinserted, deleted);
+}
+
+TEST_F(SlottedPageTest, NextPageChain) {
+  EXPECT_EQ(page_.next_page(), kInvalidPageId);
+  page_.set_next_page(42);
+  EXPECT_EQ(page_.next_page(), 42u);
+}
+
+TEST_F(SlottedPageTest, RandomOpsAgainstOracle) {
+  Random rng(99);
+  std::vector<std::string> oracle;  // slot -> contents ("" = dead)
+  for (int step = 0; step < 2000; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string rec = rng.NextString(rng.Range(1, 60));
+      auto slot = page_.Insert(rec);
+      if (slot.ok()) {
+        if (*slot >= oracle.size()) oracle.resize(*slot + 1);
+        ASSERT_EQ(oracle[*slot], "");  // must reuse only dead slots
+        oracle[*slot] = rec;
+      }
+    } else if (dice < 0.8 && !oracle.empty()) {
+      SlotId slot = static_cast<SlotId>(rng.Uniform(oracle.size()));
+      if (oracle[slot].empty()) {
+        EXPECT_FALSE(page_.Delete(slot).ok());
+      } else {
+        ASSERT_TRUE(page_.Delete(slot).ok());
+        oracle[slot] = "";
+      }
+    } else if (!oracle.empty()) {
+      SlotId slot = static_cast<SlotId>(rng.Uniform(oracle.size()));
+      auto rec = page_.Get(slot);
+      if (oracle[slot].empty()) {
+        EXPECT_TRUE(rec.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(rec.ok());
+        EXPECT_EQ(*rec, oracle[slot]);
+      }
+    }
+  }
+  // Final sweep.
+  for (size_t s = 0; s < oracle.size(); ++s) {
+    auto rec = page_.Get(static_cast<SlotId>(s));
+    if (oracle[s].empty()) {
+      EXPECT_FALSE(rec.ok());
+    } else {
+      ASSERT_TRUE(rec.ok());
+      EXPECT_EQ(*rec, oracle[s]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,316 @@
+#include "sort/external_sorter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace oib {
+namespace {
+
+Options SmallOptions() {
+  Options o;
+  o.sort_workspace_keys = 64;
+  o.sort_merge_fanin = 4;
+  return o;
+}
+
+std::vector<SortItem> DrainMerge(ExternalSorter* sorter) {
+  auto cursor = sorter->OpenMerge();
+  EXPECT_TRUE(cursor.ok());
+  std::vector<SortItem> out;
+  SortItem item;
+  for (;;) {
+    auto more = (*cursor)->Next(&item);
+    EXPECT_TRUE(more.ok());
+    if (!*more) break;
+    out.push_back(item);
+  }
+  return out;
+}
+
+TEST(TournamentTreeTest, SelectsMinimum) {
+  std::vector<int> values = {5, 1, 7, 3};
+  LoserTree tree(4, [&](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  tree.Init();
+  EXPECT_EQ(tree.Winner(), 1u);
+  values[1] = 100;
+  tree.Update(1);
+  EXPECT_EQ(tree.Winner(), 3u);
+}
+
+TEST(TournamentTreeTest, NonPowerOfTwo) {
+  std::vector<int> values = {9, 2, 8, 4, 6};
+  std::vector<bool> valid(8, false);
+  for (size_t i = 0; i < values.size(); ++i) valid[i] = true;
+  values.resize(8, 0);
+  LoserTree tree(5, [&](size_t a, size_t b) {
+    if (!valid[a]) return false;
+    if (!valid[b]) return true;
+    return values[a] < values[b];
+  });
+  tree.Init();
+  EXPECT_EQ(tree.Winner(), 1u);
+  valid[1] = false;
+  tree.Update(1);
+  EXPECT_EQ(tree.Winner(), 3u);
+}
+
+class SorterTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SorterTest, SortsAgainstOracle) {
+  size_t n = GetParam();
+  Options options = SmallOptions();
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  Random rng(n + 1);
+
+  std::vector<SortItem> expected;
+  for (size_t i = 0; i < n; ++i) {
+    SortItem item;
+    item.key = rng.NextString(8);
+    item.rid = Rid(static_cast<PageId>(rng.Uniform(1000)),
+                   static_cast<SlotId>(rng.Uniform(100)));
+    expected.push_back(item);
+    ASSERT_TRUE(sorter.Add(item.key, item.rid).ok());
+  }
+  ASSERT_TRUE(sorter.FinishInput().ok());
+  ASSERT_TRUE(sorter.PrepareMerge().ok());
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const SortItem& a, const SortItem& b) {
+                     return CompareSortItem(a, b) < 0;
+                   });
+  std::vector<SortItem> got = DrainMerge(&sorter);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, expected[i].key) << "at " << i;
+    EXPECT_EQ(got[i].rid, expected[i].rid) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SorterTest,
+                         ::testing::Values(0, 1, 10, 63, 64, 65, 500, 5000));
+
+TEST(SorterTest, ReplacementSelectionMakesLongRuns) {
+  // On random input, replacement selection produces runs ~2x workspace.
+  Options options = SmallOptions();
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  Random rng(3);
+  const size_t n = 2000;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(sorter.Add(rng.NextString(8), Rid(1, 0)).ok());
+  }
+  ASSERT_TRUE(sorter.FinishInput().ok());
+  size_t runs = sorter.runs().size();
+  // Naive quicksort-runs would need n / 64 ~= 31 runs; replacement
+  // selection should roughly halve that.
+  EXPECT_LT(runs, 25u);
+  EXPECT_GE(runs, 1u);
+}
+
+TEST(SorterTest, SortedInputYieldsSingleRun) {
+  Options options = SmallOptions();
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  for (int i = 0; i < 1000; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    ASSERT_TRUE(sorter.Add(buf, Rid(1, 0)).ok());
+  }
+  ASSERT_TRUE(sorter.FinishInput().ok());
+  EXPECT_EQ(sorter.runs().size(), 1u);
+}
+
+TEST(SorterTest, PreMergeReducesRunCountUnderFanin) {
+  Options options = SmallOptions();  // fanin 4
+  options.sort_workspace_keys = 8;
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  Random rng(17);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = rng.NextString(8);
+    keys.push_back(k);
+    ASSERT_TRUE(sorter.Add(k, Rid(1, 0)).ok());
+  }
+  ASSERT_TRUE(sorter.FinishInput().ok());
+  ASSERT_GT(sorter.runs().size(), 4u);
+  ASSERT_TRUE(sorter.PrepareMerge().ok());
+  EXPECT_LE(sorter.runs().size(), 4u);
+  std::vector<SortItem> got = DrainMerge(&sorter);
+  EXPECT_EQ(got.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                             [](const SortItem& a, const SortItem& b) {
+                               return CompareSortItem(a, b) < 0;
+                             }));
+}
+
+// ---- Restartable sort (paper section 5.1) ----
+
+TEST(RestartableSortTest, SortPhaseCheckpointAndResume) {
+  Options options = SmallOptions();
+  RunStore store;
+  Random rng(11);
+  const size_t n = 1000;
+  std::vector<SortItem> all;
+  for (size_t i = 0; i < n; ++i) {
+    SortItem item;
+    item.key = rng.NextString(8);
+    item.rid = Rid(static_cast<PageId>(i), 0);
+    all.push_back(item);
+  }
+
+  ExternalSorter sorter(&store, &options);
+  // Feed half, checkpoint (with a caller scan position), feed a bit more
+  // (lost in the crash), crash, resume, re-feed from the checkpoint.
+  size_t half = n / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(sorter.Add(all[i].key, all[i].rid).ok());
+  }
+  auto blob = sorter.CheckpointSortPhase("scan@500");
+  ASSERT_TRUE(blob.ok());
+  for (size_t i = half; i < half + 200; ++i) {
+    ASSERT_TRUE(sorter.Add(all[i].key, all[i].rid).ok());
+  }
+  // Crash: unflushed run tails vanish.
+  store.DropUnflushed();
+
+  ExternalSorter resumed(&store, &options);
+  auto caller = resumed.ResumeSortPhase(*blob);
+  ASSERT_TRUE(caller.ok());
+  EXPECT_EQ(*caller, "scan@500");
+  for (size_t i = half; i < n; ++i) {
+    ASSERT_TRUE(resumed.Add(all[i].key, all[i].rid).ok());
+  }
+  ASSERT_TRUE(resumed.FinishInput().ok());
+  ASSERT_TRUE(resumed.PrepareMerge().ok());
+  std::vector<SortItem> got = DrainMerge(&resumed);
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SortItem& a, const SortItem& b) {
+                     return CompareSortItem(a, b) < 0;
+                   });
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, all[i].key) << i;
+    EXPECT_EQ(got[i].rid, all[i].rid) << i;
+  }
+}
+
+TEST(RestartableSortTest, ResumeAppendsToSameStreamWhenOrdered) {
+  // Section 5.1: after restart, if the first new key is >= the
+  // checkpointed highest output, the same stream continues.
+  Options options = SmallOptions();
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    ASSERT_TRUE(sorter.Add(buf, Rid(1, 0)).ok());
+  }
+  auto blob = sorter.CheckpointSortPhase("");
+  ASSERT_TRUE(blob.ok());
+  size_t runs_at_ckpt = sorter.runs().size();
+  store.DropUnflushed();
+
+  ExternalSorter resumed(&store, &options);
+  ASSERT_TRUE(resumed.ResumeSortPhase(*blob).ok());
+  for (int i = 200; i < 400; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%08d", i);
+    ASSERT_TRUE(resumed.Add(buf, Rid(1, 0)).ok());
+  }
+  ASSERT_TRUE(resumed.FinishInput().ok());
+  EXPECT_EQ(resumed.runs().size(), runs_at_ckpt);  // same stream continued
+}
+
+// ---- Restartable merge (paper section 5.2) ----
+
+TEST(RestartableMergeTest, CountersResumeExactly) {
+  Options options = SmallOptions();
+  RunStore store;
+  ExternalSorter sorter(&store, &options);
+  Random rng(23);
+  const size_t n = 800;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        sorter.Add(rng.NextString(8), Rid(static_cast<PageId>(i), 0)).ok());
+  }
+  ASSERT_TRUE(sorter.FinishInput().ok());
+  ASSERT_TRUE(sorter.PrepareMerge().ok());
+
+  // Reference output.
+  std::vector<SortItem> expected = DrainMerge(&sorter);
+
+  // Consume 300 items, checkpoint the counters, "crash", resume.
+  auto cursor = sorter.OpenMerge();
+  ASSERT_TRUE(cursor.ok());
+  std::vector<SortItem> got;
+  SortItem item;
+  for (int i = 0; i < 300; ++i) {
+    auto more = (*cursor)->Next(&item);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    got.push_back(item);
+  }
+  std::vector<uint64_t> counters = (*cursor)->counters();
+  cursor->reset();
+
+  auto resumed = sorter.OpenMerge(&counters);
+  ASSERT_TRUE(resumed.ok());
+  for (;;) {
+    auto more = (*resumed)->Next(&item);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    got.push_back(item);
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, expected[i].key) << i;
+    EXPECT_EQ(got[i].rid, expected[i].rid) << i;
+  }
+}
+
+TEST(RunStoreTest, TruncateAndItemCount) {
+  RunStore store;
+  RunId id = store.CreateRun();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Append(id, SortItem{"key" + std::to_string(i),
+                                          Rid(1, 0)}).ok());
+  }
+  auto count = store.ItemCount(id);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);
+  auto size = store.Size(id);
+  ASSERT_TRUE(size.ok());
+  // Truncate to 4 items' worth of bytes (each item: 2 + 4 + 6 = 12).
+  ASSERT_TRUE(store.Truncate(id, 4 * 12).ok());
+  count = store.ItemCount(id);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 4u);
+}
+
+TEST(RunStoreTest, DropUnflushedRespectsFlushBoundary) {
+  RunStore store;
+  RunId id = store.CreateRun();
+  ASSERT_TRUE(store.Append(id, SortItem{"aaa", Rid(1, 0)}).ok());
+  ASSERT_TRUE(store.Flush(id).ok());
+  ASSERT_TRUE(store.Append(id, SortItem{"bbb", Rid(2, 0)}).ok());
+  store.DropUnflushed();
+  auto count = store.ItemCount(id);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  RunReader reader(&store, id);
+  SortItem item;
+  auto more = reader.Read(&item);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(item.key, "aaa");
+}
+
+}  // namespace
+}  // namespace oib

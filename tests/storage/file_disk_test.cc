@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/disk_manager.h"
+
+namespace oib {
+namespace {
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("oib_filedisk_test_" + std::to_string(::getpid()));
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".meta");
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".meta");
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileDiskTest, PagesPersistAcrossReopen) {
+  {
+    auto disk = FileDisk::Open(path_.string(), 4096);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    auto id = (*disk)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::string page(4096, '\0');
+    page[100] = 'z';
+    ASSERT_TRUE((*disk)->WritePage(*id, page.data()).ok());
+    ASSERT_TRUE((*disk)->PutMeta("root", "41").ok());
+  }
+  {
+    auto disk = FileDisk::Open(path_.string(), 4096);
+    ASSERT_TRUE(disk.ok());
+    EXPECT_EQ((*disk)->PageCount(), 1u);
+    std::string page(4096, '\0');
+    ASSERT_TRUE((*disk)->ReadPage(0, page.data()).ok());
+    EXPECT_EQ(page[100], 'z');
+    std::string meta;
+    ASSERT_TRUE((*disk)->GetMeta("root", &meta).ok());
+    EXPECT_EQ(meta, "41");
+  }
+}
+
+TEST_F(FileDiskTest, NoReuseAllocationIsMonotone) {
+  auto disk = FileDisk::Open(path_.string(), 4096);
+  ASSERT_TRUE(disk.ok());
+  auto a = (*disk)->AllocatePage();
+  auto b = (*disk)->AllocatePageNoReuse();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*disk)->FreePage(*a).ok());
+  auto c = (*disk)->AllocatePageNoReuse();
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, *b);
+}
+
+TEST_F(FileDiskTest, OutOfRangeAccessRejected) {
+  auto disk = FileDisk::Open(path_.string(), 4096);
+  ASSERT_TRUE(disk.ok());
+  std::string page(4096, '\0');
+  EXPECT_TRUE((*disk)->ReadPage(7, page.data()).IsIoError());
+  EXPECT_TRUE((*disk)->WritePage(7, page.data()).IsIoError());
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,115 @@
+// Shared test scaffolding: status assertions and an engine fixture with a
+// crash/restart cycle helper.
+
+#ifndef OIB_TESTS_TEST_UTIL_H_
+#define OIB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "core/engine.h"
+#include "core/index_builder.h"
+#include "core/index_verifier.h"
+#include "core/schema.h"
+#include "core/workload.h"
+
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::oib::Status _s = (expr);                               \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();           \
+  } while (0)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::oib::Status _s = (expr);                               \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();           \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                            \
+  auto OIB_CONCAT_(_sor_, __LINE__) = (expr);                      \
+  ASSERT_TRUE(OIB_CONCAT_(_sor_, __LINE__).ok())                   \
+      << OIB_CONCAT_(_sor_, __LINE__).status().ToString();         \
+  lhs = std::move(OIB_CONCAT_(_sor_, __LINE__)).value()
+
+namespace oib {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Instance().Reset();
+    options_.buffer_pool_pages = 2048;
+    options_.sort_workspace_keys = 1024;
+    options_.ib_keys_per_call = 32;
+    options_.ib_checkpoint_every_keys = 2000;
+    options_.sort_checkpoint_every_keys = 2000;
+    options_.sf_apply_batch = 128;
+    env_ = Env::InMemory(options_);
+    auto engine = Engine::Open(options_, env_.get());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  void TearDown() override { FailPointRegistry::Instance().Reset(); }
+
+  // Clean reopen (no crash) applying any changes made to options_.
+  void ReopenWithOptions() {
+    ASSERT_OK(engine_->FlushAll());
+    engine_.reset();
+    auto engine = Engine::Restart(options_, env_.get());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  // Simulates a crash and restarts over the same durable Env.
+  void CrashAndRestart() {
+    ASSERT_OK(engine_->SimulateCrash());
+    engine_.reset();
+    auto engine = Engine::Restart(options_, env_.get(), &recovery_stats_);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  TableId MakeTable(const std::string& name = "t") {
+    auto id = engine_->catalog()->CreateTable(name);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  // Inserts `rows` records with zero-padded numeric keys; returns RIDs.
+  std::vector<Rid> Populate(TableId table, uint64_t rows) {
+    WorkloadOptions wo;
+    auto rids = Workload::Populate(engine_.get(), table, rows, wo);
+    EXPECT_TRUE(rids.ok()) << rids.status().ToString();
+    return rids.ok() ? *rids : std::vector<Rid>{};
+  }
+
+  void ExpectIndexConsistent(TableId table, IndexId index) {
+    IndexVerifier verifier(engine_.get());
+    auto report = verifier.Verify(table, index);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok) << report->error
+        << " (records=" << report->table_records
+        << " live=" << report->live_entries
+        << " pseudo=" << report->pseudo_entries << ")";
+  }
+
+  // Blocks until the workload has applied at least `n` operations (so a
+  // concurrent build demonstrably overlaps real update traffic).
+  static void WaitForOps(Workload* workload, uint64_t n) {
+    while (workload->ops_done() < n) {
+      std::this_thread::yield();
+    }
+  }
+
+  Options options_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<Engine> engine_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace oib
+
+#endif  // OIB_TESTS_TEST_UTIL_H_

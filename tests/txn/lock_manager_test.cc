@@ -1,0 +1,138 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace oib {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  // Spot-check the classic matrix.
+  EXPECT_TRUE(LockCompatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(LockCompatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_TRUE(LockCompatible(LockMode::kS, LockMode::kS));
+  EXPECT_FALSE(LockCompatible(LockMode::kS, LockMode::kIX));
+  EXPECT_FALSE(LockCompatible(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(LockCompatible(LockMode::kX, LockMode::kIS));
+  EXPECT_FALSE(LockCompatible(LockMode::kSIX, LockMode::kIX));
+  EXPECT_TRUE(LockCompatible(LockMode::kIS, LockMode::kSIX));
+}
+
+TEST(LockModeTest, Supremum) {
+  EXPECT_EQ(LockSupremum(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(LockSupremum(LockMode::kS, LockMode::kS), LockMode::kS);
+}
+
+TEST(LockManagerTest, SharedGrantsCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 100, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kS));
+  EXPECT_TRUE(lm.Holds(2, 100, LockMode::kS));
+}
+
+TEST(LockManagerTest, ConditionalXDeniedUnderS) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 100, LockMode::kS).ok());
+  LockOptions opt;
+  opt.conditional = true;
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kX, opt).IsBusy());
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 5, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(1, 5, LockMode::kS).ok());  // re-entrant
+  EXPECT_TRUE(lm.Lock(1, 5, LockMode::kX).ok());  // upgrade (sole holder)
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kX));
+}
+
+TEST(LockManagerTest, TimeoutResolvesDeadlock) {
+  LockManager lm(/*default_timeout_ms=*/100);
+  EXPECT_TRUE(lm.Lock(1, 10, LockMode::kX).ok());
+  LockOptions opt;
+  opt.timeout_ms = 100;
+  Status s = lm.Lock(2, 10, LockMode::kX, opt);
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_EQ(lm.timeout_count(), 1u);
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 10, LockMode::kX).ok());
+  std::thread waiter([&] {
+    LockOptions opt;
+    opt.timeout_ms = 5000;
+    EXPECT_TRUE(lm.Lock(2, 10, LockMode::kX, opt).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(lm.Holds(2, 10, LockMode::kX));
+}
+
+TEST(LockManagerTest, InstantLockNotRetained) {
+  LockManager lm;
+  LockOptions opt;
+  opt.instant = true;
+  EXPECT_TRUE(lm.Lock(1, 10, LockMode::kS, opt).ok());
+  EXPECT_FALSE(lm.Holds(1, 10, LockMode::kS));
+  // Someone else can take X immediately.
+  EXPECT_TRUE(lm.Lock(2, 10, LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, InstantConditionalDeniedByHolder) {
+  // The GC protocol: conditional instant S on a record whose deleter is
+  // still active (holds X) must come back Busy.
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 10, LockMode::kX).ok());
+  LockOptions opt;
+  opt.instant = true;
+  opt.conditional = true;
+  EXPECT_TRUE(lm.Lock(2, 10, LockMode::kS, opt).IsBusy());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Lock(2, 10, LockMode::kS, opt).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllDropsEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 10, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(1, 11, LockMode::kX).ok());
+  EXPECT_EQ(lm.held_count(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.held_count(1), 0u);
+  EXPECT_TRUE(lm.Lock(2, 10, LockMode::kX).ok());
+  EXPECT_TRUE(lm.Lock(3, 11, LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, TableQuiesceProtocol) {
+  // NSF: IB's table S lock waits for updaters (IX) and blocks new ones.
+  LockManager lm;
+  LockId table = TableLockId(1);
+  ASSERT_TRUE(lm.Lock(10, table, LockMode::kIX).ok());  // active updater
+  std::atomic<bool> s_granted{false};
+  std::thread builder([&] {
+    LockOptions opt;
+    opt.timeout_ms = 5000;
+    ASSERT_TRUE(lm.Lock(99, table, LockMode::kS, opt).ok());
+    s_granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(s_granted.load());
+  lm.ReleaseAll(10);  // updater commits
+  builder.join();
+  EXPECT_TRUE(s_granted.load());
+}
+
+TEST(LockManagerTest, LockIdNamespacesDisjoint) {
+  // Record and table lock names never collide.
+  EXPECT_NE(TableLockId(1), RecordLockId(1, Rid(0, 0)));
+  EXPECT_NE(RecordLockId(1, Rid(2, 3)), RecordLockId(2, Rid(2, 3)));
+  EXPECT_NE(RecordLockId(1, Rid(2, 3)), RecordLockId(1, Rid(2, 4)));
+}
+
+}  // namespace
+}  // namespace oib

@@ -1,0 +1,128 @@
+// Log-level transaction semantics: record chaining, commit durability,
+// CLR structure during rollback.
+
+#include "txn/transaction_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace oib {
+namespace {
+
+class TransactionManagerTest : public EngineTest {};
+
+TEST_F(TransactionManagerTest, CommitForcesTheLog) {
+  TableId table = MakeTable();
+  Lsn flushed_before = engine_->log()->flushed_lsn();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table, Schema::EncodeRecord({"k", "v"}))
+                .status());
+  // Not yet durable...
+  EXPECT_EQ(engine_->log()->flushed_lsn(), flushed_before);
+  ASSERT_OK(engine_->Commit(txn));
+  // ...durable at commit (the WAL rule).
+  EXPECT_GT(engine_->log()->flushed_lsn(), flushed_before);
+}
+
+TEST_F(TransactionManagerTest, RecordsChainThroughPrevLsn) {
+  TableId table = MakeTable();
+  Transaction* txn = engine_->Begin();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(engine_->records()
+                  ->InsertRecord(txn, table,
+                                 Schema::EncodeRecord(
+                                     {"k" + std::to_string(i), "v"}))
+                  .status());
+  }
+  // Walk the chain backwards from last_lsn to Begin.
+  int chained = 0;
+  Lsn cur = txn->last_lsn();
+  while (cur != kInvalidLsn) {
+    LogRecord rec;
+    ASSERT_OK(engine_->log()->ReadRecord(cur, &rec));
+    EXPECT_EQ(rec.txn_id, txn->id());
+    if (rec.type == LogRecordType::kBegin) break;
+    cur = rec.prev_lsn;
+    ++chained;
+  }
+  EXPECT_GE(chained, 3);
+  ASSERT_OK(engine_->Commit(txn));
+}
+
+TEST_F(TransactionManagerTest, RollbackWritesClrsWithUndoNext) {
+  TableId table = MakeTable();
+  Transaction* txn = engine_->Begin();
+  std::vector<Lsn> update_lsns;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(engine_->records()
+                  ->InsertRecord(txn, table,
+                                 Schema::EncodeRecord(
+                                     {"k" + std::to_string(i), "v"}))
+                  .status());
+    update_lsns.push_back(txn->last_lsn());
+  }
+  TxnId id = txn->id();
+  ASSERT_OK(engine_->Rollback(txn));
+
+  // Scan the whole log for this txn's CLRs: each must name an undo_next
+  // equal to the prev_lsn of the record it compensates.
+  ASSERT_OK(engine_->log()->FlushAll());
+  int clrs = 0;
+  bool abort_seen = false;
+  ASSERT_OK(engine_->log()->ScanDurable(
+      kInvalidLsn, [&](const LogRecord& rec) {
+        if (rec.txn_id != id) return true;
+        if (rec.type == LogRecordType::kClr) {
+          ++clrs;
+          EXPECT_NE(rec.undo_next_lsn, kInvalidLsn + 999999);  // well-formed
+        }
+        if (rec.type == LogRecordType::kAbort) abort_seen = true;
+        return true;
+      }));
+  EXPECT_GE(clrs, 3);  // one per heap insert (plus index compensations)
+  EXPECT_TRUE(abort_seen);
+}
+
+TEST_F(TransactionManagerTest, ActiveTransactionsSnapshot) {
+  Transaction* a = engine_->Begin();
+  Transaction* b = engine_->Begin();
+  auto active = engine_->txns()->ActiveTransactions();
+  EXPECT_EQ(active.size(), 2u);
+  ASSERT_OK(engine_->Commit(a));
+  active = engine_->txns()->ActiveTransactions();
+  EXPECT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].first, b->id());
+  ASSERT_OK(engine_->Rollback(b));
+  EXPECT_TRUE(engine_->txns()->ActiveTransactions().empty());
+}
+
+TEST_F(TransactionManagerTest, CommitReleasesLocks) {
+  TableId table = MakeTable();
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid, engine_->records()->InsertRecord(
+                   txn, table, Schema::EncodeRecord({"k", "v"})));
+  EXPECT_GT(engine_->locks()->held_count(txn->id()), 0u);
+  TxnId id = txn->id();
+  ASSERT_OK(engine_->Commit(txn));
+  EXPECT_EQ(engine_->locks()->held_count(id), 0u);
+  // Another transaction can now X-lock the record.
+  Transaction* t2 = engine_->Begin();
+  LockOptions opt;
+  opt.conditional = true;
+  EXPECT_OK(engine_->locks()->Lock(t2->id(), RecordLockId(table, rid),
+                                   LockMode::kX, opt));
+  ASSERT_OK(engine_->Rollback(t2));
+}
+
+TEST_F(TransactionManagerTest, EmptyTransactionCommitAndRollback) {
+  Transaction* a = engine_->Begin();
+  ASSERT_OK(engine_->Commit(a));
+  Transaction* b = engine_->Begin();
+  ASSERT_OK(engine_->Rollback(b));
+}
+
+}  // namespace
+}  // namespace oib

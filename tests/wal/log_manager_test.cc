@@ -1,0 +1,148 @@
+#include "wal/log_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace oib {
+namespace {
+
+LogRecord MakeRec(TxnId txn, LogRecordType type, std::string redo = "") {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = type;
+  rec.rm_id = RmId::kHeap;
+  rec.opcode = 1;
+  rec.page_id = 7;
+  rec.redo = std::move(redo);
+  return rec;
+}
+
+TEST(LogRecordTest, SerializationRoundTrip) {
+  LogRecord rec;
+  rec.prev_lsn = 123;
+  rec.txn_id = 9;
+  rec.type = LogRecordType::kClr;
+  rec.rm_id = RmId::kBtree;
+  rec.opcode = 42;
+  rec.page_id = 88;
+  rec.aux_id = 3;
+  rec.undo_next_lsn = 55;
+  rec.redo = "redo-bytes";
+  rec.undo = "undo-bytes";
+
+  std::string buf;
+  rec.SerializeTo(&buf);
+  LogRecord out;
+  ASSERT_TRUE(LogRecord::DeserializeFrom(buf, &out).ok());
+  EXPECT_EQ(out.prev_lsn, 123u);
+  EXPECT_EQ(out.txn_id, 9u);
+  EXPECT_EQ(out.type, LogRecordType::kClr);
+  EXPECT_EQ(out.rm_id, RmId::kBtree);
+  EXPECT_EQ(out.opcode, 42);
+  EXPECT_EQ(out.page_id, 88u);
+  EXPECT_EQ(out.aux_id, 3u);
+  EXPECT_EQ(out.undo_next_lsn, 55u);
+  EXPECT_EQ(out.redo, "redo-bytes");
+  EXPECT_EQ(out.undo, "undo-bytes");
+}
+
+TEST(LogRecordTest, RedoUndoClassification) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  EXPECT_TRUE(rec.RequiresRedo());
+  EXPECT_TRUE(rec.RequiresUndo());
+  rec.type = LogRecordType::kRedoOnly;
+  EXPECT_TRUE(rec.RequiresRedo());
+  EXPECT_FALSE(rec.RequiresUndo());
+  rec.type = LogRecordType::kUndoOnly;
+  EXPECT_FALSE(rec.RequiresRedo());
+  EXPECT_TRUE(rec.RequiresUndo());
+  rec.type = LogRecordType::kClr;
+  EXPECT_TRUE(rec.RequiresRedo());
+  EXPECT_FALSE(rec.RequiresUndo());
+}
+
+TEST(LogManagerTest, AppendAssignsMonotoneLsns) {
+  LogManager log;
+  LogRecord a = MakeRec(1, LogRecordType::kUpdate, "a");
+  LogRecord b = MakeRec(1, LogRecordType::kUpdate, "b");
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Append(&b).ok());
+  EXPECT_GT(b.lsn, a.lsn);
+}
+
+TEST(LogManagerTest, ReadRecordRandomAccess) {
+  LogManager log;
+  LogRecord a = MakeRec(1, LogRecordType::kUpdate, "first");
+  LogRecord b = MakeRec(2, LogRecordType::kCommit, "second");
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Append(&b).ok());
+  LogRecord out;
+  ASSERT_TRUE(log.ReadRecord(a.lsn, &out).ok());
+  EXPECT_EQ(out.redo, "first");
+  ASSERT_TRUE(log.ReadRecord(b.lsn, &out).ok());
+  EXPECT_EQ(out.redo, "second");
+  EXPECT_EQ(out.txn_id, 2u);
+}
+
+TEST(LogManagerTest, CrashDropsUnflushedTail) {
+  LogManager log;
+  LogRecord a = MakeRec(1, LogRecordType::kUpdate, "durable");
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Flush(a.lsn).ok());
+  LogRecord b = MakeRec(1, LogRecordType::kUpdate, "volatile");
+  ASSERT_TRUE(log.Append(&b).ok());
+  log.DropUnflushed();
+
+  int seen = 0;
+  ASSERT_TRUE(log.ScanDurable(kInvalidLsn, [&](const LogRecord& rec) {
+    ++seen;
+    EXPECT_EQ(rec.redo, "durable");
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(LogManagerTest, ScanFromLsn) {
+  LogManager log;
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 5; ++i) {
+    LogRecord rec = MakeRec(1, LogRecordType::kUpdate, std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    lsns.push_back(rec.lsn);
+  }
+  ASSERT_TRUE(log.FlushAll().ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(log.ScanDurable(lsns[2], [&](const LogRecord& rec) {
+    seen.push_back(rec.redo);
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"2", "3", "4"}));
+}
+
+TEST(LogManagerTest, FlushIsIdempotentForDurableLsn) {
+  LogManager log;
+  LogRecord a = MakeRec(1, LogRecordType::kUpdate);
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Flush(a.lsn).ok());
+  Lsn flushed = log.flushed_lsn();
+  ASSERT_TRUE(log.Flush(a.lsn).ok());
+  EXPECT_EQ(log.flushed_lsn(), flushed);
+}
+
+TEST(LogManagerTest, StatsByResourceManager) {
+  LogManager log;
+  LogRecord a = MakeRec(1, LogRecordType::kUpdate);
+  a.rm_id = RmId::kHeap;
+  LogRecord b = MakeRec(1, LogRecordType::kUpdate);
+  b.rm_id = RmId::kBtree;
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Append(&b).ok());
+  LogStats stats = log.stats();
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.records_by_rm[static_cast<size_t>(RmId::kHeap)], 1u);
+  EXPECT_EQ(stats.records_by_rm[static_cast<size_t>(RmId::kBtree)], 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace oib
