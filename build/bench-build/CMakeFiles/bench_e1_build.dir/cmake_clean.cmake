@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_build"
+  "../bench/bench_e1_build.pdb"
+  "CMakeFiles/bench_e1_build.dir/bench_e1_build.cc.o"
+  "CMakeFiles/bench_e1_build.dir/bench_e1_build.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

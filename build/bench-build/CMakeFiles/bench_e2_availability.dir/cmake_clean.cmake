@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_availability"
+  "../bench/bench_e2_availability.pdb"
+  "CMakeFiles/bench_e2_availability.dir/bench_e2_availability.cc.o"
+  "CMakeFiles/bench_e2_availability.dir/bench_e2_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_logging"
+  "../bench/bench_e4_logging.pdb"
+  "CMakeFiles/bench_e4_logging.dir/bench_e4_logging.cc.o"
+  "CMakeFiles/bench_e4_logging.dir/bench_e4_logging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

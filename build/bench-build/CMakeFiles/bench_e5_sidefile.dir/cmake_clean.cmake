@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_sidefile"
+  "../bench/bench_e5_sidefile.pdb"
+  "CMakeFiles/bench_e5_sidefile.dir/bench_e5_sidefile.cc.o"
+  "CMakeFiles/bench_e5_sidefile.dir/bench_e5_sidefile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_sidefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

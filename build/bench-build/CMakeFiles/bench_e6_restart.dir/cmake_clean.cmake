@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_restart"
+  "../bench/bench_e6_restart.pdb"
+  "CMakeFiles/bench_e6_restart.dir/bench_e6_restart.cc.o"
+  "CMakeFiles/bench_e6_restart.dir/bench_e6_restart.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

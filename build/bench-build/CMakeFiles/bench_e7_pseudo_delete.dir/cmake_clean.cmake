@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_pseudo_delete"
+  "../bench/bench_e7_pseudo_delete.pdb"
+  "CMakeFiles/bench_e7_pseudo_delete.dir/bench_e7_pseudo_delete.cc.o"
+  "CMakeFiles/bench_e7_pseudo_delete.dir/bench_e7_pseudo_delete.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_pseudo_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_multi_index"
+  "../bench/bench_e8_multi_index.pdb"
+  "CMakeFiles/bench_e8_multi_index.dir/bench_e8_multi_index.cc.o"
+  "CMakeFiles/bench_e8_multi_index.dir/bench_e8_multi_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_multi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_restart.dir/crash_restart.cpp.o"
+  "CMakeFiles/crash_restart.dir/crash_restart.cpp.o.d"
+  "crash_restart"
+  "crash_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

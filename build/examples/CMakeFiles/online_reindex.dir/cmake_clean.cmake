@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_reindex.dir/online_reindex.cpp.o"
+  "CMakeFiles/online_reindex.dir/online_reindex.cpp.o.d"
+  "online_reindex"
+  "online_reindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_reindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

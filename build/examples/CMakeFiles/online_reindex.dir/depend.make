@@ -1,0 +1,2 @@
+# Empty dependencies file for online_reindex.
+# This may be replaced when dependencies are built.

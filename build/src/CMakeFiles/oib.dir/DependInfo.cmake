@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/oib.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/oib.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/btree_page.cc" "src/CMakeFiles/oib.dir/btree/btree_page.cc.o" "gcc" "src/CMakeFiles/oib.dir/btree/btree_page.cc.o.d"
+  "/root/repo/src/btree/bulk_loader.cc" "src/CMakeFiles/oib.dir/btree/bulk_loader.cc.o" "gcc" "src/CMakeFiles/oib.dir/btree/bulk_loader.cc.o.d"
+  "/root/repo/src/btree/tree_verifier.cc" "src/CMakeFiles/oib.dir/btree/tree_verifier.cc.o" "gcc" "src/CMakeFiles/oib.dir/btree/tree_verifier.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/oib.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/oib.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/failpoint.cc" "src/CMakeFiles/oib.dir/common/failpoint.cc.o" "gcc" "src/CMakeFiles/oib.dir/common/failpoint.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/oib.dir/common/random.cc.o" "gcc" "src/CMakeFiles/oib.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/oib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/oib.dir/common/status.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/CMakeFiles/oib.dir/core/catalog.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/catalog.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/oib.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/index_builder.cc" "src/CMakeFiles/oib.dir/core/index_builder.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/index_builder.cc.o.d"
+  "/root/repo/src/core/index_verifier.cc" "src/CMakeFiles/oib.dir/core/index_verifier.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/index_verifier.cc.o.d"
+  "/root/repo/src/core/nsf_builder.cc" "src/CMakeFiles/oib.dir/core/nsf_builder.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/nsf_builder.cc.o.d"
+  "/root/repo/src/core/offline_builder.cc" "src/CMakeFiles/oib.dir/core/offline_builder.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/offline_builder.cc.o.d"
+  "/root/repo/src/core/pseudo_delete_gc.cc" "src/CMakeFiles/oib.dir/core/pseudo_delete_gc.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/pseudo_delete_gc.cc.o.d"
+  "/root/repo/src/core/record_manager.cc" "src/CMakeFiles/oib.dir/core/record_manager.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/record_manager.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/oib.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/sf_builder.cc" "src/CMakeFiles/oib.dir/core/sf_builder.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/sf_builder.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/oib.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/oib.dir/core/workload.cc.o.d"
+  "/root/repo/src/heap/heap_file.cc" "src/CMakeFiles/oib.dir/heap/heap_file.cc.o" "gcc" "src/CMakeFiles/oib.dir/heap/heap_file.cc.o.d"
+  "/root/repo/src/heap/slotted_page.cc" "src/CMakeFiles/oib.dir/heap/slotted_page.cc.o" "gcc" "src/CMakeFiles/oib.dir/heap/slotted_page.cc.o.d"
+  "/root/repo/src/sidefile/side_file.cc" "src/CMakeFiles/oib.dir/sidefile/side_file.cc.o" "gcc" "src/CMakeFiles/oib.dir/sidefile/side_file.cc.o.d"
+  "/root/repo/src/sort/external_sorter.cc" "src/CMakeFiles/oib.dir/sort/external_sorter.cc.o" "gcc" "src/CMakeFiles/oib.dir/sort/external_sorter.cc.o.d"
+  "/root/repo/src/sort/run.cc" "src/CMakeFiles/oib.dir/sort/run.cc.o" "gcc" "src/CMakeFiles/oib.dir/sort/run.cc.o.d"
+  "/root/repo/src/sort/tournament_tree.cc" "src/CMakeFiles/oib.dir/sort/tournament_tree.cc.o" "gcc" "src/CMakeFiles/oib.dir/sort/tournament_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/oib.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/oib.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/oib.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/oib.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/oib.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/oib.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/oib.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/oib.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/oib.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/oib.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/oib.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/oib.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/oib.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/oib.dir/wal/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_page_test.dir/btree/btree_page_test.cc.o"
+  "CMakeFiles/btree_page_test.dir/btree/btree_page_test.cc.o.d"
+  "btree_page_test"
+  "btree_page_test.pdb"
+  "btree_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

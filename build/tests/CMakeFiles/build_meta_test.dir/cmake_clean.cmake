@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_meta_test.dir/core/build_meta_test.cc.o"
+  "CMakeFiles/build_meta_test.dir/core/build_meta_test.cc.o.d"
+  "build_meta_test"
+  "build_meta_test.pdb"
+  "build_meta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_loader_test.dir/btree/bulk_loader_test.cc.o"
+  "CMakeFiles/bulk_loader_test.dir/btree/bulk_loader_test.cc.o.d"
+  "bulk_loader_test"
+  "bulk_loader_test.pdb"
+  "bulk_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_disk_test.dir/storage/file_disk_test.cc.o"
+  "CMakeFiles/file_disk_test.dir/storage/file_disk_test.cc.o.d"
+  "file_disk_test"
+  "file_disk_test.pdb"
+  "file_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

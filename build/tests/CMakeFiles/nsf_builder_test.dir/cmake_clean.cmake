@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsf_builder_test.dir/core/nsf_builder_test.cc.o"
+  "CMakeFiles/nsf_builder_test.dir/core/nsf_builder_test.cc.o.d"
+  "nsf_builder_test"
+  "nsf_builder_test.pdb"
+  "nsf_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsf_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

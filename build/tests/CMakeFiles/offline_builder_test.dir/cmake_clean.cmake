@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_builder_test.dir/core/offline_builder_test.cc.o"
+  "CMakeFiles/offline_builder_test.dir/core/offline_builder_test.cc.o.d"
+  "offline_builder_test"
+  "offline_builder_test.pdb"
+  "offline_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

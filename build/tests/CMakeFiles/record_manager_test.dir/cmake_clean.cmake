@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_manager_test.dir/core/record_manager_test.cc.o"
+  "CMakeFiles/record_manager_test.dir/core/record_manager_test.cc.o.d"
+  "record_manager_test"
+  "record_manager_test.pdb"
+  "record_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

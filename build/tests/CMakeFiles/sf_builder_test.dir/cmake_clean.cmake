@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_builder_test.dir/core/sf_builder_test.cc.o"
+  "CMakeFiles/sf_builder_test.dir/core/sf_builder_test.cc.o.d"
+  "sf_builder_test"
+  "sf_builder_test.pdb"
+  "sf_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_file_test.dir/sidefile/side_file_test.cc.o"
+  "CMakeFiles/side_file_test.dir/sidefile/side_file_test.cc.o.d"
+  "side_file_test"
+  "side_file_test.pdb"
+  "side_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

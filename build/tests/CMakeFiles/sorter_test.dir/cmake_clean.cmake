@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorter_test.dir/sort/sorter_test.cc.o"
+  "CMakeFiles/sorter_test.dir/sort/sorter_test.cc.o.d"
+  "sorter_test"
+  "sorter_test.pdb"
+  "sorter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

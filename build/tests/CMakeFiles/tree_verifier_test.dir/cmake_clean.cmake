@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_verifier_test.dir/btree/tree_verifier_test.cc.o"
+  "CMakeFiles/tree_verifier_test.dir/btree/tree_verifier_test.cc.o.d"
+  "tree_verifier_test"
+  "tree_verifier_test.pdb"
+  "tree_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
