@@ -16,7 +16,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-void RunFillFactor(double fill) {
+void RunFillFactor(double fill, BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.leaf_fill_factor = fill;
   World w = MakeWorld(30000, options);
@@ -54,9 +54,16 @@ void RunFillFactor(double fill) {
               (unsigned long long)before->leaf_pages, before->utilization,
               kChurn,
               (unsigned long long)(splits_after - splits_before));
+  report->AddRow(
+      "fill=" + std::to_string(fill),
+      {{"fill", fill},
+       {"leaf_pages", static_cast<double>(before->leaf_pages)},
+       {"utilization", before->utilization},
+       {"post_inserts", static_cast<double>(kChurn)},
+       {"post_splits", static_cast<double>(splits_after - splits_before)}});
 }
 
-void RunSortWorkspace(size_t workspace) {
+void RunSortWorkspace(size_t workspace, BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.sort_workspace_keys = workspace;
   // A table populated in key order would sort into a single run no
@@ -98,22 +105,29 @@ void RunSortWorkspace(size_t workspace) {
   MustBeConsistent(w.engine.get(), w.table, index);
   std::printf("%10zu %8llu %10.1f %10.1f\n", workspace,
               (unsigned long long)stats.sort_runs, stats.scan_ms, elapsed);
+  report->AddRow("workspace=" + std::to_string(workspace),
+                 {{"workspace", static_cast<double>(workspace)},
+                  {"sort_runs", static_cast<double>(stats.sort_runs)},
+                  {"scan_ms", stats.scan_ms},
+                  {"total_ms", elapsed}});
 }
 
 void Run() {
+  BenchReport report("a1");
   PrintHeader("A1a: leaf fill factor vs post-build split storm",
               "free space left by IB absorbs future inserts (2.2.3)");
   std::printf("%8s %10s %8s %12s %12s\n", "fill", "leaves", "util",
               "post_inserts", "post_splits");
-  for (double fill : {0.6, 0.75, 0.9, 1.0}) RunFillFactor(fill);
+  for (double fill : {0.6, 0.75, 0.9, 1.0}) RunFillFactor(fill, &report);
 
   PrintHeader("A1b: sort workspace vs run count (section 5)",
               "replacement selection: runs ~ rows / (2 * workspace)");
   std::printf("%10s %8s %10s %10s\n", "workspace", "runs", "scan_ms",
               "total_ms");
   for (size_t ws : {1024ul, 4096ul, 16384ul, 65536ul}) {
-    RunSortWorkspace(ws);
+    RunSortWorkspace(ws, &report);
   }
+  report.Write();
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-void RunOne(const char* algo, uint64_t rows) {
+void RunOne(const char* algo, uint64_t rows, BenchReport* report) {
   World w = MakeWorld(rows);
   BuildParams params = KeyIndexParams(w.table, "idx");
   BuildStats stats;
@@ -42,20 +42,31 @@ void RunOne(const char* algo, uint64_t rows) {
       stats.apply_ms, (unsigned long long)stats.log_records,
       (unsigned long long)stats.log_bytes,
       (unsigned long long)stats.sort_runs);
+  report->AddRow(std::string(algo) + "/" + std::to_string(rows),
+                 {{"rows", static_cast<double>(rows)},
+                  {"total_ms", elapsed},
+                  {"scan_ms", stats.scan_ms},
+                  {"load_ms", stats.load_ms},
+                  {"apply_ms", stats.apply_ms},
+                  {"log_records", static_cast<double>(stats.log_records)},
+                  {"log_bytes", static_cast<double>(stats.log_bytes)},
+                  {"sort_runs", static_cast<double>(stats.sort_runs)}});
 }
 
 void Run() {
   PrintHeader("E1: index build cost, no concurrent updates",
               "SF builds faster than NSF (no IB logging, no traversals); "
               "both close to the offline bottom-up floor");
+  BenchReport report("e1");
   std::printf("%-8s %8s %10s %9s %9s %9s %10s %12s %8s\n", "algo", "rows",
               "total_ms", "scan_ms", "load_ms", "apply_ms", "log_recs",
               "log_bytes", "runs");
   for (uint64_t rows : {20000ull, 60000ull}) {
     for (const char* algo : {"offline", "sf", "nsf"}) {
-      RunOne(algo, rows);
+      RunOne(algo, rows, &report);
     }
   }
+  report.Write();
 }
 
 }  // namespace

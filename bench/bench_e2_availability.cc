@@ -21,6 +21,12 @@ struct Result {
   double txn_per_sec_during_build = 0;
   uint64_t aborts = 0;
   uint64_t commits = 0;
+  // Update latency observed *during* the build, from the
+  // workload.update_ns histogram (reset right before the build starts).
+  double upd_p50_us = 0;
+  double upd_p95_us = 0;
+  double upd_p99_us = 0;
+  double upd_max_us = 0;
 };
 
 Result RunOne(const std::string& algo) {
@@ -34,6 +40,10 @@ Result RunOne(const std::string& algo) {
   workload.Seed(w.rids, kRows);
   workload.Start();
   while (workload.ops_done() < 50) std::this_thread::yield();
+
+  // Scope the latency histograms to the build window: everything recorded
+  // from here until the build returns happened while the builder ran.
+  obs::MetricsRegistry::Default().ResetAll();
 
   BuildParams params = KeyIndexParams(w.table, "idx");
   BuildStats stats;
@@ -53,6 +63,12 @@ Result RunOne(const std::string& algo) {
   }
   double build_ms = NowMs() - t0;
   uint64_t ops_during = workload.ops_done() - ops_before;
+  // Snapshot the update histogram before stopping the workload so the
+  // percentiles cover (almost) exclusively the in-build window.
+  obs::HistogramSnapshot upd =
+      obs::MetricsRegistry::Default()
+          .GetHistogram("workload.update_ns")
+          ->Snapshot();
   WorkloadStats wstats = workload.Stop();
   if (!s.ok()) {
     std::fprintf(stderr, "%s build failed: %s\n", algo.c_str(),
@@ -68,6 +84,10 @@ Result RunOne(const std::string& algo) {
   r.txn_per_sec_during_build = 1000.0 * ops_during / build_ms;
   r.aborts = wstats.aborts;
   r.commits = wstats.commits;
+  r.upd_p50_us = static_cast<double>(upd.Percentile(50)) / 1000.0;
+  r.upd_p95_us = static_cast<double>(upd.Percentile(95)) / 1000.0;
+  r.upd_p99_us = static_cast<double>(upd.Percentile(99)) / 1000.0;
+  r.upd_max_us = static_cast<double>(upd.max) / 1000.0;
   return r;
 }
 
@@ -75,14 +95,30 @@ void Run() {
   PrintHeader("E2: transaction availability during the build",
               "offline: updates blocked for the whole build; NSF: blocked "
               "only during descriptor creation; SF: never blocked");
-  std::printf("%-8s %10s %12s %16s %9s %9s\n", "algo", "build_ms",
-              "blocked_ms", "ops/sec(build)", "commits", "aborts");
+  BenchReport report("e2");
+  std::printf("%-8s %10s %12s %16s %9s %9s %9s %9s %9s %10s\n", "algo",
+              "build_ms", "blocked_ms", "ops/sec(build)", "commits",
+              "aborts", "upd_p50us", "upd_p95us", "upd_p99us", "upd_maxus");
   for (const std::string algo : {"offline", "nsf", "sf"}) {
     Result r = RunOne(algo);
-    std::printf("%-8s %10.1f %12.2f %16.1f %9llu %9llu\n", algo.c_str(),
-                r.build_ms, r.quiesce_ms, r.txn_per_sec_during_build,
-                (unsigned long long)r.commits, (unsigned long long)r.aborts);
+    std::printf("%-8s %10.1f %12.2f %16.1f %9llu %9llu %9.1f %9.1f %9.1f "
+                "%10.1f\n",
+                algo.c_str(), r.build_ms, r.quiesce_ms,
+                r.txn_per_sec_during_build, (unsigned long long)r.commits,
+                (unsigned long long)r.aborts, r.upd_p50_us, r.upd_p95_us,
+                r.upd_p99_us, r.upd_max_us);
+    report.AddRow(algo,
+                  {{"build_ms", r.build_ms},
+                   {"blocked_ms", r.quiesce_ms},
+                   {"ops_per_sec_during_build", r.txn_per_sec_during_build},
+                   {"commits", static_cast<double>(r.commits)},
+                   {"aborts", static_cast<double>(r.aborts)},
+                   {"update_p50_us", r.upd_p50_us},
+                   {"update_p95_us", r.upd_p95_us},
+                   {"update_p99_us", r.upd_p99_us},
+                   {"update_max_us", r.upd_max_us}});
   }
+  report.Write();
 }
 
 }  // namespace

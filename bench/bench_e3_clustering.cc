@@ -19,7 +19,7 @@ namespace {
 
 constexpr uint64_t kRows = 30000;
 
-void RunOne(const char* algo, uint32_t update_threads) {
+void RunOne(const char* algo, uint32_t update_threads, BenchReport* report) {
   World w = MakeWorld(kRows);
   WorkloadOptions wo;
   wo.threads = update_threads == 0 ? 1 : update_threads;
@@ -66,6 +66,15 @@ void RunOne(const char* algo, uint32_t update_threads) {
               clustering->adjacency, clustering->mean_gap,
               clustering->utilization,
               (unsigned long long)clustering->pseudo_deleted);
+  report->AddRow(
+      std::string(algo) + "/threads=" + std::to_string(update_threads),
+      {{"update_threads", static_cast<double>(update_threads)},
+       {"churn_ops", static_cast<double>(churn)},
+       {"leaf_pages", static_cast<double>(clustering->leaf_pages)},
+       {"adjacency", clustering->adjacency},
+       {"mean_gap", clustering->mean_gap},
+       {"utilization", clustering->utilization},
+       {"pseudo_deleted", static_cast<double>(clustering->pseudo_deleted)}});
 }
 
 void Run() {
@@ -74,15 +83,17 @@ void Run() {
       "SF stays near the offline (bottom-up) clustering; NSF degrades "
       "faster as update activity grows (quantifying section 4's open "
       "question)");
+  BenchReport report("e3");
   std::printf("%-8s %8s %10s %10s %10s %9s %8s %8s\n", "algo", "upd_thr",
               "churn_ops", "leaves", "adjacency", "mean_gap", "util",
               "pseudo");
   for (const char* algo : {"offline", "sf", "nsf"}) {
     for (uint32_t threads : {0u, 1u, 2u}) {
       if (std::string(algo) == "offline" && threads > 0) continue;
-      RunOne(algo, threads);
+      RunOne(algo, threads, &report);
     }
   }
+  report.Write();
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ namespace {
 
 constexpr uint64_t kRows = 30000;
 
-void RunAlgo(const char* algo) {
+void RunAlgo(const char* algo, BenchReport* report) {
   World w = MakeWorld(kRows);
   BuildParams params = KeyIndexParams(w.table, "idx");
   BuildStats stats;
@@ -37,9 +37,14 @@ void RunAlgo(const char* algo) {
               (unsigned long long)stats.log_records,
               (unsigned long long)stats.log_bytes,
               static_cast<double>(stats.log_bytes) / kRows);
+  report->AddRow(algo,
+                 {{"log_records", static_cast<double>(stats.log_records)},
+                  {"log_bytes", static_cast<double>(stats.log_bytes)},
+                  {"bytes_per_key",
+                   static_cast<double>(stats.log_bytes) / kRows}});
 }
 
-void RunNsfBatchSweep(size_t keys_per_call) {
+void RunNsfBatchSweep(size_t keys_per_call, BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.ib_keys_per_call = keys_per_call;
   World w = MakeWorld(kRows, options);
@@ -55,22 +60,31 @@ void RunNsfBatchSweep(size_t keys_per_call) {
               (unsigned long long)stats.ib.log_records,
               (unsigned long long)stats.log_bytes, elapsed,
               (unsigned long long)stats.ib.descents);
+  report->AddRow(
+      "nsf/keys_per_call=" + std::to_string(keys_per_call),
+      {{"keys_per_call", static_cast<double>(keys_per_call)},
+       {"ib_log_records", static_cast<double>(stats.ib.log_records)},
+       {"log_bytes", static_cast<double>(stats.log_bytes)},
+       {"total_ms", elapsed},
+       {"descents", static_cast<double>(stats.ib.descents)}});
 }
 
 void Run() {
   PrintHeader("E4a: build-attributable log volume by algorithm",
               "SF writes (almost) nothing for the build itself; NSF logs "
               "every key, amortized per leaf; offline logs nothing");
+  BenchReport report("e4");
   std::printf("%-12s %10s %12s %14s\n", "algo", "log_recs", "log_bytes",
               "bytes_per_key");
-  for (const char* algo : {"offline", "sf", "nsf"}) RunAlgo(algo);
+  for (const char* algo : {"offline", "sf", "nsf"}) RunAlgo(algo, &report);
 
   PrintHeader("E4b: NSF multi-key interface ablation",
               "larger keys-per-call -> fewer index log records and fewer "
               "tree descents (section 2.3.1)");
   std::printf("%-12s %10s %12s %10s %10s\n", "keys/call", "ib_log_recs",
               "log_bytes", "total_ms", "descents");
-  for (size_t k : {1u, 8u, 64u, 256u}) RunNsfBatchSweep(k);
+  for (size_t k : {1u, 8u, 64u, 256u}) RunNsfBatchSweep(k, &report);
+  report.Write();
 }
 
 }  // namespace

@@ -14,7 +14,8 @@ namespace {
 
 constexpr uint64_t kRows = 30000;
 
-void RunOne(uint32_t update_threads, bool sorted_apply) {
+void RunOne(uint32_t update_threads, bool sorted_apply,
+            BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.sf_sort_side_file = sorted_apply;
   World w = MakeWorld(kRows, options);
@@ -44,6 +45,15 @@ void RunOne(uint32_t update_threads, bool sorted_apply) {
               (unsigned long long)stats.side_file_applied, stats.scan_ms,
               stats.load_ms, stats.apply_ms,
               (unsigned long long)stats.commits);
+  report->AddRow(
+      std::string(sorted_apply ? "sorted" : "seq") + "/threads=" +
+          std::to_string(update_threads),
+      {{"update_threads", static_cast<double>(update_threads)},
+       {"side_file_applied", static_cast<double>(stats.side_file_applied)},
+       {"scan_ms", stats.scan_ms},
+       {"load_ms", stats.load_ms},
+       {"apply_ms", stats.apply_ms},
+       {"commits", static_cast<double>(stats.commits)}});
 }
 
 void Run() {
@@ -57,10 +67,12 @@ void Run() {
   // the catch-up entirely (the side-file grows faster than IB drains it
   // and the build never converges) — a starvation regime the paper does
   // not discuss; see EXPERIMENTS.md.
+  BenchReport report("e5");
   for (uint32_t threads : {0u, 1u, 2u}) {
-    RunOne(threads, /*sorted_apply=*/false);
-    if (threads > 0) RunOne(threads, /*sorted_apply=*/true);
+    RunOne(threads, /*sorted_apply=*/false, &report);
+    if (threads > 0) RunOne(threads, /*sorted_apply=*/true, &report);
   }
+  report.Write();
 }
 
 }  // namespace

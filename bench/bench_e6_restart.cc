@@ -20,7 +20,8 @@ namespace {
 constexpr uint64_t kRows = 40000;
 
 void RunOne(const char* algo, size_t ckpt_interval, const char* phase,
-            const char* failpoint, int countdown, uint64_t crash_keys) {
+            const char* failpoint, int countdown, uint64_t crash_keys,
+            BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.sort_checkpoint_every_keys = ckpt_interval;
   options.ib_checkpoint_every_keys = ckpt_interval;
@@ -83,6 +84,14 @@ void RunOne(const char* algo, size_t ckpt_interval, const char* phase,
               algo, phase, ckpt_interval, first_ms, resume_ms,
               (unsigned long long)redone, (long long)wasted,
               100.0 * wasted / kRows);
+  report->AddRow(std::string(algo) + "/" + phase + "/ckpt=" +
+                     std::to_string(ckpt_interval),
+                 {{"ckpt_interval", static_cast<double>(ckpt_interval)},
+                  {"first_ms", first_ms},
+                  {"resume_ms", resume_ms},
+                  {"resume_keys", static_cast<double>(redone)},
+                  {"wasted_keys", static_cast<double>(wasted)},
+                  {"waste_pct", 100.0 * wasted / kRows}});
 }
 
 void Run() {
@@ -95,21 +104,25 @@ void Run() {
               "phase", "ckpt_keys", "1st_ms", "resume_ms", "resume_keys",
               "wasted", "waste_pct");
   // Crash mid-scan: the scan visits ~rows/75 pages; fail at ~60%.
+  BenchReport report("e6");
   int scan_fp = static_cast<int>(kRows / 75 * 0.6);
   uint64_t scan_crash_keys = static_cast<uint64_t>(scan_fp) * 75;
   for (size_t interval : {0ul, 2000ul, 10000ul}) {
-    RunOne("nsf", interval, "scan", "nsf.scan", scan_fp, scan_crash_keys);
-    RunOne("sf", interval, "scan", "sf.scan", scan_fp, scan_crash_keys);
+    RunOne("nsf", interval, "scan", "nsf.scan", scan_fp, scan_crash_keys,
+           &report);
+    RunOne("sf", interval, "scan", "sf.scan", scan_fp, scan_crash_keys,
+           &report);
   }
   // Crash mid-insert/load at ~60% of keys.
   for (size_t interval : {2000ul, 10000ul}) {
     RunOne("nsf", interval, "insert", "nsf.insert_batch",
            static_cast<int>(kRows * 0.6 / 64),
-           static_cast<uint64_t>(kRows * 0.6));
+           static_cast<uint64_t>(kRows * 0.6), &report);
     RunOne("sf", interval, "load", "sf.load",
            static_cast<int>(kRows * 0.6),
-           static_cast<uint64_t>(kRows * 0.6));
+           static_cast<uint64_t>(kRows * 0.6), &report);
   }
+  report.Write();
 }
 
 }  // namespace

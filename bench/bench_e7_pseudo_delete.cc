@@ -19,7 +19,7 @@ namespace {
 
 constexpr uint64_t kRows = 30000;
 
-void RunOne(double delete_pct) {
+void RunOne(double delete_pct, BenchReport* report) {
   World w = MakeWorld(kRows);
   WorkloadOptions wo;
   wo.threads = 2;
@@ -60,6 +60,17 @@ void RunOne(double delete_pct) {
               (unsigned long long)before->leaf_pages, before->utilization,
               after->utilization, (unsigned long long)gc_stats.removed,
               (unsigned long long)gc_stats.skipped_locked, gc_ms);
+  report->AddRow(
+      "nsf/delete_pct=" + std::to_string(delete_pct),
+      {{"delete_pct", delete_pct},
+       {"deletes", static_cast<double>(wstats.deletes)},
+       {"pseudo_deleted", static_cast<double>(before->pseudo_deleted)},
+       {"leaf_pages", static_cast<double>(before->leaf_pages)},
+       {"utilization_before", before->utilization},
+       {"utilization_after", after->utilization},
+       {"gc_removed", static_cast<double>(gc_stats.removed)},
+       {"gc_skipped_locked", static_cast<double>(gc_stats.skipped_locked)},
+       {"gc_ms", gc_ms}});
 }
 
 void Run() {
@@ -69,7 +80,9 @@ void Run() {
   std::printf("%8s %10s %8s %8s %8s %8s %8s %8s %8s\n", "del_pct",
               "deletes", "pseudo", "leaves", "util_b", "util_a", "gc_rm",
               "gc_skip", "gc_ms");
-  for (double pct : {0.1, 0.3, 0.6}) RunOne(pct);
+  BenchReport report("e7");
+  for (double pct : {0.1, 0.3, 0.6}) RunOne(pct, &report);
+  report.Write();
 }
 
 }  // namespace

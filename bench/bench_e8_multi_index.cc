@@ -35,7 +35,7 @@ BuildParams NthParams(TableId table, int i) {
   return p;
 }
 
-void RunSequential(int k) {
+void RunSequential(int k, BenchReport* report) {
   World w = MakeIoBoundWorld();
   uint64_t reads0 = w.env->disk->reads();
   double t0 = NowMs();
@@ -55,9 +55,14 @@ void RunSequential(int k) {
   }
   std::printf("%4d %-10s %10.1f %12llu %12llu\n", k, "k-scans", elapsed,
               (unsigned long long)pages, (unsigned long long)disk_reads);
+  report->AddRow("k-scans/k=" + std::to_string(k),
+                 {{"k", static_cast<double>(k)},
+                  {"total_ms", elapsed},
+                  {"pages_scanned", static_cast<double>(pages)},
+                  {"disk_reads", static_cast<double>(disk_reads)}});
 }
 
-void RunOneScan(int k) {
+void RunOneScan(int k, BenchReport* report) {
   World w = MakeIoBoundWorld();
   std::vector<BuildParams> params;
   for (int i = 0; i < k; ++i) params.push_back(NthParams(w.table, i));
@@ -74,6 +79,12 @@ void RunOneScan(int k) {
   std::printf("%4d %-10s %10.1f %12llu %12llu\n", k, "one-scan", elapsed,
               (unsigned long long)stats.data_pages_scanned,
               (unsigned long long)disk_reads);
+  report->AddRow(
+      "one-scan/k=" + std::to_string(k),
+      {{"k", static_cast<double>(k)},
+       {"total_ms", elapsed},
+       {"pages_scanned", static_cast<double>(stats.data_pages_scanned)},
+       {"disk_reads", static_cast<double>(disk_reads)}});
 }
 
 void Run() {
@@ -82,10 +93,12 @@ void Run() {
               "across all indexes being built");
   std::printf("%4s %-10s %10s %12s %12s\n", "k", "strategy", "total_ms",
               "pages_scanned", "disk_reads");
+  BenchReport report("e8");
   for (int k : {1, 2, 4}) {
-    RunSequential(k);
-    RunOneScan(k);
+    RunSequential(k, &report);
+    RunOneScan(k, &report);
   }
+  report.Write();
 }
 
 }  // namespace

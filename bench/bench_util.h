@@ -10,12 +10,16 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/index_builder.h"
 #include "core/index_verifier.h"
 #include "core/workload.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oib {
 namespace bench {
@@ -100,6 +104,63 @@ inline void PrintHeader(const char* title, const char* claim) {
   std::printf("\n=== %s ===\n", title);
   std::printf("paper claim: %s\n\n", claim);
 }
+
+// Machine-readable companion to the printed tables: each experiment
+// registers its result rows here and Write() dumps them — together with a
+// metrics-registry snapshot and per-name span aggregates — to
+// BENCH_<experiment>.json in the working directory, so results are
+// diffable across runs and PRs.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  // One result row, e.g. label="sf" with {"build_ms": 123.4, ...}.
+  // Values keep insertion order.
+  void AddRow(std::string label,
+              std::vector<std::pair<std::string, double>> values) {
+    rows_.emplace_back(std::move(label), std::move(values));
+  }
+
+  void Write() {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("experiment");
+    w.Value(experiment_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& [label, values] : rows_) {
+      w.BeginObject();
+      w.Key("label");
+      w.Value(label);
+      for (const auto& [k, v] : values) {
+        w.Key(k);
+        w.Value(v);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    obs::MetricsToJson(obs::MetricsRegistry::Default().TakeSnapshot(), &w);
+    w.Key("spans");
+    obs::SpansToJson(obs::Tracer::Default().Snapshot(), &w);
+    w.EndObject();
+    std::string path = "BENCH_" + experiment_ + ".json";
+    Status s = obs::WriteStringToFile(path, w.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+    } else {
+      std::printf("\n[%s written]\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string experiment_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      rows_;
+};
 
 }  // namespace bench
 }  // namespace oib

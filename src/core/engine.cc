@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "core/index_builder.h"
 
@@ -29,6 +31,12 @@ void Engine::WireUp() {
   btree_rm_.SetResolver(
       [this](IndexId id) { return catalog_.index(id); });
   records_.AttachHeapRm(&heap_rm_);
+
+  obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default();
+  pool_.AttachMetrics(registry);
+  locks_.AttachMetrics(registry);
+  env_->log.AttachMetrics(registry);
+  records_.AttachMetrics(registry);
 }
 
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
@@ -57,18 +65,69 @@ StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
 
   RecoveryManager recovery(&env->log, &engine->txns_, &engine->rms_);
   std::vector<std::pair<TxnId, Lsn>> losers;
-  OIB_RETURN_IF_ERROR(
-      recovery.AnalyzeAndRedo(checkpoint_lsn, &losers, stats));
-  // Pages are now current: catalog objects can be re-opened.
-  OIB_RETURN_IF_ERROR(engine->catalog_.Load());
-  // Interrupted index builds re-attach before undo, so that rollback of
-  // loser transactions sees the Index_Build flag and scan position.
-  OIB_RETURN_IF_ERROR(ReattachInterruptedBuilds(engine.get()));
-  OIB_RETURN_IF_ERROR(recovery.UndoLosers(losers, stats));
+  {
+    obs::ScopedSpan span(&obs::Tracer::Default(), "recovery.analysis_redo");
+    OIB_RETURN_IF_ERROR(
+        recovery.AnalyzeAndRedo(checkpoint_lsn, &losers, stats));
+    // Pages are now current: catalog objects can be re-opened.
+    OIB_RETURN_IF_ERROR(engine->catalog_.Load());
+    // Interrupted index builds re-attach before undo, so that rollback of
+    // loser transactions sees the Index_Build flag and scan position.
+    OIB_RETURN_IF_ERROR(ReattachInterruptedBuilds(engine.get()));
+  }
+  {
+    obs::ScopedSpan span(&obs::Tracer::Default(), "recovery.undo",
+                         losers.size());
+    OIB_RETURN_IF_ERROR(recovery.UndoLosers(losers, stats));
+  }
   return engine;
 }
 
+obs::BuildProgress Engine::GetBuildProgress(TableId table) {
+  obs::BuildProgress p;
+  std::shared_ptr<ActiveBuild> build = records_.GetBuild(table);
+  if (build == nullptr) return p;
+  p.active = build->index_build.load(std::memory_order_relaxed);
+  p.algo = build->algo == BuildAlgo::kSf
+               ? "sf"
+               : (build->algo == BuildAlgo::kNsf ? "nsf" : "none");
+  p.phase =
+      static_cast<obs::BuildPhase>(build->phase.load(std::memory_order_relaxed));
+  Rid cur = build->CurrentRid();
+  p.current_rid = PackRid(cur);
+  HeapFile* heap = catalog_.table(table);
+  p.table_tail_page = heap != nullptr ? heap->tail_page() : 0;
+  if (cur == Rid::Infinity() || p.phase > obs::BuildPhase::kScan) {
+    // Scan finished (or this is an NSF build past its scan).
+    p.scan_page = p.table_tail_page;
+    p.scan_fraction = 1.0;
+  } else {
+    p.scan_page = cur.page;
+    p.scan_fraction =
+        p.table_tail_page > 0
+            ? std::min(1.0, static_cast<double>(p.scan_page) /
+                                static_cast<double>(p.table_tail_page))
+            : 0.0;
+  }
+  p.keys_done = build->keys_done.load(std::memory_order_relaxed);
+  p.side_file_appended =
+      build->side_file_appended.load(std::memory_order_relaxed);
+  p.side_file_applied =
+      build->side_file_applied.load(std::memory_order_relaxed);
+  p.side_file_backlog = p.side_file_appended > p.side_file_applied
+                            ? p.side_file_appended - p.side_file_applied
+                            : 0;
+  uint64_t elapsed_ns = obs::MonotonicNanos() - build->start_ns;
+  p.elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+  p.keys_per_sec = elapsed_ns > 0
+                       ? static_cast<double>(p.keys_done) * 1e9 /
+                             static_cast<double>(elapsed_ns)
+                       : 0.0;
+  return p;
+}
+
 Status Engine::Checkpoint() {
+  obs::ScopedSpan span(&obs::Tracer::Default(), "engine.checkpoint");
   OIB_RETURN_IF_ERROR(pool_.FlushAll());
   LogRecord rec;
   rec.type = LogRecordType::kCheckpoint;

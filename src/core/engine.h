@@ -24,6 +24,9 @@
 #include "common/status.h"
 #include "core/catalog.h"
 #include "core/record_manager.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sort/run.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -70,6 +73,16 @@ class Engine {
   RecordManager* records() { return &records_; }
   RunStore* runs() { return &env_->runs; }
   DiskManager* disk() { return env_->disk.get(); }
+
+  // Observability: the process-wide registry/tracer all components attach
+  // to (WireUp registers bufferpool.*, lock.*, wal.* and records.*).
+  obs::MetricsRegistry* metrics() { return &obs::MetricsRegistry::Default(); }
+  obs::Tracer* tracer() { return &obs::Tracer::Default(); }
+
+  // Live snapshot of an in-flight index build on `table` (phase,
+  // Current-RID vs heap tail, side-file backlog, keys/sec).  Returns a
+  // default (inactive) snapshot when no build is registered.
+  obs::BuildProgress GetBuildProgress(TableId table);
 
   Transaction* Begin() { return txns_.Begin(); }
   Status Commit(Transaction* txn) { return txns_.Commit(txn); }

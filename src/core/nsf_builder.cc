@@ -15,6 +15,7 @@
 #include "common/failpoint.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
+#include "obs/trace.h"
 #include "sort/external_sorter.h"
 
 namespace oib {
@@ -85,6 +86,7 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
   // of descriptor creation, so no transaction holds uncommitted updates
   // that predate the descriptor.
   auto t_quiesce = std::chrono::steady_clock::now();
+  obs::ScopedSpan quiesce_span(engine_->tracer(), "nsf.quiesce");
   Transaction* quiesce_txn = engine_->Begin();
   LockOptions opt;
   opt.timeout_ms = 60'000;  // builds wait out active transactions
@@ -103,7 +105,9 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
   ib.side_file = nullptr;
   ib.unique = params.unique;
   ib.key_cols = params.key_cols;
-  records->RegisterBuild(params.table, BuildAlgo::kNsf, {std::move(ib)});
+  auto build =
+      records->RegisterBuild(params.table, BuildAlgo::kNsf, {std::move(ib)});
+  build->SetPhase(obs::BuildPhase::kQuiesce);
 
   BuildMeta meta;
   meta.algo = BuildAlgo::kNsf;
@@ -112,6 +116,7 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
   OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
 
   OIB_RETURN_IF_ERROR(engine_->Commit(quiesce_txn));  // end of quiesce
+  quiesce_span.End();
   if (stats != nullptr) stats->quiesce_ms = MsSince(t_quiesce);
 
   if (out != nullptr) *out = desc->id;
@@ -167,6 +172,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   const Options& options = engine_->options();
   LogStats log_before = engine_->log()->stats();
   BuildStats local;
+  auto build = engine_->records()->GetBuild(params.table);
+  obs::Tracer* tracer = engine_->tracer();
 
   ExternalSorter sorter(engine_->runs(), &options);
   BuildMeta meta;
@@ -181,6 +188,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   auto t_scan = std::chrono::steady_clock::now();
   if (start_phase <= 1) {
     // ---- Phase 1: scan + extract + pipelined sort (sections 2.2.2, 5.1).
+    if (build) build->SetPhase(obs::BuildPhase::kScan);
+    obs::ScopedSpan scan_span(tracer, "nsf.scan");
     PageId scan_page, last_page;
     if (!phase_blob.empty()) {
       std::string sort_blob;
@@ -210,6 +219,7 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
         OIB_RETURN_IF_ERROR(sorter.Add(std::move(*key), rid));
         ++local.keys_extracted;
         ++keys_since_ckpt;
+        if (build) build->keys_done.fetch_add(1, std::memory_order_relaxed);
       }
       ++local.data_pages_scanned;
       bool done = scan_page == last_page || *next == kInvalidPageId;
@@ -220,6 +230,7 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
           scan_page != kInvalidPageId) {
         auto sort_blob = sorter.CheckpointSortPhase("");
         if (!sort_blob.ok()) return sort_blob.status();
+        obs::ScopedSpan ckpt_span(tracer, "nsf.ckpt");
         meta.phase = 1;
         meta.phase_blob =
             EncodeNsfScanState(scan_page, last_page, *sort_blob);
@@ -228,6 +239,10 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
         keys_since_ckpt = 0;
       }
     }
+    scan_span.set_arg(local.keys_extracted);
+    scan_span.End();
+    if (build) build->SetPhase(obs::BuildPhase::kSortMerge);
+    obs::ScopedSpan sort_span(tracer, "nsf.sort.merge_prep");
     OIB_RETURN_IF_ERROR(sorter.FinishInput());
     OIB_RETURN_IF_ERROR(sorter.PrepareMerge());
     local.sort_runs = sorter.runs().size();
@@ -249,6 +264,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   }
 
   // ---- Phase 2: multi-key inserts with periodic commits (2.2.3).
+  if (build) build->SetPhase(obs::BuildPhase::kInsert);
+  obs::ScopedSpan insert_span(tracer, "nsf.insert");
   auto t_load = std::chrono::steady_clock::now();
   auto cursor = sorter.OpenMerge(has_counters ? &counters : nullptr);
   if (!cursor.ok()) return cursor.status();
@@ -283,15 +300,20 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   auto flush_batch = [&]() -> Status {
     if (batch.empty()) return Status::OK();
     OIB_FAIL_POINT("nsf.insert_batch");
+    obs::ScopedSpan batch_span(tracer, "nsf.insert.batch", batch.size());
     std::vector<IndexKeyRef> refs;
     refs.reserve(batch.size());
     for (const auto& [k, r] : batch) refs.push_back(IndexKeyRef{k, r});
     OIB_RETURN_IF_ERROR(tree->IbInsertBatch(txn, refs, params.unique,
                                             on_conflict, &local.ib));
     inserted += batch.size();
+    if (build) {
+      build->keys_done.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
     batch.clear();
     if (options.ib_checkpoint_every_keys > 0 &&
         inserted - last_ckpt_inserted >= options.ib_checkpoint_every_keys) {
+      obs::ScopedSpan ckpt_span(tracer, "nsf.ckpt");
       // Checkpoint the position reached, then commit, then persist: a
       // crash between the commit and the meta write only causes harmless
       // duplicate re-insertions (rejected, no log records) per 2.2.3.
@@ -344,6 +366,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   OIB_RETURN_IF_ERROR(engine_->Commit(txn));
   ++local.commits;
   local.load_ms = MsSince(t_load);
+  insert_span.End();
+  if (build) build->SetPhase(obs::BuildPhase::kDone);
 
   // ---- Phase 3: make the index available for reads.  With data-only
   // locking no update quiesce is needed (section 6.2).

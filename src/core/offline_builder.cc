@@ -11,6 +11,7 @@
 #include "common/failpoint.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
+#include "obs/trace.h"
 #include "sort/external_sorter.h"
 
 namespace oib {
@@ -25,6 +26,9 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   BuildStats local;
 
   auto t0 = std::chrono::steady_clock::now();
+  // The whole offline build runs under the X lock, so the quiesce span
+  // covers everything up to the commit that releases it.
+  obs::ScopedSpan quiesce_span(engine_->tracer(), "offline.quiesce");
   Transaction* txn = engine_->Begin();
   LockOptions opt;
   opt.timeout_ms = 60'000;
@@ -48,6 +52,7 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
 
   // Scan + sort.
   auto t_scan = std::chrono::steady_clock::now();
+  obs::ScopedSpan scan_span(engine_->tracer(), "offline.scan");
   ExternalSorter sorter(engine_->runs(), &options);
   PageId page = heap->first_page();
   while (page != kInvalidPageId) {
@@ -73,7 +78,10 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   local.scan_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t_scan)
                       .count();
+  scan_span.set_arg(local.keys_extracted);
+  scan_span.End();
   auto t_load = std::chrono::steady_clock::now();
+  obs::ScopedSpan load_span(engine_->tracer(), "offline.load");
 
   // Bottom-up load; exclusive access means every record is committed, so
   // a unique violation is detectable directly from adjacent sorted keys.
@@ -110,6 +118,8 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   local.load_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t_load)
                       .count();
+  load_span.set_arg(local.keys_loaded);
+  load_span.End();
   OIB_RETURN_IF_ERROR(catalog->SetIndexReady(id));
   OIB_RETURN_IF_ERROR(engine_->Commit(txn));  // releases the X lock
 

@@ -1,5 +1,7 @@
 #include "core/record_manager.h"
 
+#include "obs/trace.h"
+
 namespace oib {
 
 namespace {
@@ -23,6 +25,26 @@ Status ExtractKeyFor(const std::vector<uint32_t>& cols,
 }
 
 }  // namespace
+
+RecordManager::~RecordManager() {
+  if (metrics_ != nullptr) metrics_->DetachOwner(this);
+}
+
+void RecordManager::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  registry->RegisterValueFn(
+      "records.side_file_appends",
+      [this] { return stats_.side_file_appends.load(); }, this);
+  registry->RegisterValueFn(
+      "records.nsf_duplicate_inserts",
+      [this] { return stats_.nsf_duplicate_inserts.load(); }, this);
+  registry->RegisterValueFn(
+      "records.tombstone_inserts",
+      [this] { return stats_.tombstone_inserts.load(); }, this);
+  registry->RegisterValueFn(
+      "records.rollback_compensations",
+      [this] { return stats_.rollback_compensations.load(); }, this);
+}
 
 void RecordManager::AttachHeapRm(HeapRm* heap_rm) {
   heap_rm->SetUndoHook(
@@ -197,12 +219,16 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kInsertKey, new_key, rid));
           stats_.side_file_appends.fetch_add(1);
+          plan.build->side_file_appended.fetch_add(
+              1, std::memory_order_relaxed);
           break;
         case HeapOp::kDelete:
           OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, old_rec, &old_key));
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kDeleteKey, old_key, rid));
           stats_.side_file_appends.fetch_add(1);
+          plan.build->side_file_appended.fetch_add(
+              1, std::memory_order_relaxed);
           break;
         case HeapOp::kUpdate: {
           OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, old_rec, &old_key));
@@ -213,6 +239,8 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kInsertKey, new_key, rid));
           stats_.side_file_appends.fetch_add(2);
+          plan.build->side_file_appended.fetch_add(
+              2, std::memory_order_relaxed);
           break;
         }
         default:
@@ -462,6 +490,7 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
           if (sf_visible) {
             OIB_RETURN_IF_ERROR(compensate_side_file(ib));
             stats_.rollback_compensations.fetch_add(1);
+            build->side_file_appended.fetch_add(1, std::memory_order_relaxed);
           }
           // Invisible: IB will extract the post-undo state; nothing to do.
         } else {
@@ -484,6 +513,7 @@ std::shared_ptr<ActiveBuild> RecordManager::RegisterBuild(
   auto build = std::make_shared<ActiveBuild>();
   build->algo = algo;
   build->indexes = std::move(indexes);
+  build->start_ns = obs::MonotonicNanos();
   if (algo == BuildAlgo::kNsf) {
     for (const InBuildIndex& ib : build->indexes) {
       if (ib.tree != nullptr) ib.tree->set_ib_active(true);

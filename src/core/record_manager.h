@@ -32,6 +32,8 @@
 
 #include "core/catalog.h"
 #include "core/schema.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "txn/lock_manager.h"
 
 namespace oib {
@@ -69,8 +71,19 @@ struct ActiveBuild {
   // but-unappended entry can be lost.
   std::shared_mutex gate;
 
+  // ---- live progress (obs): written by the builder / transactions with
+  // relaxed atomics, snapshotted by Engine::GetBuildProgress ----
+  std::atomic<int> phase{static_cast<int>(obs::BuildPhase::kIdle)};
+  std::atomic<uint64_t> keys_done{0};          // extracted + loaded/inserted
+  std::atomic<uint64_t> side_file_appended{0};
+  std::atomic<uint64_t> side_file_applied{0};
+  uint64_t start_ns = 0;  // set once at registration
+
   Rid CurrentRid() const { return UnpackRid(current_rid.load()); }
   void SetCurrentRid(const Rid& rid) { current_rid.store(PackRid(rid)); }
+  void SetPhase(obs::BuildPhase p) {
+    phase.store(static_cast<int>(p), std::memory_order_relaxed);
+  }
 };
 
 struct RecordManagerStats {
@@ -86,8 +99,15 @@ class RecordManager {
                 TransactionManager* txns, const Options* options)
       : catalog_(catalog), locks_(locks), txns_(txns), options_(options) {}
 
+  ~RecordManager();
+
   RecordManager(const RecordManager&) = delete;
   RecordManager& operator=(const RecordManager&) = delete;
+
+  // Registers records.{side_file_appends,nsf_duplicate_inserts,
+  // tombstone_inserts,rollback_compensations} with `registry` as value
+  // functions over stats() (owner = this; the destructor detaches them).
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   // Wires the Figure 2 hook into the heap's recovery handler.
   void AttachHeapRm(HeapRm* heap_rm);
@@ -155,6 +175,7 @@ class RecordManager {
   mutable std::mutex builds_mu_;
   std::map<TableId, std::shared_ptr<ActiveBuild>> builds_;
   RecordManagerStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace oib

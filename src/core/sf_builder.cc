@@ -22,6 +22,7 @@
 #include "common/failpoint.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
+#include "obs/trace.h"
 #include "sort/external_sorter.h"
 
 namespace oib {
@@ -252,9 +253,13 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   uint32_t loading_idx = 0;
   std::string loader_blob;
 
+  obs::Tracer* tracer = engine_->tracer();
+
   if (start_phase <= 1) {
     // ---- Phase 1: scan + extract + pipelined sort.  Current-RID
     // advances under each page's S latch (section 3.2.2).
+    build->SetPhase(obs::BuildPhase::kScan);
+    obs::ScopedSpan scan_span(tracer, "sf.scan");
     auto t_scan = std::chrono::steady_clock::now();
     PageId scan_page;
     if (!phase_blob.empty()) {
@@ -287,6 +292,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         }
         ++local.keys_extracted;
         ++keys_since_ckpt;
+        build->keys_done.fetch_add(1, std::memory_order_relaxed);
       }
       ++local.data_pages_scanned;
       // Unlike NSF, the SF scan follows the chain to its *current* end:
@@ -305,6 +311,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           if (!b.ok()) return b.status();
           sort_blobs.push_back(std::move(*b));
         }
+        obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
         meta.phase = 1;
         meta.current_rid = build->current_rid.load();
         meta.phase_blob = EncodeSfScanState(scan_page, sort_blobs);
@@ -343,11 +350,16 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           OIB_RETURN_IF_ERROR(sorters[i]->Add(std::move(*key), rid));
         }
         ++local.keys_extracted;
+        build->keys_done.fetch_add(1, std::memory_order_relaxed);
       }
       ++local.data_pages_scanned;
       last_scanned = more;
     }
 
+    scan_span.set_arg(local.keys_extracted);
+    scan_span.End();
+    build->SetPhase(obs::BuildPhase::kSortMerge);
+    obs::ScopedSpan sort_span(tracer, "sf.sort.merge_prep");
     sort_blobs.clear();
     for (size_t i = 0; i < n; ++i) {
       OIB_RETURN_IF_ERROR(sorters[i]->FinishInput());
@@ -383,6 +395,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   auto t_load = std::chrono::steady_clock::now();
   if (start_phase <= 2) {
     // ---- Phase 2: bottom-up, unlogged, checkpointed load (3.2.4).
+    build->SetPhase(obs::BuildPhase::kLoad);
+    obs::ScopedSpan load_span(tracer, "sf.load");
     for (uint32_t idx = loading_idx; idx < n; ++idx) {
       BulkLoader loader(trees[idx], engine_->pool(), &options);
       std::unique_ptr<MergeCursor> cursor;
@@ -442,8 +456,10 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         has_prev = true;
         ++local.keys_loaded;
         ++since_ckpt;
+        build->keys_done.fetch_add(1, std::memory_order_relaxed);
         if (options.ib_checkpoint_every_keys > 0 &&
             since_ckpt >= options.ib_checkpoint_every_keys) {
+          obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
           std::string counters_blob;
           PutCounters(&counters_blob, cursor->counters());
           auto ckpt = loader.Checkpoint(counters_blob);
@@ -470,6 +486,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   auto t_apply = std::chrono::steady_clock::now();
 
   // ---- Phase 3: side-file application (3.2.5).
+  build->SetPhase(obs::BuildPhase::kApply);
+  obs::ScopedSpan apply_span(tracer, "sf.apply");
   uint32_t applying_idx = 0;
   PageId cur_page = kInvalidPageId;
   SlotId cur_slot = 0;
@@ -560,6 +578,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         if (!s.ok()) return abort_build(s);
         ++applied;
         ++local.side_file_applied;
+        build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
       }
       OIB_RETURN_IF_ERROR(engine_->Commit(txn));
       ++local.commits;
@@ -568,11 +587,13 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     uint64_t since_commit = 0;
     for (;;) {
       OIB_FAIL_POINT("sf.apply");
+      obs::ScopedSpan batch_span(tracer, "sf.apply.batch");
       std::vector<SideFile::Entry> entries;
       auto got = side_files[idx]->ReadBatch(&cursor, options.sf_apply_batch,
                                             &entries);
       if (!got.ok()) return abort_build(got.status());
       if (*got == 0) break;  // caught up (for now)
+      batch_span.set_arg(*got);
       for (const SideFile::Entry& e : entries) {
         if (FencedOut(meta.fences[idx], ordinal, e.rid)) {
           ++ordinal;
@@ -587,10 +608,12 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         }
         ++applied;
         ++local.side_file_applied;
+        build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
       }
       since_commit += *got;
       if (since_commit >= options.sf_apply_batch) {
         // Periodic commit + progress checkpoint (3.2.5).
+        obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
         OIB_RETURN_IF_ERROR(engine_->Commit(txn));
         ++local.commits;
         meta.phase = 3;
@@ -608,7 +631,10 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   // visibility decision and its append, so after applying the residual
   // entries and flipping the flag, every future update goes directly to
   // the index.
+  apply_span.End();
+  build->SetPhase(obs::BuildPhase::kDrain);
   {
+    obs::ScopedSpan drain_span(tracer, "sf.drain");
     std::unique_lock<std::shared_mutex> gate(build->gate);
     for (uint32_t idx = 0; idx < n; ++idx) {
       // Residual entries appended since each index's catch-up loop ended.
@@ -640,11 +666,13 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
             return s;
           }
           ++local.side_file_applied;
+          build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
         }
       }
       OIB_RETURN_IF_ERROR(catalog->SetIndexReady(ids[idx]));
     }
     build->index_build.store(false);
+    build->SetPhase(obs::BuildPhase::kDone);
   }
   OIB_RETURN_IF_ERROR(engine_->Commit(txn));
   ++local.commits;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/schema.h"
+#include "obs/trace.h"
 
 namespace oib {
 
@@ -80,8 +81,10 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
     if (dice < options_.insert_pct || shard.live.empty()) {
       uint64_t id = key_counter_.fetch_add(1);
       std::string key = MakeKey(id, options_.key_width);
+      uint64_t t0 = obs::MonotonicNanos();
       auto rid = engine_->records()->InsertRecord(
           txn, table_, MakeRecord(key, options_.payload_width, rng));
+      insert_ns_->Record(obs::MonotonicNanos() - t0);
       if (rid.ok()) {
         added.emplace_back(*rid, std::move(key));
         ++txn_stats.inserts;
@@ -98,8 +101,10 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
         }
       }
       if (staged) continue;
+      uint64_t t0 = obs::MonotonicNanos();
       s = engine_->records()->DeleteRecord(txn, table_,
                                            shard.live[idx].first);
+      delete_ns_->Record(obs::MonotonicNanos() - t0);
       if (s.ok()) {
         removed_idx.push_back(idx);
         ++txn_stats.deletes;
@@ -121,17 +126,21 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
       if (change_key) {
         key = MakeKey(key_counter_.fetch_add(1), options_.key_width);
       }
+      uint64_t t0 = obs::MonotonicNanos();
       s = engine_->records()->UpdateRecord(
           txn, table_, shard.live[idx].first,
           MakeRecord(key, options_.payload_width, rng));
+      update_ns_->Record(obs::MonotonicNanos() - t0);
       if (s.ok()) {
         ++txn_stats.updates;
         if (change_key) key_changes.push_back({idx, std::move(key)});
       }
     } else {
       size_t idx = rng->Uniform(shard.live.size());
+      uint64_t t0 = obs::MonotonicNanos();
       auto rec = engine_->records()->ReadRecord(txn, table_,
                                                 shard.live[idx].first);
+      read_ns_->Record(obs::MonotonicNanos() - t0);
       s = rec.ok() ? Status::OK() : rec.status();
       if (s.ok()) ++txn_stats.reads;
     }
@@ -158,7 +167,9 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
     return;
   }
 
+  uint64_t t_commit = obs::MonotonicNanos();
   Status commit = engine_->Commit(txn);
+  commit_ns_->Record(obs::MonotonicNanos() - t_commit);
   if (!commit.ok()) {
     ++stats->aborts;
     return;

@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 
 namespace oib {
 
@@ -69,7 +70,17 @@ struct WorkloadStats {
 class Workload {
  public:
   Workload(Engine* engine, TableId table, WorkloadOptions options)
-      : engine_(engine), table_(table), options_(options) {}
+      : engine_(engine), table_(table), options_(options) {
+    // Per-op latency histograms (registry-owned, shared across workload
+    // instances): these are what the E2 availability experiment reads to
+    // report update p50/p95/p99 while a build is in flight.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    insert_ns_ = reg.GetHistogram("workload.insert_ns");
+    delete_ns_ = reg.GetHistogram("workload.delete_ns");
+    update_ns_ = reg.GetHistogram("workload.update_ns");
+    read_ns_ = reg.GetHistogram("workload.read_ns");
+    commit_ns_ = reg.GetHistogram("workload.commit_ns");
+  }
 
   ~Workload();
 
@@ -111,6 +122,12 @@ class Workload {
   Engine* engine_;
   TableId table_;
   WorkloadOptions options_;
+
+  obs::Histogram* insert_ns_ = nullptr;
+  obs::Histogram* delete_ns_ = nullptr;
+  obs::Histogram* update_ns_ = nullptr;
+  obs::Histogram* read_ns_ = nullptr;
+  obs::Histogram* commit_ns_ = nullptr;
 
   std::vector<Shard> shards_;
   std::vector<std::thread> threads_;

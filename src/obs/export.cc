@@ -1,0 +1,215 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace oib {
+namespace obs {
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_.push_back(',');
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  need_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  need_comma_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  AppendEscaped(key);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  MaybeComma();
+  AppendEscaped(v);
+}
+
+void JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-40s %20" PRIu64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "%-40s %20" PRId64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s n=%-10" PRIu64 " mean=%-12.0f p50=%-12" PRIu64
+                  " p95=%-12" PRIu64 " p99=%-12" PRIu64 " max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean(), h.Percentile(50),
+                  h.Percentile(95), h.Percentile(99), h.max);
+    out += line;
+  }
+  return out;
+}
+
+void MetricsToJson(const MetricsSnapshot& snapshot, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w->Key(name);
+    w->Value(value);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w->Key(name);
+    w->Value(value);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Value(h.count);
+    w->Key("sum");
+    w->Value(h.sum);
+    w->Key("mean");
+    w->Value(h.mean());
+    w->Key("p50");
+    w->Value(h.Percentile(50));
+    w->Key("p95");
+    w->Value(h.Percentile(95));
+    w->Key("p99");
+    w->Value(h.Percentile(99));
+    w->Key("max");
+    w->Value(h.max);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+void SpansToJson(const std::vector<Span>& spans, JsonWriter* w) {
+  w->BeginObject();
+  for (const auto& [name, agg] : AggregateSpans(spans)) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Value(agg.count);
+    w->Key("total_ns");
+    w->Value(agg.total_ns);
+    w->Key("max_ns");
+    w->Value(agg.max_ns);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (n != data.size() || rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace oib

@@ -1,0 +1,64 @@
+// Exporters: human-readable metric tables and machine-readable JSON
+// snapshots.  Every bench_e* binary writes a BENCH_<experiment>.json via
+// bench_util's reporter so results are diffable across PRs.
+
+#ifndef OIB_OBS_EXPORT_H_
+#define OIB_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace oib {
+namespace obs {
+
+// Minimal streaming JSON writer.  The caller is responsible for a
+// well-formed call sequence (Begin/End pairing, Key before each value
+// inside an object); commas are inserted automatically.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(double v);  // non-finite values emitted as null
+  void Value(bool v);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // One flag per open container: true once a value/key was emitted.
+  std::vector<bool> need_comma_{};
+  bool after_key_ = false;
+};
+
+// Fixed-width table of every metric in the snapshot (histograms as
+// count/mean/p50/p95/p99/max rows).
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot);
+
+// Emits {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,max,
+// mean,p50,p95,p99}}} as one JSON object into `w`.
+void MetricsToJson(const MetricsSnapshot& snapshot, JsonWriter* w);
+
+// Emits {"name":{"count":..,"total_ns":..,"max_ns":..},..} per span name.
+void SpansToJson(const std::vector<Span>& spans, JsonWriter* w);
+
+Status WriteStringToFile(const std::string& path, const std::string& data);
+
+}  // namespace obs
+}  // namespace oib
+
+#endif  // OIB_OBS_EXPORT_H_

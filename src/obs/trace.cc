@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+namespace oib {
+namespace obs {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* global = new Tracer(4096);
+  return *global;
+}
+
+Tracer::Tracer(size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  size_t cap = std::bit_ceil(capacity);
+  ring_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void Tracer::Record(const char* name, uint64_t start_ns, uint64_t end_ns,
+                    uint64_t arg) {
+  uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = ring_[ticket & mask_];
+  slot.seq.store(0, std::memory_order_release);  // invalidate for readers
+  size_t len = std::strlen(name);
+  if (len > sizeof(slot.name) - 1) len = sizeof(slot.name) - 1;
+  std::memcpy(slot.name, name, len);
+  slot.name[len] = '\0';
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.arg = arg;
+  slot.seq.store(ticket, std::memory_order_release);
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::vector<Span> out;
+  out.reserve(mask_ + 1);
+  for (size_t i = 0; i <= mask_; ++i) {
+    const Slot& slot = ring_[i];
+    uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 == 0) continue;
+    Span span;
+    span.seq = seq1;
+    std::memcpy(span.name, slot.name, sizeof(span.name));
+    span.start_ns = slot.start_ns;
+    span.end_ns = slot.end_ns;
+    span.arg = slot.arg;
+    uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 != seq2) continue;  // torn by a concurrent writer: drop
+    out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void Tracer::Reset() {
+  for (size_t i = 0; i <= mask_; ++i) {
+    ring_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, SpanAggregate>> AggregateSpans(
+    const std::vector<Span>& spans) {
+  std::map<std::string, SpanAggregate> agg;
+  for (const Span& s : spans) {
+    SpanAggregate& a = agg[s.name];
+    ++a.count;
+    uint64_t d = s.duration_ns();
+    a.total_ns += d;
+    if (d > a.max_ns) a.max_ns = d;
+  }
+  return {agg.begin(), agg.end()};
+}
+
+}  // namespace obs
+}  // namespace oib

@@ -1,0 +1,119 @@
+// Phase tracer: scoped spans recorded into a bounded lock-free ring
+// buffer with monotonic timestamps.
+//
+// Builders emit a span per paper-relevant phase (quiesce window,
+// descriptor creation, data scan, sort merge, IB insert batches,
+// bottom-up load, side-file drain batches, checkpoint/commit points) and
+// restart recovery emits analysis/redo/undo spans.  The ring holds the
+// most recent `capacity` completed spans; old entries are overwritten, so
+// tracing is always on and never allocates or blocks the traced thread.
+//
+// Writer protocol per slot: seq=0 (invalid) -> payload stores -> seq=ticket.
+// Readers double-check seq around the copy and drop torn slots.  Span
+// names must be string literals (the ring stores the first 31 bytes).
+
+#ifndef OIB_OBS_TRACE_H_
+#define OIB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace oib {
+namespace obs {
+
+uint64_t MonotonicNanos();
+
+struct Span {
+  uint64_t seq = 0;  // 1-based global ticket; higher = more recent
+  char name[32] = {};
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t arg = 0;  // span-defined payload (batch size, page id, ...)
+
+  uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+class Tracer {
+ public:
+  // The process-wide tracer the engine and builders record into.
+  static Tracer& Default();
+
+  // `capacity` is rounded up to a power of two.
+  explicit Tracer(size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns,
+              uint64_t arg = 0);
+
+  // Completed spans currently in the ring, oldest first.
+  std::vector<Span> Snapshot() const;
+
+  // Total spans recorded since construction/Reset (including overwritten).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return mask_ + 1; }
+
+  // Not safe against concurrent writers; call only at quiescent points
+  // (between bench runs / tests).
+  void Reset();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    char name[32] = {};
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t arg = 0;
+  };
+
+  std::unique_ptr<Slot[]> ring_;
+  size_t mask_;
+  std::atomic<uint64_t> next_{0};
+};
+
+// RAII span: records [construction, destruction) into the tracer.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, uint64_t arg = 0)
+      : tracer_(tracer), name_(name), arg_(arg), start_(MonotonicNanos()) {}
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_arg(uint64_t arg) { arg_ = arg; }
+
+  // Records the span now (idempotent; destructor becomes a no-op).
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, start_, MonotonicNanos(), arg_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t arg_;
+  uint64_t start_;
+};
+
+// Per-name rollup of a span snapshot (for exporters and benches).
+struct SpanAggregate {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+std::vector<std::pair<std::string, SpanAggregate>> AggregateSpans(
+    const std::vector<Span>& spans);
+
+}  // namespace obs
+}  // namespace oib
+
+#endif  // OIB_OBS_TRACE_H_

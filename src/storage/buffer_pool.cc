@@ -60,6 +60,17 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_pages) : disk_(disk) {
   }
 }
 
+BufferPool::~BufferPool() {
+  if (metrics_ != nullptr) metrics_->DetachOwner(this);
+}
+
+void BufferPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  registry->RegisterCounter("bufferpool.hits", &hits_, this);
+  registry->RegisterCounter("bufferpool.misses", &misses_, this);
+  registry->RegisterCounter("bufferpool.evictions", &evictions_, this);
+}
+
 StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {
   Page* page;
   {
@@ -119,11 +130,13 @@ StatusOr<Page*> BufferPool::FetchPageLocked(PageId page_id) {
     Page* page = frames_[it->second].get();
     page->Pin();
     TouchLru(page_id);
+    hits_.Inc();
     return page;
   }
   auto r = PinNewFrame(page_id);
   if (!r.ok()) return r.status();
   Page* page = *r;
+  misses_.Inc();
   Status s = disk_->ReadPage(page_id, page->data());
   if (!s.ok()) {
     // Roll back the frame binding.
@@ -174,7 +187,7 @@ Status BufferPool::EvictOne() {
     lru_.erase(std::next(it).base());
     lru_pos_.erase(victim);
     free_.push_back(idx);
-    ++evictions_;
+    evictions_.Inc();
     return Status::OK();
   }
   return Status::Busy("buffer pool exhausted: all pages pinned");

@@ -8,6 +8,7 @@
 #ifndef OIB_STORAGE_BUFFER_POOL_H_
 #define OIB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <functional>
 #include <list>
 #include <memory>
@@ -17,6 +18,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -85,6 +87,7 @@ class WritePageGuard {
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t pool_pages);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -113,7 +116,16 @@ class BufferPool {
 
   DiskManager* disk() { return disk_; }
 
-  uint64_t evictions() const { return evictions_; }
+  // Cache-effectiveness counters.  A hit is a fetch served from a resident
+  // frame; a miss reads the page from disk; fresh-page allocations count as
+  // neither.
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+
+  // Registers bufferpool.{hits,misses,evictions} with `registry` (owner =
+  // this pool; the destructor detaches them).
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   friend class ReadPageGuard;
@@ -137,7 +149,10 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;  // page -> frame index
   std::list<PageId> lru_;                          // front = most recent
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
-  uint64_t evictions_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // set by AttachMetrics
 };
 
 }  // namespace oib

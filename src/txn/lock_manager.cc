@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace oib {
 
 namespace {
@@ -41,6 +43,17 @@ LockMode LockSupremum(LockMode a, LockMode b) {
 const char* LockModeName(LockMode m) {
   static const char* kNames[] = {"IS", "IX", "S", "SIX", "X"};
   return kNames[static_cast<int>(m)];
+}
+
+LockManager::~LockManager() {
+  if (metrics_ != nullptr) metrics_->DetachOwner(this);
+}
+
+void LockManager::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  registry->RegisterCounter("lock.waits", &waits_, this);
+  registry->RegisterCounter("lock.timeouts", &timeouts_, this);
+  registry->RegisterHistogram("lock.wait_ns", &wait_ns_, this);
 }
 
 LockId TableLockId(TableId table) {
@@ -104,7 +117,8 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
   if (options.conditional) return Status::Busy("lock not available");
 
   // Wait with timeout.
-  ++waits_;
+  waits_.Inc();
+  uint64_t wait_start_ns = obs::MonotonicNanos();
   uint64_t timeout = options.timeout_ms ? options.timeout_ms
                                         : default_timeout_ms_;
   st.waiters.emplace_back(txn, mode);
@@ -120,7 +134,8 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
           break;
         }
       }
-      ++timeouts_;
+      timeouts_.Inc();
+      wait_ns_.Record(obs::MonotonicNanos() - wait_start_ns);
       cv_.notify_all();
       return Status::Aborted("lock wait timeout (presumed deadlock)");
     }
@@ -142,6 +157,7 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
         cur.holders[txn] = new_mode;
         held_[txn].insert(lock);
       }
+      wait_ns_.Record(obs::MonotonicNanos() - wait_start_ns);
       cv_.notify_all();
       return Status::OK();
     }

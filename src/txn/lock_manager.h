@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace oib {
 
@@ -53,6 +54,7 @@ class LockManager {
  public:
   explicit LockManager(uint64_t default_timeout_ms = 2000)
       : default_timeout_ms_(default_timeout_ms) {}
+  ~LockManager();
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -75,8 +77,15 @@ class LockManager {
 
   size_t held_count(TxnId txn) const;
 
-  uint64_t wait_count() const { return waits_; }
-  uint64_t timeout_count() const { return timeouts_; }
+  uint64_t wait_count() const { return waits_.value(); }
+  uint64_t timeout_count() const { return timeouts_.value(); }
+  // Time blocked waiting for locks, in nanoseconds (both granted-after-wait
+  // and timed-out requests record here).
+  const obs::Histogram& wait_hist() const { return wait_ns_; }
+
+  // Registers lock.{waits,timeouts,wait_ns} with `registry` (owner = this;
+  // the destructor detaches them).
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   struct LockState {
@@ -94,8 +103,10 @@ class LockManager {
   std::condition_variable cv_;
   std::unordered_map<LockId, LockState> locks_;
   std::unordered_map<TxnId, std::unordered_set<LockId>> held_;
-  uint64_t waits_ = 0;
-  uint64_t timeouts_ = 0;
+  obs::Counter waits_;
+  obs::Counter timeouts_;  // timeout-based deadlock aborts
+  obs::Histogram wait_ns_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace oib

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/coding.h"
+#include "obs/trace.h"
 
 namespace oib {
 
@@ -11,7 +12,27 @@ namespace {
 constexpr size_t kFrameHeader = 4;
 }  // namespace
 
+LogManager::~LogManager() {
+  if (metrics_ != nullptr) metrics_->DetachOwner(this);
+}
+
+void LogManager::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  registry->RegisterValueFn(
+      "wal.records", [this] { return stats().records; }, this);
+  registry->RegisterValueFn(
+      "wal.bytes", [this] { return stats().bytes; }, this);
+  registry->RegisterValueFn(
+      "wal.flushes", [this] { return stats().flushes; }, this);
+  registry->RegisterHistogram("wal.append_ns", &append_ns_, this);
+  registry->RegisterHistogram("wal.flush_ns", &flush_ns_, this);
+}
+
 Status LogManager::Append(LogRecord* rec) {
+  const bool timed =
+      (append_tick_.fetch_add(1, std::memory_order_relaxed) &
+       kAppendSampleMask) == 0;
+  const uint64_t t0 = timed ? obs::MonotonicNanos() : 0;
   std::string payload;
   rec->SerializeTo(&payload);
   std::lock_guard<std::mutex> g(mu_);
@@ -26,10 +47,12 @@ Status LogManager::Append(LogRecord* rec) {
     ++stats_.records_by_rm[rm];
     stats_.bytes_by_rm[rm] += kFrameHeader + payload.size();
   }
+  if (timed) append_ns_.Record(obs::MonotonicNanos() - t0);
   return Status::OK();
 }
 
 Status LogManager::Flush(Lsn lsn) {
+  uint64_t t0 = obs::MonotonicNanos();
   std::lock_guard<std::mutex> g(mu_);
   // Records never straddle the durable boundary (flush always moves the
   // whole tail), so a record is durable iff it starts inside durable_.
@@ -38,6 +61,7 @@ Status LogManager::Flush(Lsn lsn) {
   durable_.append(tail_);
   tail_.clear();
   ++stats_.flushes;
+  flush_ns_.Record(obs::MonotonicNanos() - t0);
   return Status::OK();
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "wal/log_record.h"
 
 namespace oib {
@@ -36,6 +37,7 @@ struct LogStats {
 class LogManager {
  public:
   LogManager() = default;
+  ~LogManager();
 
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
@@ -64,11 +66,28 @@ class LogManager {
   LogStats stats() const;
   void ResetStats();
 
+  const obs::Histogram& append_hist() const { return append_ns_; }
+  const obs::Histogram& flush_hist() const { return flush_ns_; }
+
+  // Registers wal.{records,bytes,flushes,append_ns,flush_ns} with
+  // `registry` (owner = this; the destructor detaches them).  The Env's
+  // log outlives Engine incarnations, so a Restart re-attaching the same
+  // names simply replaces identical entries.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
+  // Appends are timed 1-in-64: the clock read costs more than the append
+  // itself on some hosts, so the untimed path pays only this relaxed tick.
+  static constexpr uint64_t kAppendSampleMask = 63;
+
   mutable std::mutex mu_;
   std::string durable_;
   std::string tail_;  // appended after durable_
   LogStats stats_;
+  std::atomic<uint64_t> append_tick_{0};
+  obs::Histogram append_ns_;  // sampled
+  obs::Histogram flush_ns_;   // only flushes that moved the boundary
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace oib

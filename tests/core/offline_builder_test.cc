@@ -71,8 +71,12 @@ TEST_F(OfflineBuilderTest, BlocksConcurrentUpdatesForWholeBuild) {
     build_done.store(true);
   });
   // Wait until the builder holds the table X lock (a conditional IS probe
-  // comes back Busy).
-  for (;;) {
+  // comes back Busy).  On a loaded single-core machine this thread can be
+  // starved past the entire lock window, so also stop once the build is
+  // over — spinning forever here used to hang the suite (and each probe
+  // txn appends WAL, so the spin also exhausted memory).
+  bool caught_lock_window = false;
+  while (!build_done.load()) {
     Transaction* probe = engine_->Begin();
     LockOptions opt;
     opt.conditional = true;
@@ -80,12 +84,16 @@ TEST_F(OfflineBuilderTest, BlocksConcurrentUpdatesForWholeBuild) {
     Status s = engine_->locks()->Lock(probe->id(), TableLockId(table),
                                       LockMode::kIS, opt);
     (void)engine_->Rollback(probe);
-    if (s.IsBusy()) break;
+    if (s.IsBusy()) {
+      caught_lock_window = true;
+      break;
+    }
     std::this_thread::yield();
   }
   // While the build holds its X lock, an updater's conditional IX is
   // denied — "current DBMSs do not allow updates while building an index".
-  {
+  // (Skipped when the build outran the probe: the window is gone.)
+  if (caught_lock_window) {
     Transaction* txn = engine_->Begin();
     LockOptions opt;
     opt.conditional = true;

@@ -1,0 +1,200 @@
+// Metrics layer tests: histogram bucket layout, quantile extraction,
+// lock-free counters under contention, and registry ownership rules.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace oib {
+namespace obs {
+namespace {
+
+TEST(HistogramBucketsTest, SmallValuesGetExactBuckets) {
+  // Values 0..3 are below the first sub-bucketed octave and must map to
+  // dedicated buckets whose range is a single value.
+  for (uint64_t v = 0; v < 4; ++v) {
+    uint32_t b = HistogramBuckets::Index(v);
+    EXPECT_EQ(HistogramBuckets::LowerBound(b), v);
+    EXPECT_EQ(HistogramBuckets::UpperBound(b), v);
+  }
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotonicAndRoundTrips) {
+  uint32_t prev = 0;
+  for (int shift = 0; shift < 64; ++shift) {
+    for (uint64_t delta : {0ull, 1ull}) {
+      uint64_t v = (1ull << shift) + delta;
+      if (delta > 0 && v < delta) continue;  // overflow wrap
+      uint32_t b = HistogramBuckets::Index(v);
+      ASSERT_LT(b, HistogramBuckets::kNumBuckets);
+      EXPECT_GE(b, prev);
+      prev = b;
+      // Every value lies inside its own bucket's [lower, upper] range.
+      EXPECT_LE(HistogramBuckets::LowerBound(b), v);
+      EXPECT_GE(HistogramBuckets::UpperBound(b), v);
+    }
+  }
+  EXPECT_EQ(HistogramBuckets::Index(~0ull),
+            HistogramBuckets::Index(~0ull));  // no out-of-range UB
+}
+
+TEST(HistogramBucketsTest, BucketsTileTheRangeWithoutGaps) {
+  // upper(b) + 1 == lower(b+1) for every adjacent pair: no value can
+  // fall between buckets and none belongs to two.
+  for (uint32_t b = 0; b + 1 < HistogramBuckets::kNumBuckets; ++b) {
+    uint64_t upper = HistogramBuckets::UpperBound(b);
+    if (upper == ~0ull) break;  // reached the top of the uint64 range
+    EXPECT_EQ(upper + 1, HistogramBuckets::LowerBound(b + 1))
+        << "gap after bucket " << b;
+  }
+}
+
+TEST(HistogramTest, CountSumMax) {
+  Histogram h;
+  h.Record(5);
+  h.Record(10);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 18u);
+  EXPECT_EQ(h.max(), 10u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Snapshot().Percentile(50), 0u);
+}
+
+TEST(HistogramTest, PercentilesOnUniformData) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  // Log buckets guarantee <= 25% relative error (kSubBits = 2).
+  uint64_t p50 = s.Percentile(50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 625u);
+  uint64_t p99 = s.Percentile(99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1000u);  // clamped to observed max
+  EXPECT_EQ(s.Percentile(100), s.max);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+}
+
+TEST(HistogramTest, PercentileOfSingleValue) {
+  Histogram h;
+  h.Record(42);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Percentile(0), 42u);
+  EXPECT_EQ(s.Percentile(50), 42u);
+  EXPECT_EQ(s.Percentile(100), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (uint64_t j = 0; j < kPerThread; ++j) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotals) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&h] {
+      for (uint64_t j = 0; j < kPerThread; ++j) h.Record(7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.sum(), 7 * kThreads * kPerThread);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(MetricsRegistryTest, CreateOrGetReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("a.counter");
+  Counter* c2 = reg.GetCounter("a.counter");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("a.hist");
+  EXPECT_EQ(h1, reg.GetHistogram("a.hist"));
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("x"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ComponentRegistrationAndDetach) {
+  MetricsRegistry reg;
+  Counter mine;
+  mine.Inc(7);
+  int owner_token = 0;
+  reg.RegisterCounter("comp.hits", &mine, &owner_token);
+  MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("comp.hits"), 7u);
+
+  reg.DetachOwner(&owner_token);
+  snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.count("comp.hits"), 0u);
+}
+
+TEST(MetricsRegistryTest, ReRegisterReplacesEntry) {
+  // Engine restart re-attaches the same names with new components.
+  MetricsRegistry reg;
+  Counter first, second;
+  first.Inc(1);
+  second.Inc(2);
+  int owner_a = 0, owner_b = 0;
+  reg.RegisterCounter("comp.hits", &first, &owner_a);
+  reg.RegisterCounter("comp.hits", &second, &owner_b);
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("comp.hits"), 2u);
+  // Detaching the stale owner must not remove the live replacement.
+  reg.DetachOwner(&owner_a);
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("comp.hits"), 2u);
+}
+
+TEST(MetricsRegistryTest, ValueFnAppearsAmongCounters) {
+  MetricsRegistry reg;
+  uint64_t source = 41;
+  int owner_token = 0;
+  reg.RegisterValueFn("derived.value", [&source] { return source; },
+                      &owner_token);
+  source = 42;
+  EXPECT_EQ(reg.TakeSnapshot().counters.at("derived.value"), 42u);
+  reg.DetachOwner(&owner_token);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesMetricsButNotValueFns) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Inc(5);
+  reg.GetGauge("g")->Set(-3);
+  reg.GetHistogram("h")->Record(100);
+  int owner_token = 0;
+  reg.RegisterValueFn("fn", [] { return 9u; }, &owner_token);
+
+  reg.ResetAll();
+  MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.gauges.at("g"), 0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+  EXPECT_EQ(snap.counters.at("fn"), 9u);  // callbacks untouched
+  reg.DetachOwner(&owner_token);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace oib

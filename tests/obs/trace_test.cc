@@ -1,0 +1,141 @@
+// Tracer tests: scoped span recording, ring-buffer wraparound, and the
+// per-name aggregation used by exporters.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace oib {
+namespace obs {
+namespace {
+
+TEST(TracerTest, ScopedSpanRecordsNameTimesAndArg) {
+  Tracer tracer(16);
+  uint64_t before = MonotonicNanos();
+  {
+    ScopedSpan span(&tracer, "unit.test", 7);
+  }
+  uint64_t after = MonotonicNanos();
+
+  std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit.test");
+  EXPECT_EQ(spans[0].arg, 7u);
+  EXPECT_GE(spans[0].start_ns, before);
+  EXPECT_LE(spans[0].start_ns, spans[0].end_ns);
+  EXPECT_LE(spans[0].end_ns, after);
+}
+
+TEST(TracerTest, EndIsIdempotentAndSetArgApplies) {
+  Tracer tracer(16);
+  {
+    ScopedSpan span(&tracer, "once");
+    span.set_arg(99);
+    span.End();
+    span.End();  // destructor also becomes a no-op
+  }
+  std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg, 99u);
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(TracerTest, CapacityRoundsUpToPowerOfTwo) {
+  Tracer tracer(5);
+  EXPECT_EQ(tracer.capacity(), 8u);
+}
+
+TEST(TracerTest, RingWrapsKeepingMostRecentSpans) {
+  Tracer tracer(8);
+  constexpr uint64_t kTotal = 20;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    tracer.Record("wrap", i, i + 1, i);
+  }
+  EXPECT_EQ(tracer.recorded(), kTotal);
+
+  std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), tracer.capacity());
+  // Oldest-first, consecutive seq numbers, and exactly the newest
+  // `capacity` spans survive (args 12..19 for 20 recorded into 8 slots).
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].arg, kTotal - spans.size() + i);
+    if (i > 0) {
+      EXPECT_EQ(spans[i].seq, spans[i - 1].seq + 1);
+    }
+  }
+  EXPECT_EQ(spans.back().seq, kTotal);
+}
+
+TEST(TracerTest, ResetEmptiesTheRing) {
+  Tracer tracer(8);
+  tracer.Record("a", 0, 1);
+  tracer.Reset();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, ConcurrentWritersLoseNothingBeforeWrap) {
+  // With capacity >= total spans, every span must be present exactly once.
+  Tracer tracer(1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t arg = static_cast<uint64_t>(t) * kPerThread + i;
+        tracer.Record("mt", arg, arg + 1, arg);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), size_t{kThreads} * kPerThread);
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (const Span& s : spans) {
+    ASSERT_LT(s.arg, seen.size());
+    EXPECT_FALSE(seen[s.arg]);
+    seen[s.arg] = true;
+  }
+}
+
+TEST(TracerTest, AggregateSpansRollsUpPerName) {
+  Tracer tracer(16);
+  tracer.Record("phase.a", 0, 10);
+  tracer.Record("phase.a", 10, 40);
+  tracer.Record("phase.b", 0, 5);
+  auto agg = AggregateSpans(tracer.Snapshot());
+  ASSERT_EQ(agg.size(), 2u);
+  for (const auto& [name, a] : agg) {
+    if (name == "phase.a") {
+      EXPECT_EQ(a.count, 2u);
+      EXPECT_EQ(a.total_ns, 40u);
+      EXPECT_EQ(a.max_ns, 30u);
+    } else {
+      EXPECT_EQ(name, "phase.b");
+      EXPECT_EQ(a.count, 1u);
+      EXPECT_EQ(a.total_ns, 5u);
+    }
+  }
+}
+
+TEST(TracerTest, LongNamesAreTruncatedNotOverflowed) {
+  Tracer tracer(8);
+  const char* long_name =
+      "a.name.much.longer.than.the.thirty.one.bytes.a.slot.stores";
+  tracer.Record(long_name, 0, 1);
+  std::vector<Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::strlen(spans[0].name), 31u);
+  EXPECT_EQ(std::string(spans[0].name), std::string(long_name).substr(0, 31));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace oib

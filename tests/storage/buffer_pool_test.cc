@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 
 namespace oib {
@@ -117,6 +118,51 @@ TEST_F(BufferPoolTest, ConcurrentReadersShareLatch) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(readers.load(), 4);
+}
+
+TEST_F(BufferPoolTest, HitMissCountersTrackFetches) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage(&id);
+    ASSERT_TRUE(guard.ok());
+    guard->MarkDirty();
+  }
+  uint64_t hits0 = pool_.hits();
+  uint64_t misses0 = pool_.misses();
+  // Resident page: every fetch is a hit.
+  for (int i = 0; i < 3; ++i) {
+    auto rd = pool_.FetchRead(id);
+    ASSERT_TRUE(rd.ok());
+  }
+  EXPECT_EQ(pool_.hits(), hits0 + 3);
+  EXPECT_EQ(pool_.misses(), misses0);
+  // Evict it by churning through the 8-frame pool, then fetch again.
+  for (int i = 0; i < 20; ++i) {
+    PageId other;
+    ASSERT_TRUE(pool_.NewPage(&other).ok());
+  }
+  uint64_t misses1 = pool_.misses();
+  auto rd = pool_.FetchRead(id);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(pool_.misses(), misses1 + 1);
+}
+
+TEST_F(BufferPoolTest, MetricsRegistryExposesCounters) {
+  // The process-wide registry: it outlives the pool, whose destructor
+  // detaches the entries it registered here.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  pool_.AttachMetrics(&registry);
+  PageId id;
+  {
+    auto guard = pool_.NewPage(&id);
+    ASSERT_TRUE(guard.ok());
+  }
+  ASSERT_TRUE(pool_.FetchRead(id).ok());
+  obs::MetricsSnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("bufferpool.hits"), pool_.hits());
+  EXPECT_EQ(snap.counters.at("bufferpool.misses"), pool_.misses());
+  EXPECT_EQ(snap.counters.at("bufferpool.evictions"), pool_.evictions());
+  EXPECT_GE(snap.counters.at("bufferpool.hits"), 1u);
 }
 
 TEST(DiskManagerTest, AllocateReuseAndNoReuse) {
