@@ -5,6 +5,17 @@
 // traverses the tree from the root, while NSF pays per-leaf logging and
 // (hint-assisted) traversals.  Offline is the overall floor but blocks
 // updates entirely (quantified in E2).
+//
+// The --threads sweep exercises the parallel BuildPipeline: the scan is
+// partitioned across build_threads workers and the final merge overlaps
+// the load/insert phase.  scan/merge/load columns are per-stage *busy*
+// times (scan sums every worker), total_ms is wall clock; with threads>1
+// the busy columns can add up to more than the wall clock.
+//
+// Usage: bench_e1_build [--threads=1,2,4] [--rows=20000,60000]
+
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 
@@ -12,8 +23,23 @@ namespace oib {
 namespace bench {
 namespace {
 
-void RunOne(const char* algo, uint64_t rows, BenchReport* report) {
-  World w = MakeWorld(rows);
+std::vector<uint64_t> ParseList(const char* s) {
+  std::vector<uint64_t> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+void RunOne(const char* algo, uint64_t rows, size_t threads,
+            BenchReport* report) {
+  Options options = DefaultBenchOptions();
+  options.build_threads = threads;
+  World w = MakeWorld(rows, options);
   BuildParams params = KeyIndexParams(w.table, "idx");
   BuildStats stats;
   IndexId index = kInvalidIndexId;
@@ -31,39 +57,53 @@ void RunOne(const char* algo, uint64_t rows, BenchReport* report) {
   }
   double elapsed = NowMs() - t0;
   if (!s.ok()) {
-    std::printf("%-8s %8llu  BUILD FAILED: %s\n", algo,
-                (unsigned long long)rows, s.ToString().c_str());
+    std::printf("%-8s %8llu %3zu  BUILD FAILED: %s\n", algo,
+                (unsigned long long)rows, threads, s.ToString().c_str());
     return;
   }
   MustBeConsistent(w.engine.get(), w.table, index);
   std::printf(
-      "%-8s %8llu %10.1f %9.1f %9.1f %9.1f %10llu %12llu %8llu\n", algo,
-      (unsigned long long)rows, elapsed, stats.scan_ms, stats.load_ms,
-      stats.apply_ms, (unsigned long long)stats.log_records,
+      "%-8s %8llu %3zu %10.1f %9.1f %9.1f %9.1f %9.1f %10llu %12llu %8llu\n",
+      algo, (unsigned long long)rows, threads, elapsed, stats.scan_ms,
+      stats.merge_ms, stats.load_ms, stats.apply_ms,
+      (unsigned long long)stats.log_records,
       (unsigned long long)stats.log_bytes,
       (unsigned long long)stats.sort_runs);
-  report->AddRow(std::string(algo) + "/" + std::to_string(rows),
+  report->AddRow(std::string(algo) + "/" + std::to_string(rows) + "/t" +
+                     std::to_string(threads),
                  {{"rows", static_cast<double>(rows)},
+                  {"threads", static_cast<double>(threads)},
                   {"total_ms", elapsed},
-                  {"scan_ms", stats.scan_ms},
-                  {"load_ms", stats.load_ms},
+                  {"elapsed_ms", stats.elapsed_ms},
+                  {"scan_busy_ms", stats.scan_ms},
+                  {"merge_busy_ms", stats.merge_ms},
+                  {"load_busy_ms", stats.load_ms},
                   {"apply_ms", stats.apply_ms},
                   {"log_records", static_cast<double>(stats.log_records)},
                   {"log_bytes", static_cast<double>(stats.log_bytes)},
                   {"sort_runs", static_cast<double>(stats.sort_runs)}});
 }
 
-void Run() {
+void Run(const std::vector<uint64_t>& threads_sweep,
+         const std::vector<uint64_t>& rows_sweep) {
   PrintHeader("E1: index build cost, no concurrent updates",
               "SF builds faster than NSF (no IB logging, no traversals); "
-              "both close to the offline bottom-up floor");
+              "both close to the offline bottom-up floor; threads>1 "
+              "parallelizes scan and overlaps merge with load");
   BenchReport report("e1");
-  std::printf("%-8s %8s %10s %9s %9s %9s %10s %12s %8s\n", "algo", "rows",
-              "total_ms", "scan_ms", "load_ms", "apply_ms", "log_recs",
-              "log_bytes", "runs");
-  for (uint64_t rows : {20000ull, 60000ull}) {
+  std::printf("%-8s %8s %3s %10s %9s %9s %9s %9s %10s %12s %8s\n", "algo",
+              "rows", "thr", "total_ms", "scan_ms", "merge_ms", "load_ms",
+              "apply_ms", "log_recs", "log_bytes", "runs");
+  for (uint64_t rows : rows_sweep) {
     for (const char* algo : {"offline", "sf", "nsf"}) {
-      RunOne(algo, rows, &report);
+      for (uint64_t threads : threads_sweep) {
+        // NSF's insert phase is tree-bound; sweep it at baseline only to
+        // keep runtime bounded (its scan parallelism mirrors SF's).
+        if (std::string(algo) == "nsf" && threads != threads_sweep.front()) {
+          continue;
+        }
+        RunOne(algo, rows, static_cast<size_t>(threads), &report);
+      }
     }
   }
   report.Write();
@@ -73,7 +113,21 @@ void Run() {
 }  // namespace bench
 }  // namespace oib
 
-int main() {
-  oib::bench::Run();
+int main(int argc, char** argv) {
+  std::vector<uint64_t> threads = {1, 2, 4};
+  std::vector<uint64_t> rows = {20000ull, 60000ull};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = oib::bench::ParseList(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = oib::bench::ParseList(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=1,2,4] [--rows=N,...]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (threads.empty() || rows.empty()) return 2;
+  oib::bench::Run(threads, rows);
   return 0;
 }

@@ -50,7 +50,26 @@ struct Options {
   size_t sf_apply_batch = 1024;
   // Sort the side-file before applying it (section 3.2.5 optimization).
   bool sf_sort_side_file = false;
+
+  // --- build pipeline ---
+  // Scan workers for the partitioned extract+sort phase.  1 keeps the
+  // whole build on the calling thread (deterministic, seed-equivalent);
+  // N > 1 splits the heap chain into N page ranges scanned concurrently.
+  size_t build_threads = 1;
+  // Sorted items handed from the final merge to the consumer (bulk loader
+  // / IbInsertBatch) per batch; also the consumer's checkpoint grain.
+  size_t merge_batch_keys = 1024;
+  // Bounded merge->consumer queue depth when the merge runs on its own
+  // thread (build_threads > 1).  2 = classic double buffering.
+  size_t merge_queue_depth = 2;
 };
+
+class Status;
+
+// Rejects configurations the engine would silently misbehave on (zero
+// workspaces, zero batch sizes, build_threads == 0, ...).  Called by
+// Engine::Open/Restart before any component is wired up.
+Status ValidateOptions(const Options& options);
 
 }  // namespace oib
 

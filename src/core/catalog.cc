@@ -8,14 +8,28 @@ namespace {
 constexpr char kCatalogMetaKey[] = "catalog";
 }  // namespace
 
+// Lock ordering: update transactions acquire mu_ (via IndexesOf in
+// RecordManager::PlanFor) while holding heap page latches, so the catalog
+// must never take a page latch while holding mu_.  Mutators therefore
+// reserve the name/id under mu_, release it for the page-latching
+// Create()/Open() work (the new object's pages are private to this thread
+// until published), then re-acquire mu_ to publish and persist.
+
 StatusOr<TableId> Catalog::CreateTable(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (const auto& [id, info] : tables_) {
-    if (info.name == name) return Status::InvalidArgument("table exists");
+  TableId id;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& [tid, info] : tables_) {
+      if (info.name == name) return Status::InvalidArgument("table exists");
+    }
+    id = next_table_id_++;
   }
-  TableId id = next_table_id_++;
   auto heap = std::make_unique<HeapFile>(id, pool_, txns_);
   OIB_RETURN_IF_ERROR(heap->Create());
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [tid, info] : tables_) {
+    if (info.name == name) return Status::InvalidArgument("table exists");
+  }
   TableInfo info{id, name, heap->first_page()};
   tables_[id] = info;
   heaps_[id] = std::move(heap);
@@ -41,14 +55,17 @@ StatusOr<TableId> Catalog::TableByName(const std::string& name) const {
 StatusOr<IndexDescriptor> Catalog::CreateIndex(
     const std::string& name, TableId table, bool unique,
     std::vector<uint32_t> key_cols, BuildAlgo algo) {
-  std::lock_guard<std::mutex> g(mu_);
-  if (tables_.find(table) == tables_.end()) {
-    return Status::NotFound("no such table");
+  IndexId id;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (tables_.find(table) == tables_.end()) {
+      return Status::NotFound("no such table");
+    }
+    for (const auto& [iid, d] : indexes_) {
+      if (d.name == name) return Status::InvalidArgument("index exists");
+    }
+    id = next_index_id_++;
   }
-  for (const auto& [id, d] : indexes_) {
-    if (d.name == name) return Status::InvalidArgument("index exists");
-  }
-  IndexId id = next_index_id_++;
   auto tree = std::make_unique<BTree>(id, pool_, txns_, options_);
   OIB_RETURN_IF_ERROR(tree->Create());
 
@@ -62,13 +79,21 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
   d.state = IndexState::kBuilding;
   d.algo = algo;
 
+  std::unique_ptr<SideFile> sf;
   if (algo == BuildAlgo::kSf) {
-    auto sf = std::make_unique<SideFile>(id, pool_, txns_);
+    sf = std::make_unique<SideFile>(id, pool_, txns_);
     OIB_RETURN_IF_ERROR(sf->Create());
     d.side_file_first = sf->first_page();
-    side_files_[id] = std::move(sf);
   }
 
+  std::lock_guard<std::mutex> g(mu_);
+  if (tables_.find(table) == tables_.end()) {
+    return Status::NotFound("no such table");
+  }
+  for (const auto& [iid, existing] : indexes_) {
+    if (existing.name == name) return Status::InvalidArgument("index exists");
+  }
+  if (sf != nullptr) side_files_[id] = std::move(sf);
   indexes_[id] = d;
   trees_[id] = std::move(tree);
   table_indexes_[table].push_back(id);
@@ -186,10 +211,22 @@ Status Catalog::Load() {
   if (s.IsNotFound()) return Status::OK();  // fresh database
   OIB_RETURN_IF_ERROR(s);
 
-  std::lock_guard<std::mutex> g(mu_);
+  // Parse and re-open every object into locals first: Open() latches
+  // pages, which must not happen under mu_ (see the ordering note above
+  // CreateTable).  Load runs during startup before updaters exist, but
+  // the mu_ -> page-latch edge would still poison the process-wide lock
+  // order.
+  std::map<TableId, TableInfo> tables;
+  std::map<TableId, std::unique_ptr<HeapFile>> heaps;
+  std::map<IndexId, IndexDescriptor> indexes;
+  std::map<IndexId, std::unique_ptr<BTree>> trees;
+  std::map<IndexId, std::unique_ptr<SideFile>> side_files;
+  std::map<TableId, std::vector<IndexId>> table_indexes;
+  uint32_t next_table_id, next_index_id;
+
   BufferReader r(blob);
   uint32_t n_tables, n_indexes, n_orders;
-  if (!r.GetFixed32(&next_table_id_) || !r.GetFixed32(&next_index_id_) ||
+  if (!r.GetFixed32(&next_table_id) || !r.GetFixed32(&next_index_id) ||
       !r.GetFixed32(&n_tables)) {
     return Status::Corruption("catalog blob");
   }
@@ -199,10 +236,10 @@ Status Catalog::Load() {
         !r.GetFixed32(&info.first_page)) {
       return Status::Corruption("catalog table entry");
     }
-    tables_[info.id] = info;
+    tables[info.id] = info;
     auto heap = std::make_unique<HeapFile>(info.id, pool_, txns_);
     OIB_RETURN_IF_ERROR(heap->Open(info.first_page));
-    heaps_[info.id] = std::move(heap);
+    heaps[info.id] = std::move(heap);
   }
   if (!r.GetFixed32(&n_indexes)) return Status::Corruption("catalog blob");
   for (uint32_t i = 0; i < n_indexes; ++i) {
@@ -229,13 +266,13 @@ Status Catalog::Load() {
 
     auto tree = std::make_unique<BTree>(d.id, pool_, txns_, options_);
     OIB_RETURN_IF_ERROR(tree->Open(d.anchor));
-    trees_[d.id] = std::move(tree);
+    trees[d.id] = std::move(tree);
     if (d.side_file_first != kInvalidPageId) {
       auto sf = std::make_unique<SideFile>(d.id, pool_, txns_);
       OIB_RETURN_IF_ERROR(sf->Open(d.side_file_first));
-      side_files_[d.id] = std::move(sf);
+      side_files[d.id] = std::move(sf);
     }
-    indexes_[d.id] = std::move(d);
+    indexes[d.id] = std::move(d);
   }
   if (!r.GetFixed32(&n_orders)) return Status::Corruption("catalog blob");
   for (uint32_t i = 0; i < n_orders; ++i) {
@@ -243,13 +280,23 @@ Status Catalog::Load() {
     if (!r.GetFixed32(&table) || !r.GetFixed32(&n)) {
       return Status::Corruption("catalog order entry");
     }
-    std::vector<IndexId>& order = table_indexes_[table];
+    std::vector<IndexId>& order = table_indexes[table];
     for (uint32_t j = 0; j < n; ++j) {
       uint32_t id;
       if (!r.GetFixed32(&id)) return Status::Corruption("order id");
       order.push_back(id);
     }
   }
+
+  std::lock_guard<std::mutex> g(mu_);
+  next_table_id_ = next_table_id;
+  next_index_id_ = next_index_id;
+  tables_ = std::move(tables);
+  heaps_ = std::move(heaps);
+  indexes_ = std::move(indexes);
+  trees_ = std::move(trees);
+  side_files_ = std::move(side_files);
+  table_indexes_ = std::move(table_indexes);
   return Status::OK();
 }
 

@@ -41,6 +41,7 @@ void Engine::WireUp() {
 
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
                                                Env* env) {
+  OIB_RETURN_IF_ERROR(ValidateOptions(options));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
   return engine;
@@ -49,6 +50,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
 StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
                                                   Env* env,
                                                   RecoveryStats* stats) {
+  OIB_RETURN_IF_ERROR(ValidateOptions(options));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "core/build_pipeline.h"
 #include "core/schema.h"
 
 namespace oib {
@@ -41,6 +42,7 @@ std::string EncodeBuildMeta(const BuildMeta& meta) {
     for (const SideFileFence& f : per_index) {
       PutFixed64(&blob, f.before_ordinal);
       PutFixed64(&blob, f.rid_floor);
+      PutFixed64(&blob, f.rid_ceiling);
     }
   }
   PutLengthPrefixed(&blob, meta.phase_blob);
@@ -73,7 +75,8 @@ Status DecodeBuildMeta(const std::string& blob, BuildMeta* meta) {
     std::vector<SideFileFence> per_index;
     for (uint32_t j = 0; j < n; ++j) {
       SideFileFence f;
-      if (!r.GetFixed64(&f.before_ordinal) || !r.GetFixed64(&f.rid_floor)) {
+      if (!r.GetFixed64(&f.before_ordinal) || !r.GetFixed64(&f.rid_floor) ||
+          !r.GetFixed64(&f.rid_ceiling)) {
         return Status::Corruption("build meta fence");
       }
       per_index.push_back(f);
@@ -184,19 +187,49 @@ Status ReattachInterruptedBuilds(Engine* engine) {
         meta = std::move(fresh);
       }
       build->current_rid.store(meta->current_rid);
-      // Restart fence: the scan resumes from current_rid, so pre-crash
-      // entries for RIDs at or above it describe changes IB will
-      // re-extract; they must be skipped during apply (see DESIGN.md).
+      // Restart fences: the resumed scan re-extracts every partition's
+      // pages from its last checkpointed position up to its bound, so
+      // pre-crash side-file entries for RIDs in those re-scan regions
+      // describe changes IB will re-extract and must be skipped during
+      // apply.  Entries for already-extracted regions (below a
+      // partition's saved position) must NOT be fenced — they are the
+      // only record of post-extraction changes (see DESIGN.md).  Once the
+      // scan phase is durably complete (phase >= 2) nothing is rescanned
+      // and no fence is needed.
       if (meta->fences.size() != meta->indexes.size()) {
         meta->fences.assign(meta->indexes.size(), {});
       }
-      for (size_t i = 0; i < meta->indexes.size(); ++i) {
-        SideFile* sf = engine->catalog()->side_file(meta->indexes[i]);
-        if (sf == nullptr) return Status::Corruption("missing side file");
-        SideFileFence fence;
-        fence.before_ordinal = sf->entries_appended();
-        fence.rid_floor = meta->current_rid;
-        meta->fences[i].push_back(fence);
+      if (meta->phase <= 1) {
+        std::vector<std::pair<uint64_t, uint64_t>> regions;
+        ScanPlan plan;
+        if (!meta->phase_blob.empty()) {
+          OIB_RETURN_IF_ERROR(DecodeScanPlan(meta->phase_blob, &plan));
+        }
+        if (!plan.parts.empty()) {
+          for (const ScanPartition& part : plan.parts) {
+            if (part.next == kInvalidPageId) continue;
+            uint64_t lo = PackRid(Rid(part.next, 0));
+            uint64_t hi = part.bound == kInvalidPageId
+                              ? ~0ull
+                              : PackRid(Rid(part.bound, 0));
+            if (lo < hi) regions.emplace_back(lo, hi);
+          }
+        } else {
+          // Crash before the first checkpoint: the whole chain is
+          // rescanned, so every pre-crash entry is stale.
+          regions.emplace_back(0, ~0ull);
+        }
+        for (size_t i = 0; i < meta->indexes.size(); ++i) {
+          SideFile* sf = engine->catalog()->side_file(meta->indexes[i]);
+          if (sf == nullptr) return Status::Corruption("missing side file");
+          for (const auto& [lo, hi] : regions) {
+            SideFileFence fence;
+            fence.before_ordinal = sf->entries_appended();
+            fence.rid_floor = lo;
+            fence.rid_ceiling = hi;
+            meta->fences[i].push_back(fence);
+          }
+        }
       }
       OIB_RETURN_IF_ERROR(SaveBuildMeta(engine, table, *meta));
     }

@@ -51,10 +51,17 @@ struct BuildStats {
   uint64_t commits = 0;
   double quiesce_ms = 0.0;  // time updates were blocked (NSF descriptor /
                             // offline whole build)
-  // Phase timings (wall clock).
-  double scan_ms = 0.0;   // data scan + pipelined sort
+  // Phase timings.  With the parallel BuildPipeline, stages overlap (N
+  // scan workers; merge runs concurrently with load/insert), so these are
+  // per-stage *busy* times: scan_ms sums every scan worker's active time,
+  // merge_ms is the final merge's producer-side time, load_ms the
+  // consumer's (bulk load / IbInsertBatch) time.  They no longer add up
+  // to wall clock — elapsed_ms is the build's wall-clock duration.
+  double scan_ms = 0.0;   // partitioned scan + run generation (summed busy)
+  double merge_ms = 0.0;  // final N-way merge (busy)
   double load_ms = 0.0;   // bottom-up load (SF/offline) / key inserts (NSF)
-  double apply_ms = 0.0;  // side-file application (SF)
+  double apply_ms = 0.0;  // side-file application (SF, wall clock)
+  double elapsed_ms = 0.0;  // whole build, wall clock
   // Log volume attributable to the build (delta of LogManager stats
   // between build start and end; includes transaction traffic if any ran
   // concurrently — benches isolate as needed).
@@ -126,9 +133,16 @@ Status VerifyUniqueConflict(Engine* engine, TxnId locker, TableId table,
 
 std::string BuildMetaKey(TableId table);
 
+// Restart fence: a pre-crash side-file entry (ordinal < before_ordinal)
+// whose RID falls in [rid_floor, rid_ceiling) describes a change the
+// resumed scan will re-extract, so it must be skipped during apply.  With
+// per-partition checkpoints there is one fence per re-scan region (each
+// partition's saved position up to its bound); the single-frontier case is
+// the special case {ordinal, current_rid, UINT64_MAX}.
 struct SideFileFence {
   uint64_t before_ordinal = 0;  // applies to entries appended before this
-  uint64_t rid_floor = 0;       // packed RID: skip entries with rid >= floor
+  uint64_t rid_floor = 0;       // packed RID, inclusive
+  uint64_t rid_ceiling = ~0ull;  // packed RID, exclusive
 };
 
 struct BuildMeta {

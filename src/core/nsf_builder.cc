@@ -3,16 +3,20 @@
 // Pipeline: (1) create the descriptor under a short table-S quiesce, after
 // which transactions maintain the new index directly; (2) scan the data
 // pages with latches only (no locks), extracting and sorting keys in a
-// pipelined, checkpointed fashion (restartable sort, section 5); (3) feed
-// the final merge pass into multi-key index inserts with duplicate
-// rejection, IB-mode splits, and periodic highest-position checkpoints
-// with commits (section 2.2.3); (4) make the index available for reads.
+// pipelined, checkpointed fashion (restartable sort, section 5) — the
+// scan is partitioned across build_threads workers by the shared
+// BuildPipeline, with per-partition checkpoints; (3) feed the final merge
+// pass into multi-key index inserts with duplicate rejection, IB-mode
+// splits, and periodic highest-position checkpoints with commits
+// (section 2.2.3), overlapping merge and inserts when parallel; (4) make
+// the index available for reads.
 
 #include <chrono>
 
 #include "btree/btree.h"
 #include "common/coding.h"
 #include "common/failpoint.h"
+#include "core/build_pipeline.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
 #include "obs/trace.h"
@@ -22,25 +26,8 @@ namespace oib {
 
 namespace {
 
-// NSF phase-1 blob: [next_scan_page][noted_last_page][sort ckpt blob].
-std::string EncodeNsfScanState(PageId next_page, PageId last_page,
-                               const std::string& sort_blob) {
-  std::string out;
-  PutFixed32(&out, next_page);
-  PutFixed32(&out, last_page);
-  PutLengthPrefixed(&out, sort_blob);
-  return out;
-}
-
-Status DecodeNsfScanState(const std::string& blob, PageId* next_page,
-                          PageId* last_page, std::string* sort_blob) {
-  BufferReader r(blob);
-  if (!r.GetFixed32(next_page) || !r.GetFixed32(last_page) ||
-      !r.GetLengthPrefixed(sort_blob)) {
-    return Status::Corruption("nsf scan state");
-  }
-  return Status::OK();
-}
+// NSF phase-1 blob: the encoded ScanPlan (stop_page = the tail noted at
+// build start; per-partition scan positions + writer checkpoints).
 
 // NSF phase-2 blob: [final sort blob][has_counters][counters][inserted].
 std::string EncodeNsfInsertState(const std::string& sort_blob,
@@ -74,6 +61,10 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+constexpr const char* kNsfScanSpans[] = {
+    "nsf.scan.p0", "nsf.scan.p1", "nsf.scan.p2", "nsf.scan.p3",
+    "nsf.scan.p4", "nsf.scan.p5", "nsf.scan.p6", "nsf.scan.p7"};
 
 }  // namespace
 
@@ -174,6 +165,7 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   BuildStats local;
   auto build = engine_->records()->GetBuild(params.table);
   obs::Tracer* tracer = engine_->tracer();
+  auto t_run = std::chrono::steady_clock::now();
 
   ExternalSorter sorter(engine_->runs(), &options);
   BuildMeta meta;
@@ -185,65 +177,56 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   std::vector<uint64_t> counters;
   uint64_t inserted = 0;
 
-  auto t_scan = std::chrono::steady_clock::now();
   if (start_phase <= 1) {
-    // ---- Phase 1: scan + extract + pipelined sort (sections 2.2.2, 5.1).
+    // ---- Phase 1: partitioned scan + pipelined sort (sections 2.2.2,
+    // 5.1).  The plan's stop_page is the tail noted before scanning:
+    // records appended to later extensions get their keys inserted
+    // directly by transactions (section 2.3.1).
     if (build) build->SetPhase(obs::BuildPhase::kScan);
     obs::ScopedSpan scan_span(tracer, "nsf.scan");
-    PageId scan_page, last_page;
+    ScanPlan plan;
     if (!phase_blob.empty()) {
-      std::string sort_blob;
-      OIB_RETURN_IF_ERROR(DecodeNsfScanState(phase_blob, &scan_page,
-                                             &last_page, &sort_blob));
-      if (!sort_blob.empty()) {
-        auto caller = sorter.ResumeSortPhase(sort_blob);
-        if (!caller.ok()) return caller.status();
-      }
+      OIB_RETURN_IF_ERROR(DecodeScanPlan(phase_blob, &plan));
+      if (plan.parts.empty()) return Status::Corruption("nsf scan plan");
     } else {
-      scan_page = heap->first_page();
-      // Note the last page before starting: records appended to later
-      // extensions get their keys inserted directly by transactions
-      // (section 2.3.1).
-      last_page = heap->tail_page();
+      auto planned = PlanPartitionedScan(heap, heap->tail_page(),
+                                         options.build_threads);
+      if (!planned.ok()) return planned.status();
+      plan = std::move(*planned);
     }
 
-    uint64_t keys_since_ckpt = 0;
-    while (scan_page != kInvalidPageId) {
-      OIB_FAIL_POINT("nsf.scan");
-      std::vector<std::pair<Rid, std::string>> recs;
-      auto next = heap->ExtractPage(scan_page, &recs);
-      if (!next.ok()) return next.status();
-      for (const auto& [rid, rec] : recs) {
-        auto key = Schema::ExtractKey(rec, params.key_cols);
-        if (!key.ok()) return key.status();
-        OIB_RETURN_IF_ERROR(sorter.Add(std::move(*key), rid));
-        ++local.keys_extracted;
-        ++keys_since_ckpt;
-        if (build) build->keys_done.fetch_add(1, std::memory_order_relaxed);
-      }
-      ++local.data_pages_scanned;
-      bool done = scan_page == last_page || *next == kInvalidPageId;
-      scan_page = done ? kInvalidPageId : *next;
-
-      if (options.sort_checkpoint_every_keys > 0 &&
-          keys_since_ckpt >= options.sort_checkpoint_every_keys &&
-          scan_page != kInvalidPageId) {
-        auto sort_blob = sorter.CheckpointSortPhase("");
-        if (!sort_blob.ok()) return sort_blob.status();
-        obs::ScopedSpan ckpt_span(tracer, "nsf.ckpt");
-        meta.phase = 1;
-        meta.phase_blob =
-            EncodeNsfScanState(scan_page, last_page, *sort_blob);
-        OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
-        ++local.checkpoints;
-        keys_since_ckpt = 0;
-      }
+    BuildPipeline::ScanHooks hooks;
+    hooks.failpoint = "nsf.scan";
+    hooks.span_names = kNsfScanSpans;
+    hooks.span_name_count = 8;
+    hooks.checkpoint = [&](const std::string& blob) -> Status {
+      obs::ScopedSpan ckpt_span(tracer, "nsf.ckpt");
+      meta.phase = 1;
+      meta.phase_blob = blob;
+      return SaveBuildMeta(engine_, params.table, meta);
+    };
+    if (build) {
+      hooks.keys_progress = [&](uint64_t n) {
+        build->keys_done.fetch_add(n, std::memory_order_relaxed);
+      };
     }
+    BuildPipeline::ScanResult scan_res;
+    Status s = BuildPipeline::RunScan(heap, tracer,
+                                      {{params.key_cols, &sorter}}, &plan,
+                                      hooks,
+                                      options.sort_checkpoint_every_keys,
+                                      &scan_res);
+    local.keys_extracted = scan_res.keys_extracted;
+    local.data_pages_scanned = scan_res.pages_scanned;
+    local.checkpoints += scan_res.checkpoints;
+    local.scan_ms = scan_res.busy_ms;
+    if (!s.ok()) return s;
+
     scan_span.set_arg(local.keys_extracted);
     scan_span.End();
     if (build) build->SetPhase(obs::BuildPhase::kSortMerge);
     obs::ScopedSpan sort_span(tracer, "nsf.sort.merge_prep");
-    OIB_RETURN_IF_ERROR(sorter.FinishInput());
+    OIB_RETURN_IF_ERROR(sorter.FinishWriters());
     OIB_RETURN_IF_ERROR(sorter.PrepareMerge());
     local.sort_runs = sorter.runs().size();
 
@@ -254,7 +237,6 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
     meta.phase_blob =
         EncodeNsfInsertState(final_sort_blob, false, {}, 0);
     OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
-    local.scan_ms = MsSince(t_scan);
   } else {
     OIB_RETURN_IF_ERROR(DecodeNsfInsertState(
         phase_blob, &final_sort_blob, &has_counters, &counters, &inserted));
@@ -263,10 +245,10 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
     local.sort_runs = sorter.runs().size();
   }
 
-  // ---- Phase 2: multi-key inserts with periodic commits (2.2.3).
+  // ---- Phase 2: multi-key inserts with periodic commits (2.2.3), fed by
+  // the final merge — on its own thread when the build is parallel.
   if (build) build->SetPhase(obs::BuildPhase::kInsert);
   obs::ScopedSpan insert_span(tracer, "nsf.insert");
-  auto t_load = std::chrono::steady_clock::now();
   auto cursor = sorter.OpenMerge(has_counters ? &counters : nullptr);
   if (!cursor.ok()) return cursor.status();
 
@@ -311,18 +293,43 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
       build->keys_done.fetch_add(batch.size(), std::memory_order_relaxed);
     }
     batch.clear();
+    return Status::OK();
+  };
+
+  // Consumes one merge batch.  Checkpoints happen at merge-batch
+  // boundaries only, where the batch's counters vector identifies the
+  // exact merge position (§5.2) matching `inserted` once the pending
+  // insert batch is flushed.
+  auto consume = [&](const BuildPipeline::Batch& mb) -> Status {
+    for (const SortItem& item : mb.items) {
+      if (params.unique && has_prev && item.key == prev_key &&
+          !(item.rid == prev_rid)) {
+        OIB_RETURN_IF_ERROR(VerifyUniqueConflict(
+            engine_, txn->id(), params.table, params.key_cols, item.key,
+            prev_rid, item.rid));
+      }
+      prev_key = item.key;
+      prev_rid = item.rid;
+      has_prev = true;
+      batch.emplace_back(std::move(const_cast<SortItem&>(item).key),
+                         item.rid);
+      if (batch.size() >= options.ib_keys_per_call) {
+        OIB_RETURN_IF_ERROR(flush_batch());
+      }
+    }
     if (options.ib_checkpoint_every_keys > 0 &&
-        inserted - last_ckpt_inserted >= options.ib_checkpoint_every_keys) {
+        inserted + batch.size() - last_ckpt_inserted >=
+            options.ib_checkpoint_every_keys) {
+      OIB_RETURN_IF_ERROR(flush_batch());
       obs::ScopedSpan ckpt_span(tracer, "nsf.ckpt");
       // Checkpoint the position reached, then commit, then persist: a
       // crash between the commit and the meta write only causes harmless
       // duplicate re-insertions (rejected, no log records) per 2.2.3.
-      std::vector<uint64_t> snap = (*cursor)->counters();
       OIB_RETURN_IF_ERROR(engine_->Commit(txn));
       ++local.commits;
       meta.phase = 2;
       meta.phase_blob =
-          EncodeNsfInsertState(final_sort_blob, true, snap, inserted);
+          EncodeNsfInsertState(final_sort_blob, true, mb.counters, inserted);
       OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, params.table, meta));
       ++local.checkpoints;
       last_ckpt_inserted = inserted;
@@ -331,41 +338,21 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
     return Status::OK();
   };
 
-  for (;;) {
-    SortItem item;
-    auto more = (*cursor)->Next(&item);
-    if (!more.ok()) return abort_build(more.status());
-    if (!*more) break;
-    if (params.unique && has_prev && item.key == prev_key &&
-        !(item.rid == prev_rid)) {
-      Status s = VerifyUniqueConflict(engine_, txn->id(), params.table,
-                                      params.key_cols, item.key, prev_rid,
-                                      item.rid);
-      if (!s.ok()) return abort_build(s);
-    }
-    prev_key = item.key;
-    prev_rid = item.rid;
-    has_prev = true;
-    batch.emplace_back(std::move(item.key), item.rid);
-    if (batch.size() >= options.ib_keys_per_call) {
-      Status s = flush_batch();
-      if (!s.ok()) {
-        if (s.IsUniqueViolation()) return abort_build(s);
-        if (s.IsInjected()) return s;  // crash-test hook: leave state as-is
-        return abort_build(s);
-      }
-    }
-  }
+  BuildPipeline::MergeStats merge_stats;
   {
-    Status s = flush_batch();
+    Status s = BuildPipeline::MergeToConsumer(
+        cursor->get(), options.merge_batch_keys, options.merge_queue_depth,
+        options.build_threads > 1, consume, &merge_stats);
+    if (s.ok()) s = flush_batch();
     if (!s.ok()) {
-      if (s.IsInjected()) return s;
+      if (s.IsInjected()) return s;  // crash-test hook: leave state as-is
       return abort_build(s);
     }
   }
   OIB_RETURN_IF_ERROR(engine_->Commit(txn));
   ++local.commits;
-  local.load_ms = MsSince(t_load);
+  local.merge_ms = merge_stats.merge_busy_ms;
+  local.load_ms = merge_stats.consume_busy_ms;
   insert_span.End();
   if (build) build->SetPhase(obs::BuildPhase::kDone);
 
@@ -378,8 +365,10 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;
+  local.elapsed_ms = MsSince(t_run);
   if (stats != nullptr) {
     local.quiesce_ms = stats->quiesce_ms;  // preserved from Build()
+    local.elapsed_ms += stats->quiesce_ms;
     *stats = local;
   }
   return Status::OK();

@@ -2,19 +2,32 @@
 // against (section 1) — updates to the table are disallowed for the whole
 // duration of the build via an X table lock.  With exclusive access the
 // build is a clean scan -> sort -> bottom-up load with no logging, no
-// duplicate handling, and no side-file.  Benches use it as the
-// availability baseline and as the clustering/throughput gold standard.
+// duplicate handling, and no side-file.  The scan/sort/load machinery is
+// the shared BuildPipeline: the heap is scanned in build_threads page
+// partitions and the final merge overlaps the bottom-up load.  Benches
+// use offline as the availability baseline and as the clustering /
+// throughput gold standard.
 
 #include <chrono>
 
 #include "btree/bulk_loader.h"
 #include "common/failpoint.h"
+#include "core/build_pipeline.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
 #include "obs/trace.h"
 #include "sort/external_sorter.h"
 
 namespace oib {
+
+namespace {
+
+constexpr const char* kOfflineScanSpans[] = {
+    "offline.scan.p0", "offline.scan.p1", "offline.scan.p2",
+    "offline.scan.p3", "offline.scan.p4", "offline.scan.p5",
+    "offline.scan.p6", "offline.scan.p7"};
+
+}  // namespace
 
 Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
                                   BuildStats* stats) {
@@ -50,41 +63,41 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
     return cause;
   };
 
-  // Scan + sort.
-  auto t_scan = std::chrono::steady_clock::now();
+  // Partitioned scan + per-partition run generation.  The X lock freezes
+  // the chain, so the plan covers every record.
   obs::ScopedSpan scan_span(engine_->tracer(), "offline.scan");
   ExternalSorter sorter(engine_->runs(), &options);
-  PageId page = heap->first_page();
-  while (page != kInvalidPageId) {
-    std::vector<std::pair<Rid, std::string>> recs;
-    auto next = heap->ExtractPage(page, &recs);
-    if (!next.ok()) return abort_build(next.status());
-    for (const auto& [rid, rec] : recs) {
-      auto key = Schema::ExtractKey(rec, params.key_cols);
-      if (!key.ok()) return abort_build(key.status());
-      Status s = sorter.Add(std::move(*key), rid);
-      if (!s.ok()) return abort_build(s);
-    }
-    ++local.data_pages_scanned;
-    local.keys_extracted += recs.size();
-    page = *next;
-  }
+  ScanPlan plan;
   {
-    Status s = sorter.FinishInput();
+    auto planned =
+        PlanPartitionedScan(heap, kInvalidPageId, options.build_threads);
+    if (!planned.ok()) return abort_build(planned.status());
+    plan = std::move(*planned);
+  }
+  BuildPipeline::ScanHooks hooks;
+  hooks.span_names = kOfflineScanSpans;
+  hooks.span_name_count = 8;
+  BuildPipeline::ScanResult scan_res;
+  {
+    Status s = BuildPipeline::RunScan(heap, engine_->tracer(),
+                                      {{params.key_cols, &sorter}}, &plan,
+                                      hooks, /*checkpoint_every_keys=*/0,
+                                      &scan_res);
+    if (s.ok()) s = sorter.FinishWriters();
     if (s.ok()) s = sorter.PrepareMerge();
     if (!s.ok()) return abort_build(s);
   }
+  local.keys_extracted = scan_res.keys_extracted;
+  local.data_pages_scanned = scan_res.pages_scanned;
+  local.scan_ms = scan_res.busy_ms;
   local.sort_runs = sorter.runs().size();
-  local.scan_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t_scan)
-                      .count();
   scan_span.set_arg(local.keys_extracted);
   scan_span.End();
-  auto t_load = std::chrono::steady_clock::now();
   obs::ScopedSpan load_span(engine_->tracer(), "offline.load");
 
-  // Bottom-up load; exclusive access means every record is committed, so
-  // a unique violation is detectable directly from adjacent sorted keys.
+  // Merge -> bottom-up load, overlapped when the build is parallel.
+  // Exclusive access means every record is committed, so a unique
+  // violation is detectable directly from adjacent sorted keys.
   auto cursor = sorter.OpenMerge();
   if (!cursor.ok()) return abort_build(cursor.status());
   BulkLoader loader(tree, engine_->pool(), &options);
@@ -94,20 +107,25 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   }
   std::string prev_key;
   bool has_prev = false;
-  for (;;) {
-    SortItem item;
-    auto more = (*cursor)->Next(&item);
-    if (!more.ok()) return abort_build(more.status());
-    if (!*more) break;
-    if (params.unique && has_prev && item.key == prev_key) {
-      return abort_build(
-          Status::UniqueViolation("duplicate key value in offline build"));
+  auto consume = [&](const BuildPipeline::Batch& batch) -> Status {
+    for (const SortItem& item : batch.items) {
+      if (params.unique && has_prev && item.key == prev_key) {
+        return Status::UniqueViolation(
+            "duplicate key value in offline build");
+      }
+      OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
+      prev_key = item.key;
+      has_prev = true;
+      ++local.keys_loaded;
     }
-    Status s = loader.Add(item.key, item.rid);
+    return Status::OK();
+  };
+  BuildPipeline::MergeStats merge_stats;
+  {
+    Status s = BuildPipeline::MergeToConsumer(
+        cursor->get(), options.merge_batch_keys, options.merge_queue_depth,
+        options.build_threads > 1, consume, &merge_stats);
     if (!s.ok()) return abort_build(s);
-    prev_key = std::move(item.key);
-    has_prev = true;
-    ++local.keys_loaded;
   }
   {
     Status s = loader.Finish();
@@ -115,9 +133,8 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
     if (!s.ok()) return abort_build(s);
   }
 
-  local.load_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t_load)
-                      .count();
+  local.merge_ms = merge_stats.merge_busy_ms;
+  local.load_ms = merge_stats.consume_busy_ms;
   load_span.set_arg(local.keys_loaded);
   load_span.End();
   OIB_RETURN_IF_ERROR(catalog->SetIndexReady(id));
@@ -126,6 +143,7 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   local.quiesce_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+  local.elapsed_ms = local.quiesce_ms;
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;

@@ -75,7 +75,7 @@ RecordManager::MaintPlan RecordManager::PlanFor(TableId table,
     uint32_t count = static_cast<uint32_t>(plan.ready.size());
     if (active) {
       plan.build = build;
-      plan.gate = std::shared_lock<std::shared_mutex>(build->gate);
+      plan.gate = build->EnterGateShared();
       // Acquiring the gate may have waited out the builder's final drain;
       // if the flag flipped meanwhile, the ready-index snapshot above is
       // stale — replan from scratch.
@@ -392,7 +392,7 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
   snapshot();
   std::shared_lock<std::shared_mutex> gate;
   if (build_active) {
-    gate = std::shared_lock<std::shared_mutex>(build->gate);
+    gate = build->EnterGateShared();
     if (!build->index_build.load()) {
       // The final drain finished while we waited: the index is ready now;
       // recompute the partition.

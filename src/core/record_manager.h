@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #include "core/catalog.h"
@@ -68,8 +69,31 @@ struct ActiveBuild {
   // Drain gate: transactions hold it shared from the visibility decision
   // through their side-file append; IB holds it exclusive while applying
   // the final side-file entries and flipping index_build, so no decided-
-  // but-unappended entry can be lost.
+  // but-unappended entry can be lost.  Acquired through the helpers
+  // below: std::shared_mutex makes no fairness promise (glibc's rwlock
+  // prefers readers), so with updaters continuously re-acquiring the
+  // gate shared, a bare exclusive lock() could be starved indefinitely.
+  // IB raises gate_closing first; new readers back off until it clears,
+  // so IB waits only for the readers already past the check — each
+  // holding the gate for one short append.
   std::shared_mutex gate;
+  std::atomic<bool> gate_closing{false};
+
+  std::shared_lock<std::shared_mutex> EnterGateShared() {
+    while (gate_closing.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return std::shared_lock<std::shared_mutex>(gate);
+  }
+  std::unique_lock<std::shared_mutex> CloseGate() {
+    gate_closing.store(true, std::memory_order_release);
+    std::unique_lock<std::shared_mutex> g(gate);
+    // Only raised while the writer *waits*: once the gate is held
+    // exclusively the rwlock itself blocks readers, and clearing here
+    // means no early-return path can leave readers spinning on the flag.
+    gate_closing.store(false, std::memory_order_release);
+    return g;
+  }
 
   // ---- live progress (obs): written by the builder / transactions with
   // relaxed atomics, snapshotted by Engine::GetBuildProgress ----

@@ -10,6 +10,15 @@
 // the side-file — logged, committed and checkpointed in batches — and
 // flips the Index_Build flag under a short drain gate (3.2.5).
 //
+// The scan is partitioned across build_threads workers by the shared
+// BuildPipeline.  Current-RID stays a single global frontier: each worker
+// advances it under the page's S latch to the *maximum* page it has
+// extracted (CAS-max).  Pages in not-yet-scanned gaps below the frontier
+// then take both routes — side-file entry *and* later extraction — which
+// the tolerant apply (duplicate inserts rejected, absent deletes ignored)
+// absorbs; the unsafe direction, a change on an extracted page with no
+// side-file entry, can never happen (see DESIGN.md).
+//
 // BuildMany() builds several indexes in one scan (section 6.2): one
 // sorter per index fed by a single pass over the data pages, then
 // per-index load and apply phases.
@@ -20,6 +29,7 @@
 #include "btree/bulk_loader.h"
 #include "common/coding.h"
 #include "common/failpoint.h"
+#include "core/build_pipeline.h"
 #include "core/index_builder.h"
 #include "core/schema.h"
 #include "obs/trace.h"
@@ -29,31 +39,8 @@ namespace oib {
 
 namespace {
 
-// Phase-1 blob: [next_scan_page][n sort blobs (length-prefixed)].
-std::string EncodeSfScanState(PageId next_page,
-                              const std::vector<std::string>& sort_blobs) {
-  std::string out;
-  PutFixed32(&out, next_page);
-  PutFixed32(&out, static_cast<uint32_t>(sort_blobs.size()));
-  for (const std::string& b : sort_blobs) PutLengthPrefixed(&out, b);
-  return out;
-}
-
-Status DecodeSfScanState(const std::string& blob, PageId* next_page,
-                         std::vector<std::string>* sort_blobs) {
-  BufferReader r(blob);
-  uint32_t n;
-  if (!r.GetFixed32(next_page) || !r.GetFixed32(&n)) {
-    return Status::Corruption("sf scan state");
-  }
-  sort_blobs->clear();
-  for (uint32_t i = 0; i < n; ++i) {
-    std::string b;
-    if (!r.GetLengthPrefixed(&b)) return Status::Corruption("sf sort blob");
-    sort_blobs->push_back(std::move(b));
-  }
-  return Status::OK();
-}
+// Phase-1 blob: the encoded ScanPlan (per-partition scan positions + one
+// run-writer checkpoint per index per partition).
 
 // Phase-2 blob: [loading_idx][n sort blobs][loader blob (may be empty)].
 std::string EncodeSfLoadState(uint32_t loading_idx,
@@ -124,10 +111,17 @@ bool FencedOut(const std::vector<SideFileFence>& fences, uint64_t ordinal,
                const Rid& rid) {
   uint64_t packed = PackRid(rid);
   for (const SideFileFence& f : fences) {
-    if (ordinal < f.before_ordinal && packed >= f.rid_floor) return true;
+    if (ordinal < f.before_ordinal && packed >= f.rid_floor &&
+        packed < f.rid_ceiling) {
+      return true;
+    }
   }
   return false;
 }
+
+constexpr const char* kSfScanSpans[] = {
+    "sf.scan.p0", "sf.scan.p1", "sf.scan.p2", "sf.scan.p3",
+    "sf.scan.p4", "sf.scan.p5", "sf.scan.p6", "sf.scan.p7"};
 
 }  // namespace
 
@@ -220,6 +214,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   const Options& options = engine_->options();
   LogStats log_before = engine_->log()->stats();
   BuildStats local;
+  auto t_run = std::chrono::steady_clock::now();
 
   size_t n = ids.size();
   std::vector<BTree*> trees(n);
@@ -256,79 +251,72 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   obs::Tracer* tracer = engine_->tracer();
 
   if (start_phase <= 1) {
-    // ---- Phase 1: scan + extract + pipelined sort.  Current-RID
-    // advances under each page's S latch (section 3.2.2).
+    // ---- Phase 1: partitioned scan + pipelined sort.  Current-RID
+    // advances under each page's S latch (section 3.2.2) to the maximum
+    // extracted page across all workers.
     build->SetPhase(obs::BuildPhase::kScan);
     obs::ScopedSpan scan_span(tracer, "sf.scan");
-    auto t_scan = std::chrono::steady_clock::now();
-    PageId scan_page;
+    ScanPlan plan;
     if (!phase_blob.empty()) {
-      OIB_RETURN_IF_ERROR(
-          DecodeSfScanState(phase_blob, &scan_page, &sort_blobs));
-      for (size_t i = 0; i < n; ++i) {
-        auto caller = sorters[i]->ResumeSortPhase(sort_blobs[i]);
-        if (!caller.ok()) return caller.status();
-      }
+      OIB_RETURN_IF_ERROR(DecodeScanPlan(phase_blob, &plan));
+      if (plan.parts.empty()) return Status::Corruption("sf scan plan");
     } else {
-      scan_page = heap->first_page();
+      auto planned =
+          PlanPartitionedScan(heap, kInvalidPageId, options.build_threads);
+      if (!planned.ok()) return planned.status();
+      plan = std::move(*planned);
     }
 
-    uint64_t keys_since_ckpt = 0;
-    PageId last_scanned = kInvalidPageId;
-    while (scan_page != kInvalidPageId) {
-      OIB_FAIL_POINT("sf.scan");
-      std::vector<std::pair<Rid, std::string>> recs;
-      auto next = heap->ExtractPage(scan_page, &recs, [&]() {
-        // Still holding the page's S latch: every record in this page is
-        // now "behind" the scan.
-        build->SetCurrentRid(Rid(scan_page, kInvalidSlotId));
-      });
-      if (!next.ok()) return next.status();
-      for (const auto& [rid, rec] : recs) {
-        for (size_t i = 0; i < n; ++i) {
-          auto key = Schema::ExtractKey(rec, descs[i].key_cols);
-          if (!key.ok()) return key.status();
-          OIB_RETURN_IF_ERROR(sorters[i]->Add(std::move(*key), rid));
-        }
-        ++local.keys_extracted;
-        ++keys_since_ckpt;
-        build->keys_done.fetch_add(1, std::memory_order_relaxed);
-      }
-      ++local.data_pages_scanned;
-      // Unlike NSF, the SF scan follows the chain to its *current* end:
-      // records inserted ahead of the scan are extracted; records behind
-      // it go through the side-file; after the last page, Current-RID
-      // becomes infinity so extensions use the side-file too (3.2.2).
-      last_scanned = scan_page;
-      scan_page = *next;
-
-      if (options.sort_checkpoint_every_keys > 0 &&
-          keys_since_ckpt >= options.sort_checkpoint_every_keys &&
-          scan_page != kInvalidPageId) {
-        sort_blobs.clear();
-        for (size_t i = 0; i < n; ++i) {
-          auto b = sorters[i]->CheckpointSortPhase("");
-          if (!b.ok()) return b.status();
-          sort_blobs.push_back(std::move(*b));
-        }
-        obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
-        meta.phase = 1;
-        meta.current_rid = build->current_rid.load();
-        meta.phase_blob = EncodeSfScanState(scan_page, sort_blobs);
-        OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
-        ++local.checkpoints;
-        keys_since_ckpt = 0;
-      }
+    std::vector<BuildPipeline::ScanTarget> targets;
+    targets.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      targets.push_back({descs[i].key_cols, sorters[i].get()});
     }
+    BuildPipeline::ScanHooks hooks;
+    hooks.failpoint = "sf.scan";
+    hooks.span_names = kSfScanSpans;
+    hooks.span_name_count = 8;
+    hooks.page_scanned = [&](PageId page) {
+      // Still holding the page's S latch: every record in this page is
+      // now "behind" the scan.  CAS-max keeps the global frontier
+      // monotone when workers publish out of order.
+      uint64_t candidate = PackRid(Rid(page, kInvalidSlotId));
+      uint64_t cur = build->current_rid.load(std::memory_order_relaxed);
+      while (cur < candidate &&
+             !build->current_rid.compare_exchange_weak(cur, candidate)) {
+      }
+    };
+    hooks.keys_progress = [&](uint64_t k) {
+      build->keys_done.fetch_add(k, std::memory_order_relaxed);
+    };
+    hooks.checkpoint = [&](const std::string& blob) -> Status {
+      obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
+      meta.phase = 1;
+      meta.current_rid = build->current_rid.load();
+      meta.phase_blob = blob;
+      return SaveBuildMeta(engine_, table, meta);
+    };
+    BuildPipeline::ScanResult scan_res;
+    OIB_RETURN_IF_ERROR(BuildPipeline::RunScan(
+        heap, tracer, targets, &plan, hooks,
+        options.sort_checkpoint_every_keys, &scan_res));
+    local.keys_extracted = scan_res.keys_extracted;
+    local.data_pages_scanned = scan_res.pages_scanned;
+    local.checkpoints += scan_res.checkpoints;
+    local.scan_ms = scan_res.busy_ms;
+
     build->SetCurrentRid(Rid::Infinity());
     // Extension race: a transaction may have chained a new page after the
-    // scan read next == invalid but before Current-RID became infinity;
-    // its inserts decided "invisible" and made no side-file entries.  Now
-    // that infinity is published, re-read the tail's next under the latch:
-    // any page linked before that re-read must still be extracted (pages
-    // linked after it see infinity and go through the side-file — the
-    // extraction below is then merely redundant, which the tolerant apply
-    // handles).
+    // tail worker read next == invalid but before Current-RID became
+    // infinity; its inserts decided "invisible" and made no side-file
+    // entries.  Now that infinity is published, re-read the tail's next
+    // under the latch: any page linked before that re-read must still be
+    // extracted (pages linked after it see infinity and go through the
+    // side-file — the extraction below is then merely redundant, which
+    // the tolerant apply handles).  Tail keys land in the last
+    // partition's still-open run writer.
+    PageId last_scanned = scan_res.tail_last_scanned;
+    const size_t tail_writer = plan.parts.size() - 1;
     while (last_scanned != kInvalidPageId) {
       PageId more = kInvalidPageId;
       {
@@ -347,7 +335,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         for (size_t i = 0; i < n; ++i) {
           auto key = Schema::ExtractKey(rec, descs[i].key_cols);
           if (!key.ok()) return key.status();
-          OIB_RETURN_IF_ERROR(sorters[i]->Add(std::move(*key), rid));
+          OIB_RETURN_IF_ERROR(
+              sorters[i]->writer(tail_writer)->Add(std::move(*key), rid));
         }
         ++local.keys_extracted;
         build->keys_done.fetch_add(1, std::memory_order_relaxed);
@@ -362,7 +351,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     obs::ScopedSpan sort_span(tracer, "sf.sort.merge_prep");
     sort_blobs.clear();
     for (size_t i = 0; i < n; ++i) {
-      OIB_RETURN_IF_ERROR(sorters[i]->FinishInput());
+      OIB_RETURN_IF_ERROR(sorters[i]->FinishWriters());
       OIB_RETURN_IF_ERROR(sorters[i]->PrepareMerge());
       local.sort_runs += sorters[i]->runs().size();
       auto b = sorters[i]->CheckpointSortPhase("");
@@ -373,7 +362,6 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     meta.current_rid = PackRid(Rid::Infinity());
     meta.phase_blob = EncodeSfLoadState(0, sort_blobs, "");
     OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
-    local.scan_ms = MsSince(t_scan);
   } else if (start_phase == 2) {
     OIB_RETURN_IF_ERROR(DecodeSfLoadState(phase_blob, &loading_idx,
                                           &sort_blobs, &loader_blob));
@@ -392,9 +380,12 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     return cause;
   };
 
-  auto t_load = std::chrono::steady_clock::now();
   if (start_phase <= 2) {
-    // ---- Phase 2: bottom-up, unlogged, checkpointed load (3.2.4).
+    // ---- Phase 2: bottom-up, unlogged, checkpointed load (3.2.4), fed
+    // by the final merge — on its own thread when the build is parallel.
+    // Checkpoints happen at merge-batch boundaries, where the batch's
+    // counters snapshot identifies the merge position the consumer has
+    // actually reached (the shared cursor runs ahead under overlap).
     build->SetPhase(obs::BuildPhase::kLoad);
     obs::ScopedSpan load_span(tracer, "sf.load");
     for (uint32_t idx = loading_idx; idx < n; ++idx) {
@@ -428,40 +419,28 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         prev_rid = loader.high_rid();
       }
       uint64_t since_ckpt = 0;
-      for (;;) {
-        SortItem item;
-        auto more = cursor->Next(&item);
-        if (!more.ok()) return abort_build(more.status());
-        if (!*more) break;
-        {
-          Status fp = [&]() -> Status {
-            OIB_FAIL_POINT("sf.load");
-            return Status::OK();
-          }();
-          if (!fp.ok()) return fp;
-        }
-        if (descs[idx].unique && has_prev && item.key == prev_key &&
-            !(item.rid == prev_rid)) {
-          Status s = VerifyUniqueConflict(engine_, txn->id(), table,
-                                          descs[idx].key_cols, item.key,
-                                          prev_rid, item.rid);
-          if (!s.ok()) {
-            if (s.IsUniqueViolation()) return abort_build(s);
-            return abort_build(s);
+      auto consume = [&](const BuildPipeline::Batch& mb) -> Status {
+        for (const SortItem& item : mb.items) {
+          OIB_FAIL_POINT("sf.load");
+          if (descs[idx].unique && has_prev && item.key == prev_key &&
+              !(item.rid == prev_rid)) {
+            OIB_RETURN_IF_ERROR(VerifyUniqueConflict(
+                engine_, txn->id(), table, descs[idx].key_cols, item.key,
+                prev_rid, item.rid));
           }
+          OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
+          prev_key = item.key;
+          prev_rid = item.rid;
+          has_prev = true;
+          ++local.keys_loaded;
+          ++since_ckpt;
+          build->keys_done.fetch_add(1, std::memory_order_relaxed);
         }
-        OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
-        prev_key = item.key;
-        prev_rid = item.rid;
-        has_prev = true;
-        ++local.keys_loaded;
-        ++since_ckpt;
-        build->keys_done.fetch_add(1, std::memory_order_relaxed);
         if (options.ib_checkpoint_every_keys > 0 &&
             since_ckpt >= options.ib_checkpoint_every_keys) {
           obs::ScopedSpan ckpt_span(tracer, "sf.ckpt");
           std::string counters_blob;
-          PutCounters(&counters_blob, cursor->counters());
+          PutCounters(&counters_blob, mb.counters);
           auto ckpt = loader.Checkpoint(counters_blob);
           if (!ckpt.ok()) return ckpt.status();
           meta.phase = 2;
@@ -470,7 +449,18 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           ++local.checkpoints;
           since_ckpt = 0;
         }
+        return Status::OK();
+      };
+      BuildPipeline::MergeStats merge_stats;
+      Status s = BuildPipeline::MergeToConsumer(
+          cursor.get(), options.merge_batch_keys, options.merge_queue_depth,
+          options.build_threads > 1, consume, &merge_stats);
+      if (!s.ok()) {
+        if (s.IsInjected()) return s;  // crash-test hook: leave state as-is
+        return abort_build(s);
       }
+      local.merge_ms += merge_stats.merge_busy_ms;
+      local.load_ms += merge_stats.consume_busy_ms;
       OIB_RETURN_IF_ERROR(loader.Finish());
       OIB_RETURN_IF_ERROR(engine_->pool()->FlushAll());
       meta.phase = 2;
@@ -482,7 +472,6 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
     phase_blob = meta.phase_blob;
   }
-  local.load_ms = MsSince(t_load);
   auto t_apply = std::chrono::steady_clock::now();
 
   // ---- Phase 3: side-file application (3.2.5).
@@ -585,6 +574,15 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
       txn = engine_->Begin();
     }
     uint64_t since_commit = 0;
+    // Section 3.2.5 quiesces updaters when IB gets *close* to the end of
+    // the side-file, not at the literal end — and the chase must
+    // terminate even when the appenders outpace IB (a read-until-empty
+    // loop has no bound: they can append faster than IB applies).  Chase
+    // a snapshot of the tail; on reaching it, re-snapshot and go again a
+    // fixed number of times; whatever remains is applied under the drain
+    // gate below, where appenders are blocked and the walk is finite.
+    uint64_t chase_target = side_files[idx]->entries_appended();
+    int chase_passes = 0;
     for (;;) {
       OIB_FAIL_POINT("sf.apply");
       obs::ScopedSpan batch_span(tracer, "sf.apply.batch");
@@ -624,6 +622,14 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         txn = engine_->Begin();
         since_commit = 0;
       }
+      if (ordinal >= chase_target) {
+        uint64_t appended = side_files[idx]->entries_appended();
+        if (appended - ordinal <= options.sf_apply_batch ||
+            ++chase_passes >= 3) {
+          break;
+        }
+        chase_target = appended;
+      }
     }
   }
 
@@ -635,7 +641,10 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   build->SetPhase(obs::BuildPhase::kDrain);
   {
     obs::ScopedSpan drain_span(tracer, "sf.drain");
-    std::unique_lock<std::shared_mutex> gate(build->gate);
+    // CloseGate backs new readers off first — a bare lock() could be
+    // starved forever by updaters re-acquiring the reader-preferring
+    // rwlock (see ActiveBuild).
+    std::unique_lock<std::shared_mutex> gate = build->CloseGate();
     for (uint32_t idx = 0; idx < n; ++idx) {
       // Residual entries appended since each index's catch-up loop ended.
       // (Cheap: re-walk from the recorded cursor for the last index; for
@@ -683,6 +692,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;
+  local.elapsed_ms = MsSince(t_run);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }

@@ -42,6 +42,7 @@ Status HeapFile::Create() {
   {
     std::lock_guard<std::mutex> g(hints_mu_);
     page_count_ = 1;
+    chain_pages_.assign(1, id);
   }
   return Status::OK();
 }
@@ -53,6 +54,7 @@ Status HeapFile::Open(PageId first) {
   size_t count = 0;
   uint64_t live = 0;
   std::vector<PageId> hints;
+  std::vector<PageId> chain;
   while (cur != kInvalidPageId) {
     auto guard = pool_->FetchRead(cur);
     if (!guard.ok()) return guard.status();
@@ -70,6 +72,7 @@ Status HeapFile::Open(PageId first) {
       if (sp.IsLive(s)) ++live;
     }
     if (sp.FreeSpaceForInsert() > 64) hints.push_back(cur);
+    chain.push_back(cur);
     ++count;
     tail = cur;
     cur = sp.next_page();
@@ -79,6 +82,7 @@ Status HeapFile::Open(PageId first) {
   std::lock_guard<std::mutex> g(hints_mu_);
   page_count_ = count;
   free_hints_ = std::move(hints);
+  chain_pages_ = std::move(chain);
   return Status::OK();
 }
 
@@ -118,6 +122,7 @@ StatusOr<PageId> HeapFile::ExtendChain() {
   {
     std::lock_guard<std::mutex> g(hints_mu_);
     ++page_count_;
+    chain_pages_.push_back(id);
   }
   return id;
 }
@@ -322,6 +327,18 @@ StatusOr<PageId> HeapFile::ExtractPage(
   }
   if (under_latch) under_latch();
   return sp.next_page();
+}
+
+StatusOr<std::vector<PageId>> HeapFile::ChainPages(PageId stop_at) const {
+  std::lock_guard<std::mutex> g(hints_mu_);
+  if (stop_at == kInvalidPageId) return chain_pages_;
+  std::vector<PageId> pages;
+  pages.reserve(chain_pages_.size());
+  for (PageId p : chain_pages_) {
+    pages.push_back(p);
+    if (p == stop_at) break;
+  }
+  return pages;
 }
 
 Status HeapFile::ForEach(

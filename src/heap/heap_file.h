@@ -107,6 +107,16 @@ class HeapFile {
       PageId page, std::vector<std::pair<Rid, std::string>>* out,
       const std::function<void()>& under_latch = {}) const;
 
+  // Partition planning (BuildPipeline): returns the page ids in chain
+  // order from the in-memory chain cache (rebuilt by Open's walk, extended
+  // on allocation) — no page I/O, so planning never adds a physical pass
+  // over the table.  Stops after `stop_at` when given (inclusive), else at
+  // the chain's current end.  Because page ids are never reused and the
+  // chain only grows at the tail, the returned prefix stays valid for the
+  // whole build even while transactions extend the chain.
+  StatusOr<std::vector<PageId>> ChainPages(
+      PageId stop_at = kInvalidPageId) const;
+
   // Unlatched convenience full scan (tests / verification): fn per record.
   Status ForEach(
       const std::function<void(const Rid&, std::string_view)>& fn) const;
@@ -131,6 +141,7 @@ class HeapFile {
 
   mutable std::mutex hints_mu_;
   std::vector<PageId> free_hints_;  // pages believed to have insert room
+  std::vector<PageId> chain_pages_;  // the chain, in order (append-only)
   size_t page_count_ = 0;
 
   std::mutex extend_mu_;  // serializes chain extension

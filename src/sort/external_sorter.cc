@@ -181,28 +181,73 @@ StatusOr<bool> MergeCursor::Next(SortItem* item) {
 
 // --------------------------- ExternalSorter ---------------------------
 
+namespace {
+
+// §5.1 checkpoint of one generator's state: drain, force the runs, record
+// the run list + open run + highest output.  Shared by the sorter's
+// single-stream checkpoint and the per-partition RunWriter checkpoint.
+Status AppendGeneratorCheckpoint(RunStore* store, RunGenerator* gen,
+                                 std::string* blob) {
+  OIB_RETURN_IF_ERROR(gen->Drain());
+  for (RunId id : gen->runs()) {
+    OIB_RETURN_IF_ERROR(store->Flush(id));
+  }
+  PutFixed32(blob, static_cast<uint32_t>(gen->runs().size()));
+  for (RunId id : gen->runs()) {
+    auto size = store->Size(id);
+    if (!size.ok()) return size.status();
+    PutFixed64(blob, id);
+    PutFixed64(blob, *size);
+  }
+  PutFixed64(blob, gen->current_run());
+  blob->push_back(gen->has_last_output() ? 1 : 0);
+  if (gen->has_last_output()) {
+    PutLengthPrefixed(blob, gen->last_output().key);
+    PutFixed32(blob, gen->last_output().rid.page);
+    PutFixed16(blob, gen->last_output().rid.slot);
+  }
+  return Status::OK();
+}
+
+Status RestoreGeneratorCheckpoint(RunStore* store, RunGenerator* gen,
+                                  BufferReader* r) {
+  uint32_t n;
+  if (!r->GetFixed32(&n)) return Status::Corruption("sort checkpoint blob");
+  std::vector<RunId> runs;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id, size;
+    if (!r->GetFixed64(&id) || !r->GetFixed64(&size)) {
+      return Status::Corruption("sort checkpoint run entry");
+    }
+    // Reposition the stream to its checkpointed end-of-file (5.1).
+    OIB_RETURN_IF_ERROR(store->Truncate(id, size));
+    runs.push_back(id);
+  }
+  uint64_t current_run;
+  uint8_t has_last;
+  if (!r->GetFixed64(&current_run) || !r->GetByte(&has_last)) {
+    return Status::Corruption("sort checkpoint tail");
+  }
+  SortItem last;
+  if (has_last != 0) {
+    uint16_t slot;
+    if (!r->GetLengthPrefixed(&last.key) || !r->GetFixed32(&last.rid.page) ||
+        !r->GetFixed16(&slot)) {
+      return Status::Corruption("sort checkpoint last key");
+    }
+    last.rid.slot = slot;
+  }
+  gen->Restore(std::move(runs), current_run, has_last != 0, std::move(last));
+  return Status::OK();
+}
+
+}  // namespace
+
 StatusOr<std::string> ExternalSorter::CheckpointSortPhase(
     const std::string& caller_state) {
-  OIB_RETURN_IF_ERROR(gen_.Drain());
-  for (RunId id : gen_.runs()) {
-    OIB_RETURN_IF_ERROR(store_->Flush(id));
-  }
   std::string blob;
   PutLengthPrefixed(&blob, caller_state);
-  PutFixed32(&blob, static_cast<uint32_t>(gen_.runs().size()));
-  for (RunId id : gen_.runs()) {
-    auto size = store_->Size(id);
-    if (!size.ok()) return size.status();
-    PutFixed64(&blob, id);
-    PutFixed64(&blob, *size);
-  }
-  PutFixed64(&blob, gen_.current_run());
-  blob.push_back(gen_.has_last_output() ? 1 : 0);
-  if (gen_.has_last_output()) {
-    PutLengthPrefixed(&blob, gen_.last_output().key);
-    PutFixed32(&blob, gen_.last_output().rid.page);
-    PutFixed16(&blob, gen_.last_output().rid.slot);
-  }
+  OIB_RETURN_IF_ERROR(AppendGeneratorCheckpoint(store_, &gen_, &blob));
   return blob;
 }
 
@@ -210,37 +255,48 @@ StatusOr<std::string> ExternalSorter::ResumeSortPhase(
     const std::string& blob) {
   BufferReader r(blob);
   std::string caller_state;
-  uint32_t n;
-  if (!r.GetLengthPrefixed(&caller_state) || !r.GetFixed32(&n)) {
+  if (!r.GetLengthPrefixed(&caller_state)) {
     return Status::Corruption("sort checkpoint blob");
   }
-  std::vector<RunId> runs;
-  for (uint32_t i = 0; i < n; ++i) {
-    uint64_t id, size;
-    if (!r.GetFixed64(&id) || !r.GetFixed64(&size)) {
-      return Status::Corruption("sort checkpoint run entry");
-    }
-    // Reposition the stream to its checkpointed end-of-file (5.1).
-    OIB_RETURN_IF_ERROR(store_->Truncate(id, size));
-    runs.push_back(id);
-  }
-  uint64_t current_run;
-  uint8_t has_last;
-  if (!r.GetFixed64(&current_run) || !r.GetByte(&has_last)) {
-    return Status::Corruption("sort checkpoint tail");
-  }
-  SortItem last;
-  if (has_last != 0) {
-    uint16_t slot;
-    if (!r.GetLengthPrefixed(&last.key) || !r.GetFixed32(&last.rid.page) ||
-        !r.GetFixed16(&slot)) {
-      return Status::Corruption("sort checkpoint last key");
-    }
-    last.rid.slot = slot;
-  }
-  gen_.Restore(std::move(runs), current_run, has_last != 0,
-               std::move(last));
+  OIB_RETURN_IF_ERROR(RestoreGeneratorCheckpoint(store_, &gen_, &r));
   return caller_state;
+}
+
+StatusOr<std::string> ExternalSorter::RunWriter::Checkpoint() {
+  std::string blob;
+  OIB_RETURN_IF_ERROR(AppendGeneratorCheckpoint(store_, &gen_, &blob));
+  return blob;
+}
+
+Status ExternalSorter::RunWriter::Resume(const std::string& blob) {
+  BufferReader r(blob);
+  return RestoreGeneratorCheckpoint(store_, &gen_, &r);
+}
+
+Status ExternalSorter::CreateWriters(size_t n) {
+  if (n == 0) return Status::InvalidArgument("need at least one run writer");
+  if (!writers_.empty()) {
+    return Status::InvalidArgument("run writers already created");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    writers_.push_back(std::make_unique<RunWriter>(
+        store_, options_->sort_workspace_keys));
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::FinishWriters() {
+  std::vector<RunId> all;
+  for (auto& w : writers_) {
+    OIB_RETURN_IF_ERROR(w->FinishInput());
+    all.insert(all.end(), w->runs().begin(), w->runs().end());
+    items_added_ += w->items_added();
+  }
+  writers_.clear();
+  // Adopt every partition's runs; the merge/checkpoint machinery is
+  // oblivious to where a run came from.
+  gen_.Restore(std::move(all), 0, false, {});
+  return Status::OK();
 }
 
 Status ExternalSorter::PrepareMerge() {

@@ -117,6 +117,46 @@ class ExternalSorter {
 
   Status FinishInput() { return gen_.FinishInput(); }
 
+  // --- partitioned input (BuildPipeline) ---
+  //
+  // One RunWriter per scan partition: each owns a private replacement-
+  // selection generator, so workers feed the sorter concurrently without
+  // sharing any mutable state (RunStore itself is thread-safe).  A writer
+  // checkpoints/resumes its own run list with the same §5.1 rule the
+  // single-threaded sorter uses; FinishWriters() closes every writer and
+  // adopts all runs — in partition order, so run naming is deterministic
+  // for Resume — after which PrepareMerge/OpenMerge/CheckpointSortPhase
+  // behave exactly as in the single-stream case.
+  class RunWriter {
+   public:
+    RunWriter(RunStore* store, size_t workspace_keys)
+        : store_(store), gen_(store, workspace_keys) {}
+
+    Status Add(std::string key, const Rid& rid) {
+      ++items_added_;
+      return gen_.Add(SortItem{std::move(key), rid});
+    }
+    Status FinishInput() { return gen_.FinishInput(); }
+    StatusOr<std::string> Checkpoint();
+    Status Resume(const std::string& blob);
+
+    const std::vector<RunId>& runs() const { return gen_.runs(); }
+    uint64_t items_added() const { return items_added_; }
+
+   private:
+    friend class ExternalSorter;
+    RunStore* store_;
+    RunGenerator gen_;
+    uint64_t items_added_ = 0;
+  };
+
+  Status CreateWriters(size_t n);
+  RunWriter* writer(size_t i) { return writers_[i].get(); }
+  size_t writer_count() const { return writers_.size(); }
+  // FinishInput on every writer, then adopt all their runs (partition
+  // order) into the main generator so the merge path sees one run list.
+  Status FinishWriters();
+
   // Reduces the run count to the merge fan-in with extra (non-checkpointed)
   // merge passes.
   Status PrepareMerge();
@@ -133,6 +173,7 @@ class ExternalSorter {
   const Options* options_;
   RunGenerator gen_;
   uint64_t items_added_ = 0;
+  std::vector<std::unique_ptr<RunWriter>> writers_;
 };
 
 }  // namespace oib

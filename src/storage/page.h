@@ -42,8 +42,13 @@ class Page {
   Lsn page_lsn() const { return DecodeFixed64(data_.get()); }
   void set_page_lsn(Lsn lsn) { EncodeFixed64(data_.get(), lsn); }
 
-  bool is_dirty() const { return dirty_; }
-  void set_dirty(bool d) { dirty_ = d; }
+  // Atomic because the writers disagree on which lock covers it: Unpin
+  // sets it under the pool mutex while FlushPage clears it under the
+  // page S latch.  Relaxed is enough — the bit only gates whether a
+  // flush writes the frame, and the data it guards is ordered by the
+  // page latch / pool mutex themselves.
+  bool is_dirty() const { return dirty_.load(std::memory_order_relaxed); }
+  void set_dirty(bool d) { dirty_.store(d, std::memory_order_relaxed); }
 
   int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
   void Pin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
@@ -60,7 +65,7 @@ class Page {
   // Zeroes content and rebinds the frame to `id`.
   void Reset(PageId id) {
     page_id_ = id;
-    dirty_ = false;
+    dirty_.store(false, std::memory_order_relaxed);
     pin_count_.store(0, std::memory_order_relaxed);
     std::memset(data_.get(), 0, size_);
   }
@@ -69,7 +74,7 @@ class Page {
   size_t size_;
   std::unique_ptr<char[]> data_;
   PageId page_id_ = kInvalidPageId;
-  bool dirty_ = false;
+  std::atomic<bool> dirty_{false};
   std::atomic<int> pin_count_{0};
   std::shared_mutex latch_;
 };

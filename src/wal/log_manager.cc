@@ -88,14 +88,23 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
 
 Status LogManager::ScanDurable(
     Lsn start_lsn, const std::function<bool(const LogRecord&)>& fn) const {
-  std::lock_guard<std::mutex> g(mu_);
+  // Snapshot the durable region and run the callback with mu_ released:
+  // redo callbacks latch pages, while the forward path appends to the
+  // log under page latches — calling out with mu_ held would invert
+  // that page-latch -> log-mu_ order.  Records flushed after the call
+  // are not seen, which is the contract ("durable as of the call").
+  std::string snapshot;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    snapshot = durable_;
+  }
   size_t pos = (start_lsn == kInvalidLsn) ? 0 : start_lsn - 1;
-  while (pos + kFrameHeader <= durable_.size()) {
-    uint32_t len = DecodeFixed32(durable_.data() + pos);
-    if (pos + kFrameHeader + len > durable_.size()) break;  // torn tail
+  while (pos + kFrameHeader <= snapshot.size()) {
+    uint32_t len = DecodeFixed32(snapshot.data() + pos);
+    if (pos + kFrameHeader + len > snapshot.size()) break;  // torn tail
     LogRecord rec;
     OIB_RETURN_IF_ERROR(LogRecord::DeserializeFrom(
-        std::string_view(durable_.data() + pos + kFrameHeader, len), &rec));
+        std::string_view(snapshot.data() + pos + kFrameHeader, len), &rec));
     rec.lsn = pos + 1;
     if (!fn(rec)) break;
     pos += kFrameHeader + len;

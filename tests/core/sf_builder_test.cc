@@ -405,6 +405,10 @@ TEST_F(SfBuilderTest, StaleSideFileEntriesFencedAfterScanRestart) {
   Workload workload(engine_.get(), table, wo);
   workload.Seed(rids, 2000);
   workload.Start();
+  // On a single-core runner the build can hit the armed failpoint before
+  // the workload threads ever get a timeslice; wait for real activity so
+  // the side-file is guaranteed to receive concurrent entries.
+  WaitForOps(&workload, 1);
   FailPointRegistry::Instance().Arm("sf.scan", 20);
   SfIndexBuilder builder(engine_.get());
   IndexId index;
