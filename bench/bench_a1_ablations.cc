@@ -19,7 +19,7 @@ namespace {
 void RunFillFactor(double fill, BenchReport* report) {
   Options options = DefaultBenchOptions();
   options.leaf_fill_factor = fill;
-  World w = MakeWorld(30000, options);
+  World w = MakeWorld(BenchRows(30000), options);
   BuildParams params = KeyIndexParams(w.table, "idx");
   IndexId index;
   SfIndexBuilder builder(w.engine.get());
@@ -75,7 +75,7 @@ void RunSortWorkspace(size_t workspace, BenchReport* report) {
   w.engine = std::move(*Engine::Open(options, w.env.get()));
   w.table = *w.engine->catalog()->CreateTable("t");
   {
-    const uint64_t rows = 60000;
+    const uint64_t rows = BenchRows(60000);
     std::vector<uint64_t> ids(rows);
     for (uint64_t i = 0; i < rows; ++i) ids[i] = i;
     Random rng(99);

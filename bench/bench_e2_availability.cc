@@ -13,7 +13,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRows = 30000;
+const uint64_t kRows = BenchRows(30000);
 
 struct Result {
   double build_ms = 0;

@@ -17,7 +17,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRows = 30000;
+const uint64_t kRows = BenchRows(30000);
 
 void RunOne(const char* algo, uint32_t update_threads, BenchReport* report) {
   World w = MakeWorld(kRows);

@@ -12,7 +12,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRows = 30000;
+const uint64_t kRows = BenchRows(30000);
 
 void RunOne(uint32_t update_threads, bool sorted_apply,
             BenchReport* report) {

@@ -17,7 +17,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRows = 40000;
+const uint64_t kRows = BenchRows(40000);
 
 void RunOne(const char* algo, size_t ckpt_interval, const char* phase,
             const char* failpoint, int countdown, uint64_t crash_keys,

@@ -13,7 +13,7 @@ namespace oib {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRows = 40000;
+const uint64_t kRows = BenchRows(40000);
 
 // The paper's setting is I/O-bound ("it may take several days to just
 // scan all the pages"); reproduce that regime with a small buffer pool

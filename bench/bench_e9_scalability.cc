@@ -1,0 +1,157 @@
+// E9 — Update scalability during an SF build (ROADMAP north-star; paper
+// sections 1, 3: "updates are not quiesced").
+//
+// E2 shows one updater is never blocked while SF builds.  E9 strengthens
+// the claim to *parallel* updaters: with the sharded buffer pool and the
+// reservation-based WAL there is no process-wide serial point left on the
+// update hot path, so sustained update throughput during the build should
+// improve monotonically as workload threads grow on a multi-core host
+// (on a 1-core runner the sweep degenerates to a scheduling test and the
+// interesting number is the single-thread ops/sec vs E2's baseline).
+//
+// Usage: bench_e9_scalability [--threads=1,2,4,8] [--rows=N]
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+namespace oib {
+namespace bench {
+namespace {
+
+std::vector<uint64_t> ParseList(const char* s) {
+  std::vector<uint64_t> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+struct Result {
+  double build_ms = 0;
+  double ops_per_sec = 0;   // workload throughput while the build ran
+  double upd_p50_us = 0;
+  double upd_p95_us = 0;
+  double upd_p99_us = 0;
+  double upd_max_us = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t bp_evictions = 0;
+};
+
+Result RunOne(size_t workload_threads, uint64_t rows) {
+  World w = MakeWorld(rows);
+  WorkloadOptions wo;
+  wo.threads = static_cast<uint32_t>(workload_threads);
+
+  Workload workload(w.engine.get(), w.table, wo);
+  workload.Seed(w.rids, rows);
+  workload.Start();
+  while (workload.ops_done() < 20 * workload_threads) {
+    std::this_thread::yield();
+  }
+
+  // Scope every histogram/counter to the build window.
+  obs::MetricsRegistry::Default().ResetAll();
+
+  BuildParams params = KeyIndexParams(w.table, "idx");
+  BuildStats stats;
+  IndexId index = kInvalidIndexId;
+  uint64_t ops_before = workload.ops_done();
+  double t0 = NowMs();
+  SfIndexBuilder builder(w.engine.get());
+  Status s = builder.Build(params, &index, &stats);
+  double build_ms = NowMs() - t0;
+  uint64_t ops_during = workload.ops_done() - ops_before;
+  obs::HistogramSnapshot upd =
+      obs::MetricsRegistry::Default()
+          .GetHistogram("workload.update_ns")
+          ->Snapshot();
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().TakeSnapshot();
+  WorkloadStats wstats = workload.Stop();
+  if (!s.ok()) {
+    std::fprintf(stderr, "sf build failed (threads=%zu): %s\n",
+                 workload_threads, s.ToString().c_str());
+    std::abort();
+  }
+  MustBeConsistent(w.engine.get(), w.table, index);
+
+  Result r;
+  r.build_ms = build_ms;
+  r.ops_per_sec = 1000.0 * static_cast<double>(ops_during) / build_ms;
+  r.upd_p50_us = static_cast<double>(upd.Percentile(50)) / 1000.0;
+  r.upd_p95_us = static_cast<double>(upd.Percentile(95)) / 1000.0;
+  r.upd_p99_us = static_cast<double>(upd.Percentile(99)) / 1000.0;
+  r.upd_max_us = static_cast<double>(upd.max) / 1000.0;
+  r.commits = wstats.commits;
+  r.aborts = wstats.aborts;
+  auto counter = [&snap](const char* name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  r.wal_flushes = counter("wal.flushes");
+  r.bp_evictions = counter("bufferpool.evictions");
+  return r;
+}
+
+void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows) {
+  PrintHeader("E9: update scalability during an SF build",
+              "updates are not quiesced — and with no global lock on the "
+              "update hot path, parallel updaters scale while SF builds");
+  BenchReport report("e9");
+  std::printf("%-8s %10s %14s %9s %9s %9s %9s %9s %10s %10s\n", "threads",
+              "build_ms", "ops/sec(build)", "commits", "aborts", "upd_p50us",
+              "upd_p95us", "upd_p99us", "upd_maxus", "walflush");
+  for (uint64_t threads : threads_sweep) {
+    Result r = RunOne(static_cast<size_t>(threads), rows);
+    std::printf("%-8llu %10.1f %14.1f %9llu %9llu %9.1f %9.1f %9.1f %10.1f "
+                "%10llu\n",
+                (unsigned long long)threads, r.build_ms, r.ops_per_sec,
+                (unsigned long long)r.commits, (unsigned long long)r.aborts,
+                r.upd_p50_us, r.upd_p95_us, r.upd_p99_us, r.upd_max_us,
+                (unsigned long long)r.wal_flushes);
+    report.AddRow("threads_" + std::to_string(threads),
+                  {{"threads", static_cast<double>(threads)},
+                   {"build_ms", r.build_ms},
+                   {"ops_per_sec_during_build", r.ops_per_sec},
+                   {"commits", static_cast<double>(r.commits)},
+                   {"aborts", static_cast<double>(r.aborts)},
+                   {"update_p50_us", r.upd_p50_us},
+                   {"update_p95_us", r.upd_p95_us},
+                   {"update_p99_us", r.upd_p99_us},
+                   {"update_max_us", r.upd_max_us},
+                   {"wal_flushes", static_cast<double>(r.wal_flushes)},
+                   {"bp_evictions", static_cast<double>(r.bp_evictions)}});
+  }
+  report.Write();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oib
+
+int main(int argc, char** argv) {
+  std::vector<uint64_t> threads = {1, 2, 4, 8};
+  uint64_t rows = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = oib::bench::ParseList(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      std::vector<uint64_t> r = oib::bench::ParseList(argv[i] + 7);
+      if (!r.empty()) rows = r[0];
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=1,2,4,8] [--rows=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (threads.empty() || rows == 0) return 2;
+  oib::bench::Run(threads, rows);
+  return 0;
+}

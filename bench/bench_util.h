@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -31,6 +32,18 @@ struct World {
   TableId table = 0;
   std::vector<Rid> rids;
 };
+
+// Smoke-test override: when OIB_BENCH_ROWS is set (CI bench-smoke job),
+// every harness caps its row count to it so the whole suite runs in
+// seconds; `scripts/check_bench_json.py` then validates the emitted
+// BENCH_*.json.  The numbers are meaningless at smoke sizes — the job
+// only proves the harnesses run and report.
+inline uint64_t BenchRows(uint64_t full) {
+  const char* s = std::getenv("OIB_BENCH_ROWS");
+  if (s == nullptr) return full;
+  uint64_t v = std::strtoull(s, nullptr, 10);
+  return (v > 0 && v < full) ? v : full;
+}
 
 inline Options DefaultBenchOptions() {
   Options o;

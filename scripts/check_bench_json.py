@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json reports emitted by the bench harnesses.
+
+Usage: check_bench_json.py <dir> <experiment> [<experiment> ...]
+
+For every named experiment, <dir>/BENCH_<experiment>.json must exist and
+contain the contract documented in EXPERIMENTS.md ("Machine-readable
+output"):
+
+  * top-level keys: experiment, rows, metrics, spans
+  * experiment matches the file name
+  * rows is a non-empty array, every row has a "label" plus at least one
+    numeric value column
+  * per-experiment required row columns (e.g. e2/e9 must report
+    ops_per_sec_during_build) so a harness that silently stops
+    reporting a headline metric fails CI rather than drifting
+
+Exits non-zero with one line per violation.
+"""
+
+import json
+import os
+import sys
+
+# Headline columns each experiment's rows must carry.  Deliberately a
+# subset of what the harnesses emit: these are the columns EXPERIMENTS.md
+# tables are built from.
+REQUIRED_ROW_KEYS = {
+    "e1": ["total_ms", "threads", "rows"],
+    "e2": ["build_ms", "blocked_ms", "ops_per_sec_during_build",
+           "update_p99_us"],
+    "e3": [],
+    "e4": [],
+    "e5": [],
+    "e6": [],
+    "e7": [],
+    "e8": [],
+    "e9": ["threads", "build_ms", "ops_per_sec_during_build",
+           "update_p99_us", "commits"],
+    "a1": [],
+}
+
+
+def check(path, experiment):
+    errors = []
+    if not os.path.isfile(path):
+        return ["%s: missing (harness did not run or did not write it)"
+                % path]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: unparseable JSON: %s" % (path, e)]
+
+    for key in ("experiment", "rows", "metrics", "spans"):
+        if key not in doc:
+            errors.append("%s: missing top-level key %r" % (path, key))
+    if errors:
+        return errors
+
+    if doc["experiment"] != experiment:
+        errors.append("%s: experiment is %r, expected %r"
+                      % (path, doc["experiment"], experiment))
+    rows = doc["rows"]
+    if not isinstance(rows, list) or not rows:
+        errors.append("%s: rows must be a non-empty array" % path)
+        return errors
+    required = REQUIRED_ROW_KEYS.get(experiment, [])
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or "label" not in row:
+            errors.append("%s: rows[%d] has no label" % (path, i))
+            continue
+        values = {k: v for k, v in row.items() if k != "label"}
+        if not any(isinstance(v, (int, float)) for v in values.values()):
+            errors.append("%s: rows[%d] (%s) has no numeric columns"
+                          % (path, i, row["label"]))
+        for key in required:
+            if key not in row:
+                errors.append("%s: rows[%d] (%s) missing required column %r"
+                              % (path, i, row["label"], key))
+            elif not isinstance(row[key], (int, float)):
+                errors.append("%s: rows[%d] (%s) column %r is not numeric"
+                              % (path, i, row["label"], key))
+    if not isinstance(doc["metrics"], dict):
+        errors.append("%s: metrics is not an object" % path)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_dir = argv[1]
+    failures = []
+    for experiment in argv[2:]:
+        path = os.path.join(bench_dir, "BENCH_%s.json" % experiment)
+        errs = check(path, experiment)
+        if errs:
+            failures.extend(errs)
+        else:
+            print("OK %s" % path)
+    for e in failures:
+        print("FAIL %s" % e, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,9 +8,18 @@ Status ValidateOptions(const Options& options) {
   auto bad = [](const char* what) {
     return Status::InvalidArgument(std::string("options: ") + what);
   };
+  auto power_of_two = [](size_t v) { return v != 0 && (v & (v - 1)) == 0; };
   if (options.page_size < 256) return bad("page_size must be >= 256");
   if (options.buffer_pool_pages < 4) {
     return bad("buffer_pool_pages must be >= 4");
+  }
+  if (options.buffer_pool_shards != 0 &&
+      !power_of_two(options.buffer_pool_shards)) {
+    return bad("buffer_pool_shards must be 0 (auto) or a power of two");
+  }
+  if (options.wal_ring_bytes < 64 * 1024 ||
+      !power_of_two(options.wal_ring_bytes)) {
+    return bad("wal_ring_bytes must be a power of two >= 64 KiB");
   }
   if (options.sort_workspace_keys == 0) {
     return bad("sort_workspace_keys must be > 0");

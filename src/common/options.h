@@ -14,6 +14,21 @@ struct Options {
   // --- storage ---
   size_t page_size = 4096;
   size_t buffer_pool_pages = 4096;  // 16 MiB at default page size.
+  // Buffer-pool shards (power of two).  Each shard owns a slice of the
+  // frames with its own mutex, page table, free list, and CLOCK hand, so
+  // concurrent fetches on different pages never serialize on one lock.
+  // 0 = auto: min(16, hardware_concurrency), capped so that every shard
+  // keeps at least kMinPagesPerShard frames.
+  size_t buffer_pool_shards = 0;
+
+  // --- write-ahead log ---
+  // Capacity of the WAL append ring buffer (power of two).  Appenders
+  // reserve space with one fetch-add and copy outside any lock; the ring
+  // is drained into the log's backing store by Flush (group commit) or by
+  // an appender that finds it full.  Must exceed the largest single log
+  // record (a record spanning a full page plus framing fits comfortably
+  // at the 1 MiB default).
+  size_t wal_ring_bytes = 1 << 20;
 
   // --- locking ---
   // Milliseconds a lock request waits before the requester is told to

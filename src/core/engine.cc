@@ -14,7 +14,8 @@ constexpr char kMasterLsnKey[] = "master_lsn";
 Engine::Engine(const Options& options, Env* env)
     : options_(options),
       env_(env),
-      pool_(env->disk.get(), options.buffer_pool_pages),
+      pool_(env->disk.get(), options.buffer_pool_pages,
+            options.buffer_pool_shards),
       locks_(options.lock_timeout_ms),
       txns_(&env->log, &locks_, &rms_),
       heap_rm_(&pool_, &txns_),
@@ -42,6 +43,7 @@ void Engine::WireUp() {
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
                                                Env* env) {
   OIB_RETURN_IF_ERROR(ValidateOptions(options));
+  OIB_RETURN_IF_ERROR(env->log.ConfigureRing(options.wal_ring_bytes));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
   return engine;
@@ -51,6 +53,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
                                                   Env* env,
                                                   RecoveryStats* stats) {
   OIB_RETURN_IF_ERROR(ValidateOptions(options));
+  OIB_RETURN_IF_ERROR(env->log.ConfigureRing(options.wal_ring_bytes));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
 

@@ -36,7 +36,14 @@
 namespace oib {
 namespace obs {
 
-class Counter {
+// Assumed size of a destructive-interference cache line.  Hot metric cells
+// are padded to this so that adjacent instances (e.g. the per-shard
+// hit/miss/eviction counters inside a buffer-pool shard array) never share
+// a line: with the packed layout, relaxed fetch-adds from different shards
+// would still ping-pong the same cache line between cores.
+inline constexpr size_t kCacheLineSize = 64;
+
+class alignas(kCacheLineSize) Counter {
  public:
   void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t value() const { return v_.load(std::memory_order_relaxed); }
@@ -44,9 +51,11 @@ class Counter {
 
  private:
   std::atomic<uint64_t> v_{0};
+  char pad_[kCacheLineSize - sizeof(std::atomic<uint64_t>)];
 };
+static_assert(sizeof(Counter) == kCacheLineSize);
 
-class Gauge {
+class alignas(kCacheLineSize) Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
@@ -55,7 +64,9 @@ class Gauge {
 
  private:
   std::atomic<int64_t> v_{0};
+  char pad_[kCacheLineSize - sizeof(std::atomic<int64_t>)];
 };
+static_assert(sizeof(Gauge) == kCacheLineSize);
 
 // Fixed log-scaled bucket layout shared by Histogram and its snapshots.
 // Values 0..3 get exact buckets; above that each power-of-two octave is
@@ -86,7 +97,7 @@ struct HistogramSnapshot {
   double mean() const { return count == 0 ? 0.0 : double(sum) / count; }
 };
 
-class Histogram {
+class alignas(kCacheLineSize) Histogram {
  public:
   void Record(uint64_t v);
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -96,9 +107,13 @@ class Histogram {
   void Reset();
 
  private:
+  // count/sum/max are touched on every Record; keep them on their own
+  // line so a neighbouring object's hot field can't false-share with
+  // them, and start the bucket array on a fresh line.
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
+  char pad_[kCacheLineSize - 3 * sizeof(std::atomic<uint64_t>)];
   std::atomic<uint64_t> buckets_[HistogramBuckets::kNumBuckets]{};
 };
 

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <thread>
 
 namespace oib {
 
@@ -51,12 +52,43 @@ void WritePageGuard::Release() {
 
 // --------------------------- BufferPool ---------------------------
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_pages) : disk_(disk) {
-  frames_.reserve(pool_pages);
-  free_.reserve(pool_pages);
-  for (size_t i = 0; i < pool_pages; ++i) {
-    frames_.push_back(std::make_unique<Page>(disk->page_size()));
-    free_.push_back(pool_pages - 1 - i);
+namespace {
+
+size_t PickShardCount(size_t requested, size_t pool_pages) {
+  size_t shards = requested;
+  if (shards == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    shards = 16 < hw ? 16 : hw;
+    // Round down to a power of two (hardware_concurrency need not be one).
+    while ((shards & (shards - 1)) != 0) shards &= shards - 1;
+  }
+  while (shards > 1 &&
+         pool_pages / shards < BufferPool::kMinPagesPerShard) {
+    shards /= 2;
+  }
+  return shards;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_pages, size_t shards)
+    : disk_(disk) {
+  size_t n = PickShardCount(shards, pool_pages);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Shard i holds frames for pages with (page_id & mask) == i; spread
+    // the remainder so shard sizes differ by at most one frame.
+    size_t frames = pool_pages / n + (i < pool_pages % n ? 1 : 0);
+    shard->frames.reserve(frames);
+    shard->free_list.reserve(frames);
+    for (size_t f = 0; f < frames; ++f) {
+      shard->frames.push_back(std::make_unique<Page>(disk->page_size()));
+      shard->free_list.push_back(frames - 1 - f);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -64,18 +96,40 @@ BufferPool::~BufferPool() {
   if (metrics_ != nullptr) metrics_->DetachOwner(this);
 }
 
+uint64_t BufferPool::hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->hits.value();
+  return total;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->misses.value();
+  return total;
+}
+
+uint64_t BufferPool::evictions() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->evictions.value();
+  return total;
+}
+
 void BufferPool::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
-  registry->RegisterCounter("bufferpool.hits", &hits_, this);
-  registry->RegisterCounter("bufferpool.misses", &misses_, this);
-  registry->RegisterCounter("bufferpool.evictions", &evictions_, this);
+  registry->RegisterValueFn(
+      "bufferpool.hits", [this] { return hits(); }, this);
+  registry->RegisterValueFn(
+      "bufferpool.misses", [this] { return misses(); }, this);
+  registry->RegisterValueFn(
+      "bufferpool.evictions", [this] { return evictions(); }, this);
 }
 
 StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {
+  Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto r = FetchPageLocked(page_id);
+    std::lock_guard<std::mutex> g(s.mu);
+    auto r = FetchPageLocked(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
   }
@@ -84,10 +138,11 @@ StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {
 }
 
 StatusOr<WritePageGuard> BufferPool::FetchWrite(PageId page_id) {
+  Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto r = FetchPageLocked(page_id);
+    std::lock_guard<std::mutex> g(s.mu);
+    auto r = FetchPageLocked(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
   }
@@ -110,10 +165,11 @@ StatusOr<WritePageGuard> BufferPool::NewPageNoReuse(PageId* page_id) {
 }
 
 StatusOr<WritePageGuard> BufferPool::BindNewPage(PageId page_id) {
+  Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto r = PinNewFrame(page_id);
+    std::lock_guard<std::mutex> g(s.mu);
+    auto r = PinNewFrame(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
     // Fresh page: contents are zeroes; no disk read needed.
@@ -124,138 +180,148 @@ StatusOr<WritePageGuard> BufferPool::BindNewPage(PageId page_id) {
   return guard;
 }
 
-StatusOr<Page*> BufferPool::FetchPageLocked(PageId page_id) {
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Page* page = frames_[it->second].get();
+StatusOr<Page*> BufferPool::FetchPageLocked(Shard& s, PageId page_id) {
+  auto it = s.table.find(page_id);
+  if (it != s.table.end()) {
+    Page* page = s.frames[it->second].get();
     page->Pin();
-    TouchLru(page_id);
-    hits_.Inc();
+    page->set_ref(true);
+    s.hits.Inc();
     return page;
   }
-  auto r = PinNewFrame(page_id);
+  auto r = PinNewFrame(s, page_id);
   if (!r.ok()) return r.status();
   Page* page = *r;
-  misses_.Inc();
-  Status s = disk_->ReadPage(page_id, page->data());
-  if (!s.ok()) {
+  s.misses.Inc();
+  Status st = disk_->ReadPage(page_id, page->data());
+  if (!st.ok()) {
     // Roll back the frame binding.
     page->Unpin();
-    page_table_.erase(page_id);
-    auto lit = lru_pos_.find(page_id);
-    if (lit != lru_pos_.end()) {
-      lru_.erase(lit->second);
-      lru_pos_.erase(lit);
-    }
-    for (size_t i = 0; i < frames_.size(); ++i) {
-      if (frames_[i].get() == page) {
-        free_.push_back(i);
+    page->set_page_id(kInvalidPageId);
+    s.table.erase(page_id);
+    for (size_t i = 0; i < s.frames.size(); ++i) {
+      if (s.frames[i].get() == page) {
+        s.free_list.push_back(i);
         break;
       }
     }
-    return s;
+    return st;
   }
   return page;
 }
 
-StatusOr<Page*> BufferPool::PinNewFrame(PageId page_id) {
-  if (free_.empty()) {
-    OIB_RETURN_IF_ERROR(EvictOne());
+StatusOr<Page*> BufferPool::PinNewFrame(Shard& s, PageId page_id) {
+  if (s.free_list.empty()) {
+    OIB_RETURN_IF_ERROR(EvictOne(s));
   }
-  size_t idx = free_.back();
-  free_.pop_back();
-  Page* page = frames_[idx].get();
+  size_t idx = s.free_list.back();
+  s.free_list.pop_back();
+  Page* page = s.frames[idx].get();
   page->Reset(page_id);
   page->Pin();
-  page_table_[page_id] = idx;
-  TouchLru(page_id);
+  page->set_ref(true);
+  s.table[page_id] = idx;
   return page;
 }
 
-Status BufferPool::EvictOne() {
-  // Scan from least-recently-used; skip pinned frames.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    PageId victim = *it;
-    size_t idx = page_table_.at(victim);
-    Page* page = frames_[idx].get();
+Status BufferPool::EvictOne(Shard& s) {
+  // CLOCK sweep: a frame whose ref bit is set gets a second chance (bit
+  // cleared, hand moves on); an unpinned frame with a clear bit is the
+  // victim.  Two full revolutions guarantee every unpinned frame has had
+  // its bit cleared once, so finding nothing means everything is pinned.
+  //
+  // The dirty-victim write-back (WAL hook + disk write) runs under this
+  // shard's mutex: it stalls only fetches hashing to the same shard, not
+  // the whole pool, and keeps the frame from being re-fetched mid-write.
+  const size_t n = s.frames.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    size_t idx = s.hand;
+    s.hand = (s.hand + 1) % n;
+    Page* page = s.frames[idx].get();
+    if (page->page_id() == kInvalidPageId) continue;  // free frame
     if (page->pin_count() > 0) continue;
+    if (page->ref()) {
+      page->set_ref(false);
+      continue;
+    }
+    PageId victim = page->page_id();
     if (page->is_dirty()) {
       if (wal_flush_) OIB_RETURN_IF_ERROR(wal_flush_(page->page_lsn()));
       OIB_RETURN_IF_ERROR(disk_->WritePage(victim, page->data()));
     }
-    page_table_.erase(victim);
-    lru_.erase(std::next(it).base());
-    lru_pos_.erase(victim);
-    free_.push_back(idx);
-    evictions_.Inc();
+    s.table.erase(victim);
+    page->set_page_id(kInvalidPageId);
+    s.free_list.push_back(idx);
+    s.evictions.Inc();
     return Status::OK();
   }
-  return Status::Busy("buffer pool exhausted: all pages pinned");
+  return Status::Busy("buffer pool shard exhausted: all pages pinned");
 }
 
 void BufferPool::Unpin(Page* page, bool dirty) {
-  std::lock_guard<std::mutex> g(mu_);
+  // Order matters: the dirty bit must be visible before the pin count
+  // drops (Unpin is a release; the evictor's pin_count() read acquires).
   if (dirty) page->set_dirty(true);
   page->Unpin();
 }
 
-void BufferPool::TouchLru(PageId page_id) {
-  auto it = lru_pos_.find(page_id);
-  if (it != lru_pos_.end()) lru_.erase(it->second);
-  lru_.push_front(page_id);
-  lru_pos_[page_id] = lru_.begin();
-}
-
 Status BufferPool::FlushPage(PageId page_id) {
+  Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto it = page_table_.find(page_id);
-    if (it == page_table_.end()) return Status::OK();  // not cached
-    page = frames_[it->second].get();
+    std::lock_guard<std::mutex> g(s.mu);
+    auto it = s.table.find(page_id);
+    if (it == s.table.end()) return Status::OK();  // not cached
+    page = s.frames[it->second].get();
     page->Pin();
   }
   page->LatchShared();
-  Status s;
+  Status st;
   if (page->is_dirty()) {
-    if (wal_flush_) s = wal_flush_(page->page_lsn());
-    if (s.ok()) s = disk_->WritePage(page_id, page->data());
-    if (s.ok()) page->set_dirty(false);
+    if (wal_flush_) st = wal_flush_(page->page_lsn());
+    if (st.ok()) st = disk_->WritePage(page_id, page->data());
+    if (st.ok()) page->set_dirty(false);
   }
   page->UnlatchShared();
   Unpin(page, /*dirty=*/false);
-  return s;
+  return st;
 }
 
 Status BufferPool::FlushAll() {
-  std::vector<PageId> cached;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    cached.reserve(page_table_.size());
-    for (const auto& [pid, idx] : page_table_) {
-      (void)idx;
-      cached.push_back(pid);
+  // Collect resident ids per shard under that shard's mutex, then flush
+  // them one by one: the I/O (and the WAL-flush hook it may invoke) runs
+  // with no shard lock held.
+  for (auto& shard : shards_) {
+    std::vector<PageId> cached;
+    {
+      std::lock_guard<std::mutex> g(shard->mu);
+      cached.reserve(shard->table.size());
+      for (const auto& [pid, idx] : shard->table) {
+        (void)idx;
+        cached.push_back(pid);
+      }
     }
-  }
-  for (PageId pid : cached) {
-    OIB_RETURN_IF_ERROR(FlushPage(pid));
+    for (PageId pid : cached) {
+      OIB_RETURN_IF_ERROR(FlushPage(pid));
+    }
   }
   return Status::OK();
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> g(mu_);
-  for (const auto& [pid, idx] : page_table_) {
-    (void)pid;
-    assert(frames_[idx]->pin_count() == 0 && "discard with live pins");
-  }
-  page_table_.clear();
-  lru_.clear();
-  lru_pos_.clear();
-  free_.clear();
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    frames_[i]->Reset(kInvalidPageId);
-    free_.push_back(frames_.size() - 1 - i);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard->mu);
+    for (const auto& [pid, idx] : shard->table) {
+      (void)pid;
+      assert(shard->frames[idx]->pin_count() == 0 && "discard with live pins");
+    }
+    shard->table.clear();
+    shard->free_list.clear();
+    shard->hand = 0;
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      shard->frames[i]->Reset(kInvalidPageId);
+      shard->free_list.push_back(shard->frames.size() - 1 - i);
+    }
   }
 }
 

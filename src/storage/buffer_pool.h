@@ -1,6 +1,14 @@
-// BufferPool: fixed-size cache of pages with pin/unpin, LRU eviction, and
+// BufferPool: fixed-size cache of pages with pin/unpin, CLOCK eviction, and
 // the write-ahead-logging rule (a dirty page is written to disk only after
 // the log is flushed up to that page's LSN).
+//
+// The pool is split into power-of-two *shards* keyed by PageId.  Each shard
+// owns a slice of the frames with its own mutex, page table, free list and
+// CLOCK hand, so fetches on different pages proceed in parallel instead of
+// funnelling through one process-wide lock; a fetch hit touches one ref bit
+// (the CLOCK "recently used" signal) instead of splicing an LRU list.
+// Unpin is lock-free (atomic pin count + dirty bit), and FlushAll never
+// holds a shard mutex across disk I/O or the WAL-flush hook.
 //
 // RAII page guards combine pin + latch acquisition in the safe order
 // (pin first, then latch), so an evictable frame can never be latched.
@@ -10,7 +18,6 @@
 
 #include <atomic>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -86,7 +93,13 @@ class WritePageGuard {
 
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t pool_pages);
+  // Every shard keeps at least this many frames; a shard request that
+  // would leave shards smaller is halved until it fits (tiny test pools
+  // still want eviction to work inside each shard).
+  static constexpr size_t kMinPagesPerShard = 4;
+
+  // `shards` must be a power of two; 0 = auto (min(16, hw_concurrency)).
+  BufferPool(DiskManager* disk, size_t pool_pages, size_t shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -107,6 +120,7 @@ class BufferPool {
   StatusOr<WritePageGuard> NewPageNoReuse(PageId* page_id);
 
   // Writes one page / all dirty pages to disk (respecting the WAL rule).
+  // Neither holds a shard mutex across the disk write or the WAL hook.
   Status FlushPage(PageId page_id);
   Status FlushAll();
 
@@ -116,42 +130,55 @@ class BufferPool {
 
   DiskManager* disk() { return disk_; }
 
-  // Cache-effectiveness counters.  A hit is a fetch served from a resident
-  // frame; a miss reads the page from disk; fresh-page allocations count as
-  // neither.
-  uint64_t hits() const { return hits_.value(); }
-  uint64_t misses() const { return misses_.value(); }
-  uint64_t evictions() const { return evictions_.value(); }
+  size_t shard_count() const { return shards_.size(); }
+
+  // Cache-effectiveness counters, summed over the per-shard cells.  A hit
+  // is a fetch served from a resident frame; a miss reads the page from
+  // disk; fresh-page allocations count as neither.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
 
   // Registers bufferpool.{hits,misses,evictions} with `registry` (owner =
-  // this pool; the destructor detaches them).
+  // this pool; the destructor detaches them).  Exported as value callbacks
+  // summing the per-shard counters.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   friend class ReadPageGuard;
   friend class WritePageGuard;
 
-  // Returns a pinned (unlatched) frame for page_id, reading from disk on
-  // miss.  Caller must eventually Unpin().
+  // One lock domain: a slice of the frames plus the bookkeeping for the
+  // pages resident in them.  alignas keeps neighbouring shards' mutexes
+  // and clock hands off each other's cache lines.
+  struct alignas(obs::kCacheLineSize) Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> table;  // page -> frame index
+    std::vector<std::unique_ptr<Page>> frames;
+    std::vector<size_t> free_list;  // free frame indexes
+    size_t hand = 0;                // CLOCK sweep position
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter evictions;
+  };
+
+  Shard& ShardFor(PageId page_id) {
+    return *shards_[static_cast<size_t>(page_id) & shard_mask_];
+  }
+
   StatusOr<WritePageGuard> BindNewPage(PageId page_id);
-  StatusOr<Page*> FetchPageLocked(PageId page_id);
-  StatusOr<Page*> PinNewFrame(PageId page_id);
-  Status EvictOne();  // Requires mu_ held; frees one frame into free_.
+  // The following require s.mu held by the caller.
+  StatusOr<Page*> FetchPageLocked(Shard& s, PageId page_id);
+  StatusOr<Page*> PinNewFrame(Shard& s, PageId page_id);
+  Status EvictOne(Shard& s);  // frees one frame into s.free_list
+  // Lock-free: atomic dirty bit + pin count (release; eviction acquires).
   void Unpin(Page* page, bool dirty);
-  void TouchLru(PageId page_id);
 
   DiskManager* disk_;
   std::function<Status(Lsn)> wal_flush_;
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::vector<size_t> free_;                       // free frame indexes
-  std::unordered_map<PageId, size_t> page_table_;  // page -> frame index
-  std::list<PageId> lru_;                          // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
-  obs::Counter hits_;
-  obs::Counter misses_;
-  obs::Counter evictions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;  // set by AttachMetrics
 };
 

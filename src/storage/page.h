@@ -50,9 +50,19 @@ class Page {
   bool is_dirty() const { return dirty_.load(std::memory_order_relaxed); }
   void set_dirty(bool d) { dirty_.store(d, std::memory_order_relaxed); }
 
-  int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
+  // Unpin releases and pin_count acquires: Unpin happens without any pool
+  // lock, so the eviction path's `pin_count() == 0` check is the only
+  // synchronization edge ordering the unpinner's page writes before the
+  // evictor reads the frame contents for the disk write.
+  int pin_count() const { return pin_count_.load(std::memory_order_acquire); }
   void Pin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
-  void Unpin() { pin_count_.fetch_sub(1, std::memory_order_relaxed); }
+  void Unpin() { pin_count_.fetch_sub(1, std::memory_order_release); }
+
+  // CLOCK reference bit: set on every fetch (the replacement policy's
+  // "recently used" signal — one relaxed store instead of an LRU list
+  // splice), cleared by the clock hand as it sweeps.
+  bool ref() const { return ref_.load(std::memory_order_relaxed); }
+  void set_ref(bool r) { ref_.store(r, std::memory_order_relaxed); }
 
   // Page latch.  S for readers, X for updaters; held only across short
   // critical sections, never across I/O initiated by the holder's caller.
@@ -67,6 +77,7 @@ class Page {
     page_id_ = id;
     dirty_.store(false, std::memory_order_relaxed);
     pin_count_.store(0, std::memory_order_relaxed);
+    ref_.store(false, std::memory_order_relaxed);
     std::memset(data_.get(), 0, size_);
   }
 
@@ -75,6 +86,7 @@ class Page {
   std::unique_ptr<char[]> data_;
   PageId page_id_ = kInvalidPageId;
   std::atomic<bool> dirty_{false};
+  std::atomic<bool> ref_{false};
   std::atomic<int> pin_count_{0};
   std::shared_mutex latch_;
 };

@@ -1,16 +1,16 @@
 #include "wal/log_manager.h"
 
+#include <cstring>
 #include <functional>
+#include <thread>
 
 #include "common/coding.h"
 #include "obs/trace.h"
 
 namespace oib {
 
-namespace {
-// Each record is framed as [len:u32][payload:len].
-constexpr size_t kFrameHeader = 4;
-}  // namespace
+LogManager::LogManager(size_t ring_bytes)
+    : ring_(ring_bytes), ring_mask_(ring_bytes - 1), slots_(kSealSlots) {}
 
 LogManager::~LogManager() {
   if (metrics_ != nullptr) metrics_->DetachOwner(this);
@@ -19,13 +19,41 @@ LogManager::~LogManager() {
 void LogManager::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   registry->RegisterValueFn(
-      "wal.records", [this] { return stats().records; }, this);
+      "wal.records", [this] { return records_.load(std::memory_order_relaxed); },
+      this);
   registry->RegisterValueFn(
-      "wal.bytes", [this] { return stats().bytes; }, this);
+      "wal.bytes", [this] { return bytes_.load(std::memory_order_relaxed); },
+      this);
   registry->RegisterValueFn(
-      "wal.flushes", [this] { return stats().flushes; }, this);
+      "wal.flushes",
+      [this] { return flushes_.load(std::memory_order_relaxed); }, this);
   registry->RegisterHistogram("wal.append_ns", &append_ns_, this);
   registry->RegisterHistogram("wal.flush_ns", &flush_ns_, this);
+}
+
+Status LogManager::ConfigureRing(size_t ring_bytes) {
+  if (ring_bytes < 2 * kFrameHeader || (ring_bytes & (ring_bytes - 1)) != 0) {
+    return Status::InvalidArgument("wal ring size must be a power of two");
+  }
+  std::scoped_lock g(flush_mu_, drain_mu_);
+  // Empty the old ring into the backing store first (does not flush:
+  // drained bytes stay volatile until Flush moves the boundary).  Callers
+  // guarantee no concurrent appenders, so every reservation is sealed and
+  // this terminates.
+  DrainUntilLocked(reserved_.load(std::memory_order_acquire));
+  if (ring_bytes != ring_.size()) {
+    ring_.assign(ring_bytes, 0);
+    ring_.shrink_to_fit();
+    ring_mask_ = ring_bytes - 1;
+  }
+  return Status::OK();
+}
+
+void LogManager::RingWrite(uint64_t off, const char* data, size_t n) {
+  size_t pos = static_cast<size_t>(off) & ring_mask_;
+  size_t first = n < ring_.size() - pos ? n : ring_.size() - pos;
+  std::memcpy(ring_.data() + pos, data, first);
+  if (n > first) std::memcpy(ring_.data(), data + first, n - first);
 }
 
 Status LogManager::Append(LogRecord* rec) {
@@ -35,68 +63,177 @@ Status LogManager::Append(LogRecord* rec) {
   const uint64_t t0 = timed ? obs::MonotonicNanos() : 0;
   std::string payload;
   rec->SerializeTo(&payload);
-  std::lock_guard<std::mutex> g(mu_);
-  Lsn lsn = durable_.size() + tail_.size() + 1;
-  rec->lsn = lsn;
-  PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
-  tail_.append(payload);
-  ++stats_.records;
-  stats_.bytes += kFrameHeader + payload.size();
+  const uint64_t size = kFrameHeader + payload.size();
+  if (size > ring_.size()) {
+    return Status::InvalidArgument("log record exceeds wal_ring_bytes");
+  }
+
+  // 1. Reserve: one fetch-add claims the byte range and the LSN.
+  const uint64_t start = reserved_.fetch_add(size, std::memory_order_relaxed);
+  const uint64_t end = start + size;
+  rec->lsn = start + 1;
+
+  // 2. Backpressure: the ring positions for [start, end) must not alias
+  // bytes that have not been drained into the backing store yet.  Help
+  // drain rather than merely spin — with no flusher active, the ring
+  // would never empty on its own.
+  while (end > drained_.load(std::memory_order_acquire) + ring_.size()) {
+    TryDrain();
+  }
+
+  // 3. Copy the framed record into the ring outside any lock.
+  char hdr[kFrameHeader];
+  EncodeFixed32(hdr, static_cast<uint32_t>(payload.size()));
+  RingWrite(start, hdr, kFrameHeader);
+  RingWrite(start + kFrameHeader, payload.data(), payload.size());
+
+  // 4. Publish via a per-slot seal.  Ticket order tracks reservation order
+  // closely (both are fetch-adds in the same function), so the drain's
+  // in-ticket-order consumption rarely buffers out-of-order ranges.
+  const uint64_t ticket = seal_seq_.fetch_add(1, std::memory_order_relaxed);
+  SealSlot& slot = slots_[static_cast<size_t>(ticket) & (kSealSlots - 1)];
+  while (slot.start_p1.load(std::memory_order_acquire) != 0) {
+    // Lapped: the occupant from `ticket - kSealSlots` is not consumed yet.
+    TryDrain();
+  }
+  slot.end = end;
+  slot.start_p1.store(start + 1, std::memory_order_release);
+
+  records_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(size, std::memory_order_relaxed);
   size_t rm = static_cast<size_t>(rec->rm_id);
-  if (rm < stats_.records_by_rm.size()) {
-    ++stats_.records_by_rm[rm];
-    stats_.bytes_by_rm[rm] += kFrameHeader + payload.size();
+  if (rm < records_by_rm_.size()) {
+    records_by_rm_[rm].fetch_add(1, std::memory_order_relaxed);
+    bytes_by_rm_[rm].fetch_add(size, std::memory_order_relaxed);
   }
   if (timed) append_ns_.Record(obs::MonotonicNanos() - t0);
   return Status::OK();
 }
 
+void LogManager::TryDrain() {
+  std::unique_lock<std::mutex> g(drain_mu_, std::try_to_lock);
+  if (g.owns_lock()) {
+    ConsumeSealedLocked();
+  } else {
+    // Someone else is draining; give them the core.
+    std::this_thread::yield();
+  }
+}
+
+void LogManager::ConsumeSealedLocked() {
+  // Consume sealed slots in ticket order, then extend the contiguous
+  // drained prefix.  Freeing a slot (the store of 0) un-laps any sealer
+  // waiting on it; advancing drained_ unblocks ring-space waiters.
+  while (true) {
+    SealSlot& slot = slots_[static_cast<size_t>(consume_seq_) & (kSealSlots - 1)];
+    uint64_t start_p1 = slot.start_p1.load(std::memory_order_acquire);
+    if (start_p1 == 0) break;  // next ticket not sealed yet
+    pending_.emplace(start_p1 - 1, slot.end);
+    slot.start_p1.store(0, std::memory_order_release);
+    ++consume_seq_;
+  }
+  uint64_t d = drained_.load(std::memory_order_relaxed);
+  bool advanced = false;
+  while (!pending_.empty() && pending_.top().first == d) {
+    auto [start, end] = pending_.top();
+    pending_.pop();
+    size_t pos = static_cast<size_t>(start) & ring_mask_;
+    size_t n = static_cast<size_t>(end - start);
+    size_t first = n < ring_.size() - pos ? n : ring_.size() - pos;
+    backing_.append(ring_.data() + pos, first);
+    if (n > first) backing_.append(ring_.data(), n - first);
+    d = end;
+    advanced = true;
+  }
+  if (advanced) drained_.store(d, std::memory_order_release);
+}
+
+void LogManager::DrainUntilLocked(uint64_t target_bytes) {
+  while (drained_.load(std::memory_order_relaxed) < target_bytes) {
+    ConsumeSealedLocked();
+    if (drained_.load(std::memory_order_relaxed) >= target_bytes) break;
+    // The record at the drained frontier is reserved but not yet sealed;
+    // its appender is between the fetch-add and the seal store (it cannot
+    // be blocked on ring space: the frontier record always fits, and it
+    // never takes drain_mu_).  Yield until the seal lands.
+    std::this_thread::yield();
+  }
+}
+
+Status LogManager::ParseRecordAt(uint64_t off, LogRecord* rec) const {
+  if (off + kFrameHeader > backing_.size()) {
+    return Status::Corruption("lsn beyond log end");
+  }
+  uint32_t len = DecodeFixed32(backing_.data() + off);
+  if (off + kFrameHeader + len > backing_.size()) {
+    return Status::Corruption("truncated record");
+  }
+  Status s = LogRecord::DeserializeFrom(
+      std::string_view(backing_.data() + off + kFrameHeader, len), rec);
+  if (s.ok()) rec->lsn = off + 1;
+  return s;
+}
+
 Status LogManager::Flush(Lsn lsn) {
+  // Lock-free fast path: a group-commit leader already covered this lsn.
+  // (Records never straddle the durable boundary — the drain moves whole
+  // records — so a record is durable iff it starts inside the boundary.)
+  if (lsn != kInvalidLsn &&
+      lsn - 1 < flushed_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  uint64_t target = lsn == kInvalidLsn
+                        ? reserved_.load(std::memory_order_acquire)
+                        : static_cast<uint64_t>(lsn);
+  // `lsn` beyond the last reservation flushes everything, like the old
+  // whole-tail flush did.
+  uint64_t reserved = reserved_.load(std::memory_order_acquire);
+  if (target > reserved) target = reserved;
+
   uint64_t t0 = obs::MonotonicNanos();
-  std::lock_guard<std::mutex> g(mu_);
-  // Records never straddle the durable boundary (flush always moves the
-  // whole tail), so a record is durable iff it starts inside durable_.
-  if (lsn != kInvalidLsn && lsn - 1 < durable_.size()) return Status::OK();
-  if (tail_.empty()) return Status::OK();
-  durable_.append(tail_);
-  tail_.clear();
-  ++stats_.flushes;
+  std::lock_guard<std::mutex> fl(flush_mu_);
+  // Re-check after the leader hand-off: whoever held flush_mu_ published
+  // the boundary for every record sealed before it released.
+  uint64_t flushed = flushed_.load(std::memory_order_relaxed);
+  if (flushed >= target) return Status::OK();
+  {
+    std::lock_guard<std::mutex> dg(drain_mu_);
+    DrainUntilLocked(target);
+    // Group commit: publish everything drained, not just the target, so
+    // committers queued behind this leader find their records durable.
+    flushed_.store(drained_.load(std::memory_order_relaxed),
+                   std::memory_order_release);
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
   flush_ns_.Record(obs::MonotonicNanos() - t0);
   return Status::OK();
 }
 
-Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
-  std::lock_guard<std::mutex> g(mu_);
+Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) {
   if (lsn == kInvalidLsn) return Status::InvalidArgument("invalid lsn");
-  size_t off = lsn - 1;
-  auto read_from = [&](const std::string& region, size_t pos) -> Status {
-    if (pos + kFrameHeader > region.size()) {
-      return Status::Corruption("lsn beyond log end");
-    }
-    uint32_t len = DecodeFixed32(region.data() + pos);
-    if (pos + kFrameHeader + len > region.size()) {
-      return Status::Corruption("truncated record");
-    }
-    Status s = LogRecord::DeserializeFrom(
-        std::string_view(region.data() + pos + kFrameHeader, len), rec);
-    if (s.ok()) rec->lsn = lsn;
-    return s;
-  };
-  if (off < durable_.size()) return read_from(durable_, off);
-  return read_from(tail_, off - durable_.size());
+  uint64_t off = lsn - 1;
+  if (off >= reserved_.load(std::memory_order_acquire)) {
+    return Status::Corruption("lsn beyond log end");
+  }
+  std::lock_guard<std::mutex> g(drain_mu_);
+  // The caller's record was fully appended (sealed), so draining up to it
+  // terminates; this only buffers volatile bytes, it does not flush.
+  DrainUntilLocked(off + 1);
+  return ParseRecordAt(off, rec);
 }
 
 Status LogManager::ScanDurable(
-    Lsn start_lsn, const std::function<bool(const LogRecord&)>& fn) const {
-  // Snapshot the durable region and run the callback with mu_ released:
-  // redo callbacks latch pages, while the forward path appends to the
-  // log under page latches — calling out with mu_ held would invert
-  // that page-latch -> log-mu_ order.  Records flushed after the call
-  // are not seen, which is the contract ("durable as of the call").
+    Lsn start_lsn, const std::function<bool(const LogRecord&)>& fn) {
+  // Snapshot the durable prefix and run the callback with no log lock
+  // held: redo callbacks latch pages, while the forward path appends to
+  // the log under page latches — calling out with a log mutex held would
+  // invert that page-latch -> log-lock order.  Records flushed after the
+  // call are not seen, which is the contract ("durable as of the call").
   std::string snapshot;
+  uint64_t limit = flushed_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> g(mu_);
-    snapshot = durable_;
+    std::lock_guard<std::mutex> g(drain_mu_);
+    snapshot = backing_.substr(0, limit);
   }
   size_t pos = (start_lsn == kInvalidLsn) ? 0 : start_lsn - 1;
   while (pos + kFrameHeader <= snapshot.size()) {
@@ -112,29 +249,46 @@ Status LogManager::ScanDurable(
   return Status::OK();
 }
 
-Lsn LogManager::next_lsn() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return durable_.size() + tail_.size() + 1;
-}
-
-Lsn LogManager::flushed_lsn() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return durable_.size() + 1;
-}
-
 void LogManager::DropUnflushed() {
-  std::lock_guard<std::mutex> g(mu_);
-  tail_.clear();
+  // Crash simulation; the caller has quiesced appenders.  Everything past
+  // the durable boundary is discarded: the drained-but-unflushed suffix of
+  // the backing store, all sealed-but-undrained ring contents, and the
+  // reservation counter itself rewinds to the boundary — so the volatile
+  // tail vanishes exactly as if the process had died, leaving a
+  // prefix-exact durable log.
+  std::scoped_lock g(flush_mu_, drain_mu_);
+  uint64_t flushed = flushed_.load(std::memory_order_relaxed);
+  backing_.resize(flushed);
+  drained_.store(flushed, std::memory_order_relaxed);
+  reserved_.store(flushed, std::memory_order_relaxed);
+  seal_seq_.store(0, std::memory_order_relaxed);
+  consume_seq_ = 0;
+  for (SealSlot& slot : slots_) {
+    slot.start_p1.store(0, std::memory_order_relaxed);
+  }
+  pending_ = {};
 }
 
 LogStats LogManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  LogStats s;
+  s.records = records_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < s.records_by_rm.size(); ++i) {
+    s.records_by_rm[i] = records_by_rm_[i].load(std::memory_order_relaxed);
+    s.bytes_by_rm[i] = bytes_by_rm_[i].load(std::memory_order_relaxed);
+  }
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void LogManager::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
-  stats_ = LogStats{};
+  records_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < records_by_rm_.size(); ++i) {
+    records_by_rm_[i].store(0, std::memory_order_relaxed);
+    bytes_by_rm_[i].store(0, std::memory_order_relaxed);
+  }
+  flushes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace oib

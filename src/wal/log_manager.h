@@ -7,6 +7,22 @@
 // tests stay deterministic; the durable prefix plays the role of the log
 // file contents at the moment of a failure.
 //
+// Appends are reservation-based so concurrent appenders never serialize on
+// a lock:
+//  * Append reserves its byte range with a single fetch-add on the atomic
+//    next-LSN counter, copies the framed record into a fixed ring buffer
+//    outside any lock, and publishes via a per-slot seal (release store);
+//  * a *drain* (run by Flush, or opportunistically by an appender that
+//    finds the ring full) consumes sealed records in reservation order and
+//    moves their bytes into the contiguous backing store;
+//  * Flush(lsn) is group commit: one leader drains far enough to cover
+//    `lsn` and then publishes the durable boundary for every record sealed
+//    so far, so concurrent committers arriving behind it find their target
+//    already durable via a lock-free atomic check.
+// Records become durable only when Flush advances `flushed_`; bytes that
+// were drained but not flushed are still volatile and are discarded by
+// DropUnflushed, which therefore still yields a prefix-exact durable log.
+//
 // Statistics (records/bytes appended, per-RM breakdown) feed the E4
 // logging-overhead experiment.
 
@@ -14,9 +30,12 @@
 #define OIB_WAL_LOG_MANAGER_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <mutex>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -36,31 +55,48 @@ struct LogStats {
 
 class LogManager {
  public:
-  LogManager() = default;
+  static constexpr size_t kDefaultRingBytes = 1 << 20;
+
+  explicit LogManager(size_t ring_bytes = kDefaultRingBytes);
   ~LogManager();
 
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  // Appends `rec`, assigning rec->lsn.  Does not flush.
+  // Resizes the append ring (power of two).  Called at Engine::Open /
+  // Restart, i.e. with no concurrent appenders; any bytes still in the
+  // ring are drained (not flushed) first.
+  Status ConfigureRing(size_t ring_bytes);
+
+  // Appends `rec`, assigning rec->lsn.  Does not flush.  Thread-safe and
+  // lock-free on the common path.
   Status Append(LogRecord* rec);
 
-  // Makes the log durable at least up to `lsn` (kInvalidLsn → everything).
+  // Makes the log durable at least up to `lsn` (kInvalidLsn → everything
+  // appended before the call).  Group commit: see file comment.
   Status Flush(Lsn lsn);
   Status FlushAll() { return Flush(kInvalidLsn); }
 
-  // Random access read of the record at `lsn` (durable or volatile region).
-  Status ReadRecord(Lsn lsn, LogRecord* rec) const;
+  // Random access read of the record at `lsn` (durable or volatile
+  // region).  The record must have been fully appended.
+  Status ReadRecord(Lsn lsn, LogRecord* rec);
 
   // Sequential scan of the *durable* log from `start_lsn` (or from the
   // beginning).  Calls fn for each record; stops early if fn returns false.
   Status ScanDurable(Lsn start_lsn,
-                     const std::function<bool(const LogRecord&)>& fn) const;
+                     const std::function<bool(const LogRecord&)>& fn);
 
-  Lsn next_lsn() const;
-  Lsn flushed_lsn() const;
+  // Single atomic loads: progress reporting reads these concurrently with
+  // appenders and must never contend.
+  Lsn next_lsn() const {
+    return reserved_.load(std::memory_order_relaxed) + 1;
+  }
+  Lsn flushed_lsn() const {
+    return flushed_.load(std::memory_order_acquire) + 1;
+  }
 
-  // Crash simulation: discards the volatile tail.
+  // Crash simulation: discards the volatile tail (ring contents plus any
+  // drained-but-unflushed suffix).  Caller must have quiesced appenders.
   void DropUnflushed();
 
   LogStats stats() const;
@@ -76,14 +112,61 @@ class LogManager {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
+  // Each record is framed as [len:u32][payload:len].
+  static constexpr size_t kFrameHeader = 4;
+  // Seal slots (power of two).  A sealer that laps a slot whose previous
+  // occupant has not been consumed yet helps drain until it frees up.
+  static constexpr size_t kSealSlots = 1024;
   // Appends are timed 1-in-64: the clock read costs more than the append
   // itself on some hosts, so the untimed path pays only this relaxed tick.
   static constexpr uint64_t kAppendSampleMask = 63;
 
-  mutable std::mutex mu_;
-  std::string durable_;
-  std::string tail_;  // appended after durable_
-  LogStats stats_;
+  // One published reservation: start_p1 == record start offset + 1
+  // (0 = slot free), end written before the release store to start_p1.
+  struct SealSlot {
+    std::atomic<uint64_t> start_p1{0};
+    uint64_t end = 0;
+  };
+
+  void RingWrite(uint64_t off, const char* data, size_t n);
+  // Opportunistic drain used by appenders blocked on ring space or a
+  // lapped seal slot; yields if another thread is already draining.
+  void TryDrain();
+  // The following require drain_mu_ held.
+  void ConsumeSealedLocked();
+  void DrainUntilLocked(uint64_t target_bytes);  // until drained_ >= target
+  Status ParseRecordAt(uint64_t off, LogRecord* rec) const;
+
+  // --- hot, lock-free appender state ---
+  std::atomic<uint64_t> reserved_{0};  // log bytes reserved (next_lsn - 1)
+  std::atomic<uint64_t> seal_seq_{0};  // seal tickets issued
+  std::atomic<uint64_t> drained_{0};   // bytes moved ring -> backing_
+  std::atomic<uint64_t> flushed_{0};   // durable boundary (bytes)
+  std::vector<char> ring_;
+  size_t ring_mask_ = 0;
+  std::vector<SealSlot> slots_;
+
+  // --- drain state (guarded by drain_mu_) ---
+  mutable std::mutex drain_mu_;
+  uint64_t consume_seq_ = 0;  // seal tickets consumed
+  // Sealed ranges consumed out of byte order (ticket order and reservation
+  // order can differ transiently between the two fetch-adds in Append);
+  // min-heap by start offset, popped as the contiguous prefix extends.
+  std::priority_queue<std::pair<uint64_t, uint64_t>,
+                      std::vector<std::pair<uint64_t, uint64_t>>,
+                      std::greater<>>
+      pending_;
+  std::string backing_;  // drained bytes [0, drained_); durable [0, flushed_)
+
+  // --- group commit ---
+  std::mutex flush_mu_;  // serializes flush leaders
+
+  // --- statistics (lock-free cells; stats() snapshots them) ---
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::array<std::atomic<uint64_t>, 4> records_by_rm_{};
+  std::array<std::atomic<uint64_t>, 4> bytes_by_rm_{};
+  std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> append_tick_{0};
   obs::Histogram append_ns_;  // sampled
   obs::Histogram flush_ns_;   // only flushes that moved the boundary

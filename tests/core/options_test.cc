@@ -77,6 +77,27 @@ TEST_F(OptionsTest, RejectsBadFillFactor) {
   EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
 }
 
+TEST_F(OptionsTest, RejectsNonPowerOfTwoShards) {
+  Options options;
+  options.buffer_pool_shards = 3;
+  Status s = ValidateOptions(options);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  options.buffer_pool_shards = 8;
+  EXPECT_OK(ValidateOptions(options));
+  options.buffer_pool_shards = 0;  // auto
+  EXPECT_OK(ValidateOptions(options));
+}
+
+TEST_F(OptionsTest, RejectsBadWalRing) {
+  Options options;
+  options.wal_ring_bytes = 1000;  // not a power of two
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+  options.wal_ring_bytes = 4096;  // too small
+  EXPECT_TRUE(ValidateOptions(options).IsInvalidArgument());
+  options.wal_ring_bytes = 1 << 17;
+  EXPECT_OK(ValidateOptions(options));
+}
+
 TEST_F(OptionsTest, ValidationFailureNamesTheField) {
   Options options;
   options.build_threads = 0;
