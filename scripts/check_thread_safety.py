@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Smoke test for the clang thread-safety gate.
+
+Verifies the gate actually bites: compiles a seeded lock-discipline
+violation (tests/common/thread_safety_smoke.cc with
+OIB_SMOKE_THREAD_SAFETY_VIOLATION defined) and asserts that clang's
+-Wthread-safety rejects it, then compiles the same file without the
+seed and asserts it is clean.  A gate that silently stopped firing —
+wrong flags, macros compiled out, analysis disabled — fails here even
+though the main build looks green.
+
+Exits 0 on success, non-zero on failure; exits 0 with a notice when no
+clang is available (the gate is a clang-only CI job; local GCC-only
+environments skip).
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SMOKE_SRC = os.path.join(REPO_ROOT, "tests", "common",
+                         "thread_safety_smoke.cc")
+
+BASE_ARGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety",
+    "-Werror=thread-safety-beta",
+    "-I", os.path.join(REPO_ROOT, "src"),
+]
+
+
+def find_clang(explicit):
+    if explicit:
+        return explicit
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_smoke(clang, seeded):
+    args = [clang] + BASE_ARGS
+    if seeded:
+        args.append("-DOIB_SMOKE_THREAD_SAFETY_VIOLATION")
+    args.append(SMOKE_SRC)
+    return subprocess.run(args, capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", help="clang++ binary to use")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (instead of skip) when clang is missing")
+    opts = parser.parse_args()
+
+    clang = find_clang(opts.clang)
+    if clang is None:
+        msg = "check_thread_safety: no clang++ found"
+        if opts.strict:
+            print(msg, file=sys.stderr)
+            return 1
+        print(msg + "; skipping (gate runs in the clang CI job)")
+        return 0
+
+    seeded = compile_smoke(clang, seeded=True)
+    if seeded.returncode == 0:
+        print("check_thread_safety: FAIL — the seeded violation compiled "
+              "cleanly; -Wthread-safety is not firing", file=sys.stderr)
+        return 1
+    if "thread-safety" not in seeded.stderr and \
+       "-Wthread-safety" not in seeded.stderr:
+        print("check_thread_safety: FAIL — seeded compile failed for the "
+              "wrong reason:\n" + seeded.stderr, file=sys.stderr)
+        return 1
+
+    clean = compile_smoke(clang, seeded=False)
+    if clean.returncode != 0:
+        print("check_thread_safety: FAIL — the unseeded smoke file should "
+              "be clean:\n" + clean.stderr, file=sys.stderr)
+        return 1
+
+    print("check_thread_safety: OK — gate fires on the seeded violation "
+          "and passes the clean file ({})".format(os.path.basename(clang)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database, in parallel.
+
+Usage:
+  scripts/run_clang_tidy.py -p build [paths...]
+
+Reads compile_commands.json from the build directory (configure with
+CMAKE_EXPORT_COMPILE_COMMANDS=ON), filters it to first-party sources
+(src/, tests/, bench/, examples/ — or the given path prefixes), and runs
+clang-tidy with the repo's .clang-tidy over every translation unit.
+WarningsAsErrors in .clang-tidy makes any finding fail the run.
+
+Exits 0 when every file is clean, 1 on findings, and 0 with a notice
+when clang-tidy is not installed (the gate is enforced by the CI
+static-analysis job; GCC-only dev boxes skip).
+"""
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PREFIXES = ("src/", "tests/", "bench/", "examples/")
+CACHE_DIR = os.path.join(REPO_ROOT, ".ctcache")
+
+
+def file_key(tidy_version, config, entry_cmd, src):
+    """Content hash identifying one (file, flags, config, tidy) combo.
+
+    Headers are not hashed, so a header-only change may hit stale cache
+    entries for its includers; CI keys the cache directory on the commit
+    and falls back to the previous one, which is close enough for a
+    WarningsAsErrors gate (a miss just re-runs clang-tidy).
+    """
+    h = hashlib.sha256()
+    for part in (tidy_version, config, entry_cmd):
+        h.update(part.encode())
+        h.update(b"\0")
+    with open(src, "rb") as f:
+        h.update(f.read())
+    return h.hexdigest()
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_commands(build_dir, prefixes):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print("run_clang_tidy: {} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON".format(db_path),
+              file=sys.stderr)
+        return None
+    with open(db_path) as f:
+        entries = json.load(f)
+    commands = {}
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel.startswith(".."):
+            continue  # third-party / generated outside the repo
+        if any(rel.startswith(p) for p in prefixes):
+            commands[path] = entry.get("command",
+                                       " ".join(entry.get("arguments", [])))
+    return dict(sorted(commands.items()))
+
+
+def tidy_one(args):
+    tidy, build_dir, src = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True)
+    return src, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build directory with compile_commands.json")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    parser.add_argument("--clang-tidy", help="clang-tidy binary to use")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (instead of skip) when clang-tidy is "
+                             "missing")
+    parser.add_argument("paths", nargs="*",
+                        help="repo-relative path prefixes to check "
+                             "(default: src/ tests/ bench/ examples/)")
+    opts = parser.parse_args()
+
+    tidy = find_clang_tidy(opts.clang_tidy)
+    if tidy is None:
+        msg = "run_clang_tidy: no clang-tidy found"
+        if opts.strict:
+            print(msg, file=sys.stderr)
+            return 1
+        print(msg + "; skipping (gate runs in the static-analysis CI job)")
+        return 0
+
+    prefixes = tuple(opts.paths) or DEFAULT_PREFIXES
+    commands = load_commands(opts.build_dir, prefixes)
+    if commands is None:
+        return 1
+    if not commands:
+        print("run_clang_tidy: no sources matched", file=sys.stderr)
+        return 1
+
+    tidy_version = subprocess.run([tidy, "--version"], capture_output=True,
+                                  text=True).stdout
+    with open(os.path.join(REPO_ROOT, ".clang-tidy")) as f:
+        config = f.read()
+    os.makedirs(CACHE_DIR, exist_ok=True)
+
+    # A cache entry marks one (content, flags, config, tidy) combo clean;
+    # files with findings are never cached, so a dirty tree re-runs.
+    sources, cached = [], 0
+    keys = {}
+    for src, cmd in commands.items():
+        key = file_key(tidy_version, config, cmd, src)
+        keys[src] = key
+        if os.path.exists(os.path.join(CACHE_DIR, key)):
+            cached += 1
+        else:
+            sources.append(src)
+
+    print("run_clang_tidy: {} files ({} cached clean), {} jobs, {}".format(
+        len(commands), cached, opts.jobs, os.path.basename(tidy)))
+    failed = 0
+    if sources:
+        with multiprocessing.Pool(opts.jobs) as pool:
+            work = [(tidy, opts.build_dir, s) for s in sources]
+            for src, rc, out, err in pool.imap_unordered(tidy_one, work):
+                rel = os.path.relpath(src, REPO_ROOT)
+                if rc != 0:
+                    failed += 1
+                    print("== {} ==".format(rel))
+                    if out.strip():
+                        print(out.strip())
+                    if err.strip():
+                        print(err.strip(), file=sys.stderr)
+                else:
+                    with open(os.path.join(CACHE_DIR, keys[src]), "w"):
+                        pass
+    if failed:
+        print("run_clang_tidy: FAIL — findings in {} of {} files".format(
+            failed, len(commands)), file=sys.stderr)
+        return 1
+    print("run_clang_tidy: OK — {} files clean".format(len(commands)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,12 @@ class BulkLoader {
   // Restart with no checkpoint: wipe the root leaf and start over.
   Status ResetToEmpty();
 
+  // Drops every open page guard (latch + pin) without finishing the
+  // load.  A failed build MUST call this before transaction-level
+  // cleanup: rollback paths acquire txn/lock-manager mutexes and latch
+  // other pages, none of which may happen under the loader's latches.
+  void Abandon() { guards_.clear(); }
+
   uint64_t keys_loaded() const { return keys_loaded_; }
   size_t pages_allocated() const { return allocated_.size(); }
   bool has_high_key() const { return keys_loaded_ > 0; }

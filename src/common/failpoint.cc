@@ -8,19 +8,19 @@ FailPointRegistry& FailPointRegistry::Instance() {
 }
 
 void FailPointRegistry::Arm(const std::string& name, int countdown) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto [it, inserted] = points_.insert_or_assign(name, countdown);
   (void)it;
   if (inserted) armed_count_.fetch_add(1);
 }
 
 void FailPointRegistry::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (points_.erase(name) > 0) armed_count_.fetch_sub(1);
 }
 
 void FailPointRegistry::Reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   armed_count_.store(0);
   fired_.store(0);
   points_.clear();
@@ -28,7 +28,7 @@ void FailPointRegistry::Reset() {
 
 bool FailPointRegistry::Check(const std::string& name) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = points_.find(name);
   if (it == points_.end()) return false;
   if (it->second > 0) {

@@ -10,11 +10,11 @@
 #define OIB_COMMON_FAILPOINT_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace oib {
 
@@ -45,8 +45,8 @@ class FailPointRegistry {
 
   std::atomic<int> armed_count_{0};
   std::atomic<int64_t> fired_{0};
-  std::mutex mu_;
-  std::unordered_map<std::string, int> points_;
+  sync::Mutex mu_{sync::LockRank::kFailPoint, "failpoint.mu"};
+  std::unordered_map<std::string, int> points_ OIB_GUARDED_BY(mu_);
 };
 
 }  // namespace oib

@@ -13,7 +13,10 @@
 
 namespace oib {
 
-class Status {
+// [[nodiscard]]: ignoring a Status is almost always a bug — every caller
+// must either propagate, handle, or explicitly (void)-cast with a comment
+// saying why dropping the error is correct.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -95,7 +98,7 @@ class Status {
 
 // Value-or-error. The value is only accessible when status().ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
     assert(!status_.ok());

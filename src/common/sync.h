@@ -1,0 +1,429 @@
+// Annotated synchronization primitives with a static lock-rank registry.
+//
+// Every mutex in src/ is a sync::Mutex or sync::SharedMutex constructed
+// with a LockRank and a name.  Two enforcement layers share that rank:
+//
+//  * Compile time (Clang only): the OIB_* macros below expand to Clang's
+//    thread-safety capability attributes, so `-Werror=thread-safety`
+//    rejects guarded-field access without the guarding mutex held and
+//    REQUIRES/EXCLUDES contract violations.  On other compilers the
+//    macros expand to nothing and the wrappers are thin forwarding shims.
+//
+//  * Run time (debug builds): each thread keeps a stack of held locks;
+//    a blocking acquisition whose rank is not strictly above every held
+//    rank aborts with both mutex names in the message.  This complements
+//    the TSan CI job, which runs with detect_deadlocks=0 because frame
+//    recycling in the buffer pool merges unrelated page-latch edges into
+//    spurious inversion cycles (see .github/workflows/ci.yml).
+//
+// The rank lattice (ascending = outer -> inner acquisition order) is the
+// machine-checked form of DESIGN.md section 6; change them together.
+// Four deliberate carve-outs, each encoded as a rank property:
+//
+//  * kPageLatch is NESTABLE: crabbing acquires a child page latch while
+//    holding the parent's (tree root -> leaf, heap head -> tail), so
+//    equal-rank acquisition is allowed for this rank only.  The order
+//    over live pages is acyclic by construction (always top-down).
+//  * kDrainGate is EXEMPT: the ActiveBuild drain gate is acquired shared
+//    *under* a data-page latch (visibility decision, record_manager.cc)
+//    while page latches are acquired *under* the gate (side-file append,
+//    final drain in sf_builder.cc).  That cycle is benign — the pages
+//    latched under the gate are never the page latched above it, and the
+//    gate_closing protocol bounds writer wait — but no total order can
+//    express it, so the gate participates in recursion/release checking
+//    only.
+//  * kSideFileExtend is EXEMPT for the same disjoint-page-sets reason:
+//    the Figure 2 undo hook appends side-file compensation entries while
+//    the *data* page being undone is still latched, and a full tail
+//    makes that append take extend_mu_; ExtendChain then latches
+//    *side-file* pages (plus WAL/shard/disk mutexes) under extend_mu_.
+//    A side-file chain page is never a data page, so the two directions
+//    cannot close a cycle.
+//  * Try-acquisitions skip the order check (failure is handled, so they
+//    cannot deadlock) but successful ones still push onto the stack.
+//
+// Condition-variable waits release the mutex while blocked: CondVar pops
+// the rank entry on entry and re-checks + re-pushes on wakeup.
+
+#ifndef OIB_COMMON_SYNC_H_
+#define OIB_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotation macros (no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define OIB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define OIB_THREAD_ANNOTATION_(x)
+#endif
+
+#define OIB_CAPABILITY(x) OIB_THREAD_ANNOTATION_(capability(x))
+#define OIB_SCOPED_CAPABILITY OIB_THREAD_ANNOTATION_(scoped_lockable)
+#define OIB_GUARDED_BY(x) OIB_THREAD_ANNOTATION_(guarded_by(x))
+#define OIB_PT_GUARDED_BY(x) OIB_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define OIB_REQUIRES(...) \
+  OIB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define OIB_REQUIRES_SHARED(...) \
+  OIB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define OIB_ACQUIRE(...) \
+  OIB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define OIB_ACQUIRE_SHARED(...) \
+  OIB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define OIB_RELEASE(...) \
+  OIB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define OIB_RELEASE_SHARED(...) \
+  OIB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define OIB_RELEASE_GENERIC(...) \
+  OIB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define OIB_TRY_ACQUIRE(...) \
+  OIB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define OIB_TRY_ACQUIRE_SHARED(...) \
+  OIB_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+#define OIB_EXCLUDES(...) OIB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define OIB_ASSERT_CAPABILITY(x) \
+  OIB_THREAD_ANNOTATION_(assert_capability(x))
+#define OIB_RETURN_CAPABILITY(x) OIB_THREAD_ANNOTATION_(lock_returned(x))
+#define OIB_NO_THREAD_SAFETY_ANALYSIS \
+  OIB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// The runtime rank checker rides on assertions: on in Debug, off in
+// RelWithDebInfo/Release (zero overhead on the hot path), forceable for
+// tooling that wants it in optimized builds.
+#if !defined(NDEBUG) || defined(OIB_FORCE_RANK_CHECK)
+#define OIB_RANK_CHECK 1
+#else
+#define OIB_RANK_CHECK 0
+#endif
+
+namespace oib {
+namespace sync {
+
+// Acquisition order lattice, ascending: holding rank R, a thread may
+// block only on ranks > R (== R is allowed for nestable ranks; exempt
+// ranks are ignored in both directions).  Gaps leave room for new locks.
+enum class LockRank : uint16_t {
+  kBuildPlan = 10,       // BuildPipeline scan-plan mutex (checkpoint persist
+                         // runs under it: sorter writers -> RunStore, disk)
+  kDrainGate = 20,       // ActiveBuild::gate — EXEMPT, see file comment
+  kHeapExtend = 30,      // HeapFile::extend_mu_ (new page + relink under it)
+  kSideFileExtend = 40,  // SideFile::extend_mu_ — EXEMPT, see file comment
+  kTxnActive = 50,       // TransactionManager::mu_ (active-txn table)
+  kPageLatch = 60,       // Page::latch_ — NESTABLE (crabbing)
+  kBufferShard = 70,     // BufferPool Shard::mu (evict flushes WAL + disk
+                         // under it; acquired under a parent page latch)
+  kRecordBuilds = 80,    // RecordManager::builds_mu_ (build registry)
+  kCatalog = 90,         // Catalog::mu_ (persist flushes WAL + disk under it;
+                         // acquired under a data-page latch by PlanFor)
+  kHeapHints = 100,      // HeapFile::hints_mu_ (under a page latch)
+  kSideFileCount = 105,  // SideFile::count_mu_
+  kLockTable = 110,      // LockManager::mu_ (+ cv_)
+  kWalFlush = 120,       // LogManager::flush_mu_ (group-commit leader)
+  kWalDrain = 130,       // LogManager::drain_mu_ (nested under flush_mu_)
+  kRunStore = 140,       // RunStore::mu_ (spill store)
+  kMergeQueue = 150,     // BuildPipeline merge/consume handoff queue
+  kDisk = 160,           // DiskManager::mu_ (leaf; held across simulated IO)
+  kFailPoint = 170,      // FailPointRegistry::mu_ (checked under latches)
+  kObs = 180,            // MetricsRegistry::mu_ (registration/snapshot)
+};
+
+const char* LockRankName(LockRank rank);
+
+// Equal-rank acquisition allowed (page-latch crabbing).
+constexpr bool LockRankNestable(LockRank rank) {
+  return rank == LockRank::kPageLatch;
+}
+// Excluded from the order check entirely (cyclic with page latches by
+// design; recursion and release bookkeeping still apply).
+constexpr bool LockRankExempt(LockRank rank) {
+  return rank == LockRank::kDrainGate ||
+         rank == LockRank::kSideFileExtend;
+}
+
+// True when the runtime rank checker is compiled in and active.
+bool RankCheckActive();
+
+namespace internal {
+#if OIB_RANK_CHECK
+// All take the raw native-handle address as the lock identity.
+void OnAcquire(const void* mu, LockRank rank, const char* name);     // checked
+// Before the try_lock attempt: same-thread reacquisition is UB on the
+// underlying mutex regardless of the attempt's outcome, so recursion is
+// checked up front; order is not (a failed try cannot deadlock).
+void OnTryAcquire(const void* mu, LockRank rank, const char* name);
+void OnTryAcquired(const void* mu, LockRank rank, const char* name); // pushed
+void OnRelease(const void* mu, const char* name);
+#else
+inline void OnAcquire(const void*, LockRank, const char*) {}
+inline void OnTryAcquire(const void*, LockRank, const char*) {}
+inline void OnTryAcquired(const void*, LockRank, const char*) {}
+inline void OnRelease(const void*, const char*) {}
+#endif
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+class OIB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() OIB_ACQUIRE() {
+    internal::OnAcquire(&mu_, rank_, name_);
+    mu_.lock();
+  }
+  bool TryLock() OIB_TRY_ACQUIRE(true) {
+    internal::OnTryAcquire(&mu_, rank_, name_);
+    if (!mu_.try_lock()) return false;
+    internal::OnTryAcquired(&mu_, rank_, name_);
+    return true;
+  }
+  void Unlock() OIB_RELEASE() {
+    internal::OnRelease(&mu_, name_);
+    mu_.unlock();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+  // BasicLockable interface for std interop (CondVar's wait internals);
+  // invisible to the static analysis — annotated code uses Lock/Unlock.
+  void lock() OIB_NO_THREAD_SAFETY_ANALYSIS { Lock(); }
+  void unlock() OIB_NO_THREAD_SAFETY_ANALYSIS { Unlock(); }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex
+// ---------------------------------------------------------------------------
+
+class OIB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() OIB_ACQUIRE() {
+    internal::OnAcquire(&mu_, rank_, name_);
+    mu_.lock();
+  }
+  bool TryLock() OIB_TRY_ACQUIRE(true) {
+    internal::OnTryAcquire(&mu_, rank_, name_);
+    if (!mu_.try_lock()) return false;
+    internal::OnTryAcquired(&mu_, rank_, name_);
+    return true;
+  }
+  void Unlock() OIB_RELEASE() {
+    internal::OnRelease(&mu_, name_);
+    mu_.unlock();
+  }
+
+  void LockShared() OIB_ACQUIRE_SHARED() {
+    internal::OnAcquire(&mu_, rank_, name_);
+    mu_.lock_shared();
+  }
+  bool TryLockShared() OIB_TRY_ACQUIRE_SHARED(true) {
+    internal::OnTryAcquire(&mu_, rank_, name_);
+    if (!mu_.try_lock_shared()) return false;
+    internal::OnTryAcquired(&mu_, rank_, name_);
+    return true;
+  }
+  void UnlockShared() OIB_RELEASE_SHARED() {
+    internal::OnRelease(&mu_, name_);
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+// ---------------------------------------------------------------------------
+// Scoped guards
+// ---------------------------------------------------------------------------
+
+class OIB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) OIB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() OIB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Non-blocking variant: check owns_lock() after construction.
+class OIB_SCOPED_CAPABILITY TryMutexLock {
+ public:
+  explicit TryMutexLock(Mutex* mu) OIB_TRY_ACQUIRE(true, mu)
+      : mu_(mu), owned_(mu->TryLock()) {}
+  ~TryMutexLock() OIB_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+
+  TryMutexLock(const TryMutexLock&) = delete;
+  TryMutexLock& operator=(const TryMutexLock&) = delete;
+
+  bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex* const mu_;
+  const bool owned_;
+};
+
+class OIB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) OIB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() OIB_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+class OIB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) OIB_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() OIB_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Movable shared-ownership guard (the drain gate outlives the function
+// that acquires it: PlanFor hands it to Maintain inside MaintPlan).  The
+// static analysis cannot track ownership moves, so this class is opaque
+// to it; the runtime checker still sees acquire/release.
+class SharedLock {
+ public:
+  SharedLock() = default;
+  explicit SharedLock(SharedMutex* mu) OIB_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  SharedLock(SharedLock&& o) noexcept : mu_(o.mu_) { o.mu_ = nullptr; }
+  SharedLock& operator=(SharedLock&& o) noexcept {
+    Release();
+    mu_ = o.mu_;
+    o.mu_ = nullptr;
+    return *this;
+  }
+  ~SharedLock() OIB_NO_THREAD_SAFETY_ANALYSIS { Release(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+  bool owns_lock() const { return mu_ != nullptr; }
+  void Release() OIB_NO_THREAD_SAFETY_ANALYSIS {
+    if (mu_ != nullptr) {
+      mu_->UnlockShared();
+      mu_ = nullptr;
+    }
+  }
+
+ private:
+  SharedMutex* mu_ = nullptr;
+};
+
+// Movable exclusive guard over a SharedMutex (CloseGate returns one).
+class UniqueLock {
+ public:
+  UniqueLock() = default;
+  explicit UniqueLock(SharedMutex* mu) OIB_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu) {
+    mu_->Lock();
+  }
+  UniqueLock(UniqueLock&& o) noexcept : mu_(o.mu_) { o.mu_ = nullptr; }
+  UniqueLock& operator=(UniqueLock&& o) noexcept {
+    Release();
+    mu_ = o.mu_;
+    o.mu_ = nullptr;
+    return *this;
+  }
+  ~UniqueLock() OIB_NO_THREAD_SAFETY_ANALYSIS { Release(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  bool owns_lock() const { return mu_ != nullptr; }
+  void Release() OIB_NO_THREAD_SAFETY_ANALYSIS {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+      mu_ = nullptr;
+    }
+  }
+
+ private:
+  SharedMutex* mu_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+// Condition variable bound to sync::Mutex.  Waits go through the mutex's
+// BasicLockable shims, so the rank stack stays consistent: the entry is
+// popped while blocked and re-checked + re-pushed on wakeup.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) OIB_REQUIRES(mu) OIB_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) OIB_REQUIRES(mu)
+      OIB_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      OIB_REQUIRES(mu) OIB_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sync
+}  // namespace oib
+
+#endif  // OIB_COMMON_SYNC_H_

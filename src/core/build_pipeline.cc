@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "common/coding.h"
 #include "common/failpoint.h"
+#include "common/sync.h"
 #include "core/schema.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -111,7 +110,10 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
     }
   }
 
-  std::mutex plan_mu;  // guards *plan and serializes hooks.checkpoint
+  // Guards *plan and serializes hooks.checkpoint.  Lowest rank in the
+  // lattice: the checkpoint hook flushes the WAL and writes catalog meta
+  // pages, so the WAL flush mutex and page latches all nest under it.
+  sync::Mutex plan_mu{sync::LockRank::kBuildPlan, "buildpipeline.plan_mu"};
   std::atomic<bool> stop{false};
   std::vector<Status> worker_status(parts, Status::OK());
   std::vector<uint64_t> keys(parts, 0), pages(parts, 0), ckpts(parts, 0);
@@ -128,7 +130,7 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
     auto t0 = std::chrono::steady_clock::now();
     PageId next, bound;
     {
-      std::lock_guard<std::mutex> g(plan_mu);
+      sync::MutexLock g(&plan_mu);
       next = plan->parts[k].next;
       bound = plan->parts[k].bound;
     }
@@ -195,7 +197,7 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
           }
         }
         if (!status.ok()) break;
-        std::lock_guard<std::mutex> g(plan_mu);
+        sync::MutexLock g(&plan_mu);
         plan->parts[k].next = next;
         plan->parts[k].sorter_blobs = std::move(blobs);
         status = hooks.checkpoint(EncodeScanPlan(*plan));
@@ -281,8 +283,12 @@ Status BuildPipeline::MergeToConsumer(
   } else {
     obs::Gauge* depth_gauge =
         obs::MetricsRegistry::Default().GetGauge("build.merge_queue_depth");
-    std::mutex mu;
-    std::condition_variable can_push, can_pop;
+    // The consumer drains batches under page latches' *callers* — but
+    // consume() always runs with mu released, so the queue mutex leads a
+    // leaf-free life; rank kMergeQueue only orders it against the plan
+    // mutex held by no one here.
+    sync::Mutex mu{sync::LockRank::kMergeQueue, "buildpipeline.merge_queue.mu"};
+    sync::CondVar can_push, can_pop;
     std::deque<Batch> queue;
     bool produced_all = false;
     bool abort = false;
@@ -292,19 +298,19 @@ Status BuildPipeline::MergeToConsumer(
       for (;;) {
         Batch b;
         auto more = fill(&b);
-        std::unique_lock<std::mutex> lk(mu);
+        sync::MutexLock lk(&mu);
         if (!more.ok() || !*more) {
           if (!more.ok()) producer_status = more.status();
           produced_all = true;
-          can_pop.notify_all();
+          can_pop.NotifyAll();
           return;
         }
         const bool last = b.items.size() < batch_keys;
-        can_push.wait(lk, [&] { return queue.size() < queue_depth || abort; });
+        can_push.Wait(mu, [&] { return queue.size() < queue_depth || abort; });
         if (abort) return;
         queue.push_back(std::move(b));
         depth_gauge->Set(static_cast<int64_t>(queue.size()));
-        can_pop.notify_all();
+        can_pop.NotifyAll();
         if (last) {
           produced_all = true;
           return;
@@ -315,8 +321,8 @@ Status BuildPipeline::MergeToConsumer(
     for (;;) {
       Batch b;
       {
-        std::unique_lock<std::mutex> lk(mu);
-        can_pop.wait(lk, [&] { return !queue.empty() || produced_all; });
+        sync::MutexLock lk(&mu);
+        can_pop.Wait(mu, [&] { return !queue.empty() || produced_all; });
         if (queue.empty()) {
           status = producer_status;
           break;
@@ -324,7 +330,7 @@ Status BuildPipeline::MergeToConsumer(
         b = std::move(queue.front());
         queue.pop_front();
         depth_gauge->Set(static_cast<int64_t>(queue.size()));
-        can_push.notify_all();
+        can_push.NotifyAll();
       }
       auto t0 = std::chrono::steady_clock::now();
       status = consume(b);
@@ -332,10 +338,10 @@ Status BuildPipeline::MergeToConsumer(
       if (!status.ok()) break;
     }
     {
-      std::lock_guard<std::mutex> lk(mu);
+      sync::MutexLock lk(&mu);
       abort = true;
     }
-    can_push.notify_all();
+    can_push.NotifyAll();
     producer.join();
     depth_gauge->Set(0);
   }

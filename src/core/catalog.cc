@@ -18,7 +18,7 @@ constexpr char kCatalogMetaKey[] = "catalog";
 StatusOr<TableId> Catalog::CreateTable(const std::string& name) {
   TableId id;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::MutexLock g(&mu_);
     for (const auto& [tid, info] : tables_) {
       if (info.name == name) return Status::InvalidArgument("table exists");
     }
@@ -26,7 +26,7 @@ StatusOr<TableId> Catalog::CreateTable(const std::string& name) {
   }
   auto heap = std::make_unique<HeapFile>(id, pool_, txns_);
   OIB_RETURN_IF_ERROR(heap->Create());
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (const auto& [tid, info] : tables_) {
     if (info.name == name) return Status::InvalidArgument("table exists");
   }
@@ -39,13 +39,13 @@ StatusOr<TableId> Catalog::CreateTable(const std::string& name) {
 }
 
 HeapFile* Catalog::table(TableId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = heaps_.find(id);
   return it == heaps_.end() ? nullptr : it->second.get();
 }
 
 StatusOr<TableId> Catalog::TableByName(const std::string& name) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (const auto& [id, info] : tables_) {
     if (info.name == name) return id;
   }
@@ -57,7 +57,7 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
     std::vector<uint32_t> key_cols, BuildAlgo algo) {
   IndexId id;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::MutexLock g(&mu_);
     if (tables_.find(table) == tables_.end()) {
       return Status::NotFound("no such table");
     }
@@ -86,7 +86,7 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
     d.side_file_first = sf->first_page();
   }
 
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (tables_.find(table) == tables_.end()) {
     return Status::NotFound("no such table");
   }
@@ -102,7 +102,7 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
 }
 
 Status Catalog::SetIndexReady(IndexId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = indexes_.find(id);
   if (it == indexes_.end()) return Status::NotFound("no such index");
   it->second.state = IndexState::kReady;
@@ -111,7 +111,7 @@ Status Catalog::SetIndexReady(IndexId id) {
 }
 
 Status Catalog::DropIndex(IndexId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = indexes_.find(id);
   if (it == indexes_.end()) return Status::NotFound("no such index");
   auto& order = table_indexes_[it->second.table];
@@ -123,26 +123,26 @@ Status Catalog::DropIndex(IndexId id) {
 }
 
 BTree* Catalog::index(IndexId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = trees_.find(id);
   return it == trees_.end() ? nullptr : it->second.get();
 }
 
 SideFile* Catalog::side_file(IndexId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = side_files_.find(id);
   return it == side_files_.end() ? nullptr : it->second.get();
 }
 
 StatusOr<IndexDescriptor> Catalog::descriptor(IndexId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = indexes_.find(id);
   if (it == indexes_.end()) return Status::NotFound("no such index");
   return it->second;
 }
 
 std::vector<IndexDescriptor> Catalog::IndexesOf(TableId table) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   std::vector<IndexDescriptor> out;
   auto it = table_indexes_.find(table);
   if (it == table_indexes_.end()) return out;
@@ -153,7 +153,7 @@ std::vector<IndexDescriptor> Catalog::IndexesOf(TableId table) const {
 }
 
 std::vector<IndexDescriptor> Catalog::AllIndexes() const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   std::vector<IndexDescriptor> out;
   for (const auto& [id, d] : indexes_) {
     (void)id;
@@ -201,7 +201,7 @@ Status Catalog::PersistLocked() {
 }
 
 Status Catalog::Persist() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   return PersistLocked();
 }
 
@@ -288,7 +288,7 @@ Status Catalog::Load() {
     }
   }
 
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   next_table_id_ = next_table_id;
   next_index_id_ = next_index_id;
   tables_ = std::move(tables);

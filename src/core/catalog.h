@@ -17,13 +17,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "btree/btree.h"
 #include "common/options.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "heap/heap_file.h"
 #include "sidefile/side_file.h"
 #include "storage/buffer_pool.h"
@@ -101,22 +101,28 @@ class Catalog {
   Status Load();
 
  private:
-  Status PersistLocked();
+  Status PersistLocked() OIB_REQUIRES(mu_);
 
   BufferPool* pool_;
   TransactionManager* txns_;
   DiskManager* disk_;
   const Options* options_;
 
-  mutable std::mutex mu_;
-  std::map<TableId, TableInfo> tables_;
-  std::map<TableId, std::unique_ptr<HeapFile>> heaps_;
-  std::map<IndexId, IndexDescriptor> indexes_;
-  std::map<IndexId, std::unique_ptr<BTree>> trees_;
-  std::map<IndexId, std::unique_ptr<SideFile>> side_files_;
-  std::map<TableId, std::vector<IndexId>> table_indexes_;  // creation order
-  TableId next_table_id_ = 1;
-  IndexId next_index_id_ = 1;
+  // Update transactions acquire mu_ under heap page latches (PlanFor ->
+  // IndexesOf), so the catalog must never latch a page while holding it;
+  // rank kCatalog > kPageLatch makes the checker enforce that direction
+  // and abort on the reverse.
+  mutable sync::Mutex mu_{sync::LockRank::kCatalog, "catalog.mu"};
+  std::map<TableId, TableInfo> tables_ OIB_GUARDED_BY(mu_);
+  std::map<TableId, std::unique_ptr<HeapFile>> heaps_ OIB_GUARDED_BY(mu_);
+  std::map<IndexId, IndexDescriptor> indexes_ OIB_GUARDED_BY(mu_);
+  std::map<IndexId, std::unique_ptr<BTree>> trees_ OIB_GUARDED_BY(mu_);
+  std::map<IndexId, std::unique_ptr<SideFile>> side_files_
+      OIB_GUARDED_BY(mu_);
+  // Per-table creation order.
+  std::map<TableId, std::vector<IndexId>> table_indexes_ OIB_GUARDED_BY(mu_);
+  TableId next_table_id_ OIB_GUARDED_BY(mu_) = 1;
+  IndexId next_index_id_ OIB_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace oib

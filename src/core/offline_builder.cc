@@ -103,7 +103,10 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   BulkLoader loader(tree, engine_->pool(), &options);
   {
     Status s = loader.Begin();
-    if (!s.ok()) return abort_build(s);
+    if (!s.ok()) {
+      loader.Abandon();
+      return abort_build(s);
+    }
   }
   std::string prev_key;
   bool has_prev = false;
@@ -125,12 +128,20 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
     Status s = BuildPipeline::MergeToConsumer(
         cursor->get(), options.merge_batch_keys, options.merge_queue_depth,
         options.build_threads > 1, consume, &merge_stats);
-    if (!s.ok()) return abort_build(s);
+    if (!s.ok()) {
+      // Rollback latches pages and takes txn-level mutexes; the loader's
+      // open leaf/level latches must go first.
+      loader.Abandon();
+      return abort_build(s);
+    }
   }
   {
     Status s = loader.Finish();
     if (s.ok()) s = engine_->pool()->FlushAll();  // unlogged pages
-    if (!s.ok()) return abort_build(s);
+    if (!s.ok()) {
+      loader.Abandon();
+      return abort_build(s);
+    }
   }
 
   local.merge_ms = merge_stats.merge_busy_ms;

@@ -390,13 +390,13 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
     }
   };
   snapshot();
-  std::shared_lock<std::shared_mutex> gate;
+  sync::SharedLock gate;
   if (build_active) {
     gate = build->EnterGateShared();
     if (!build->index_build.load()) {
       // The final drain finished while we waited: the index is ready now;
       // recompute the partition.
-      gate.unlock();
+      gate.Release();
       build_active = false;
       snapshot();
     }
@@ -519,13 +519,13 @@ std::shared_ptr<ActiveBuild> RecordManager::RegisterBuild(
       if (ib.tree != nullptr) ib.tree->set_ib_active(true);
     }
   }
-  std::lock_guard<std::mutex> g(builds_mu_);
+  sync::MutexLock g(&builds_mu_);
   builds_[table] = build;
   return build;
 }
 
 void RecordManager::UnregisterBuild(TableId table) {
-  std::lock_guard<std::mutex> g(builds_mu_);
+  sync::MutexLock g(&builds_mu_);
   auto it = builds_.find(table);
   if (it != builds_.end()) {
     for (const InBuildIndex& ib : it->second->indexes) {
@@ -536,7 +536,7 @@ void RecordManager::UnregisterBuild(TableId table) {
 }
 
 std::shared_ptr<ActiveBuild> RecordManager::GetBuild(TableId table) const {
-  std::lock_guard<std::mutex> g(builds_mu_);
+  sync::MutexLock g(&builds_mu_);
   auto it = builds_.find(table);
   return it == builds_.end() ? nullptr : it->second;
 }

@@ -26,11 +26,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/catalog.h"
 #include "core/schema.h"
 #include "obs/metrics.h"
@@ -70,24 +69,30 @@ struct ActiveBuild {
   // through their side-file append; IB holds it exclusive while applying
   // the final side-file entries and flipping index_build, so no decided-
   // but-unappended entry can be lost.  Acquired through the helpers
-  // below: std::shared_mutex makes no fairness promise (glibc's rwlock
+  // below: the underlying rwlock makes no fairness promise (glibc's
   // prefers readers), so with updaters continuously re-acquiring the
   // gate shared, a bare exclusive lock() could be starved indefinitely.
   // IB raises gate_closing first; new readers back off until it clears,
   // so IB waits only for the readers already past the check — each
   // holding the gate for one short append.
-  std::shared_mutex gate;
+  //
+  // Rank kDrainGate is EXEMPT from the order check: the gate is taken
+  // shared under a data-page latch (the visibility decision) while page
+  // latches are taken under the gate (side-file appends, final drain) —
+  // a benign cycle over disjoint page sets that no total order can
+  // express (see common/sync.h).
+  sync::SharedMutex gate{sync::LockRank::kDrainGate, "activebuild.gate"};
   std::atomic<bool> gate_closing{false};
 
-  std::shared_lock<std::shared_mutex> EnterGateShared() {
+  sync::SharedLock EnterGateShared() {
     while (gate_closing.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
-    return std::shared_lock<std::shared_mutex>(gate);
+    return sync::SharedLock(&gate);
   }
-  std::unique_lock<std::shared_mutex> CloseGate() {
+  sync::UniqueLock CloseGate() {
     gate_closing.store(true, std::memory_order_release);
-    std::unique_lock<std::shared_mutex> g(gate);
+    sync::UniqueLock g(&gate);
     // Only raised while the writer *waits*: once the gate is held
     // exclusively the rwlock itself blocks readers, and clearing here
     // means no early-return path can leave readers spinning on the flag.
@@ -160,7 +165,7 @@ class RecordManager {
   struct MaintPlan {
     std::vector<IndexDescriptor> ready;   // ready indexes, creation order
     std::shared_ptr<ActiveBuild> build;   // null if no build active
-    std::shared_lock<std::shared_mutex> gate;  // held while build != null
+    sync::SharedLock gate;                // held while build != null
     bool sf_visible = false;  // SF: Target-RID < Current-RID at decision
     uint32_t visible_count = 0;
   };
@@ -196,8 +201,10 @@ class RecordManager {
   TransactionManager* txns_;
   const Options* options_;
 
-  mutable std::mutex builds_mu_;
-  std::map<TableId, std::shared_ptr<ActiveBuild>> builds_;
+  mutable sync::Mutex builds_mu_{sync::LockRank::kRecordBuilds,
+                                 "recordmanager.builds_mu"};
+  std::map<TableId, std::shared_ptr<ActiveBuild>> builds_
+      OIB_GUARDED_BY(builds_mu_);
   RecordManagerStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -457,6 +457,9 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           options.build_threads > 1, consume, &merge_stats);
       if (!s.ok()) {
         if (s.IsInjected()) return s;  // crash-test hook: leave state as-is
+        // Rollback latches pages and takes txn-level mutexes; the
+        // loader's open leaf/level latches must go first.
+        loader.Abandon();
         return abort_build(s);
       }
       local.merge_ms += merge_stats.merge_busy_ms;
@@ -644,7 +647,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     // CloseGate backs new readers off first — a bare lock() could be
     // starved forever by updaters re-acquiring the reader-preferring
     // rwlock (see ActiveBuild).
-    std::unique_lock<std::shared_mutex> gate = build->CloseGate();
+    sync::UniqueLock gate = build->CloseGate();
     for (uint32_t idx = 0; idx < n; ++idx) {
       // Residual entries appended since each index's catch-up loop ended.
       // (Cheap: re-walk from the recorded cursor for the last index; for

@@ -40,7 +40,7 @@ Status HeapFile::Create() {
   first_page_ = id;
   tail_page_.store(id);
   {
-    std::lock_guard<std::mutex> g(hints_mu_);
+    sync::MutexLock g(&hints_mu_);
     page_count_ = 1;
     chain_pages_.assign(1, id);
   }
@@ -79,7 +79,7 @@ Status HeapFile::Open(PageId first) {
   }
   tail_page_.store(tail);
   live_records_.store(live);
-  std::lock_guard<std::mutex> g(hints_mu_);
+  sync::MutexLock g(&hints_mu_);
   page_count_ = count;
   free_hints_ = std::move(hints);
   chain_pages_ = std::move(chain);
@@ -120,7 +120,7 @@ StatusOr<PageId> HeapFile::ExtendChain() {
   }
   tail_page_.store(id);
   {
-    std::lock_guard<std::mutex> g(hints_mu_);
+    sync::MutexLock g(&hints_mu_);
     ++page_count_;
     chain_pages_.push_back(id);
   }
@@ -132,7 +132,7 @@ StatusOr<WritePageGuard> HeapFile::PageForInsert(size_t need) {
   for (;;) {
     PageId candidate = kInvalidPageId;
     {
-      std::lock_guard<std::mutex> g(hints_mu_);
+      sync::MutexLock g(&hints_mu_);
       while (!free_hints_.empty() && candidate == kInvalidPageId) {
         candidate = free_hints_.back();
         free_hints_.pop_back();
@@ -145,7 +145,7 @@ StatusOr<WritePageGuard> HeapFile::PageForInsert(size_t need) {
     if (sp.FreeSpaceForInsert() >= need) {
       if (sp.FreeSpaceForInsert() >= 2 * need + 64) {
         // Page still roomy: keep it as a hint for the next insert.
-        std::lock_guard<std::mutex> g(hints_mu_);
+        sync::MutexLock g(&hints_mu_);
         free_hints_.push_back(candidate);
       }
       return guard;
@@ -153,7 +153,7 @@ StatusOr<WritePageGuard> HeapFile::PageForInsert(size_t need) {
     guard->Release();
     if (candidate == tail_page_.load()) {
       // Serialize extension: re-check tail after taking the slow path.
-      std::lock_guard<std::mutex> ext(extend_mu_);
+      sync::MutexLock ext(&extend_mu_);
       if (candidate == tail_page_.load()) {
         auto extended = ExtendChain();
         if (!extended.ok()) return extended.status();
@@ -184,7 +184,7 @@ StatusOr<Rid> HeapFile::Insert(Transaction* txn, std::string_view rec,
       // The page's free space was tied up in unclaimable dead slots; put
       // the record on a fresh page instead.
       guard->Release();
-      std::lock_guard<std::mutex> ext(extend_mu_);
+      sync::MutexLock ext(&extend_mu_);
       auto extended = ExtendChain();
       if (!extended.ok()) return extended.status();
       auto g2 = pool_->FetchWrite(*extended);
@@ -262,7 +262,7 @@ Status HeapFile::Delete(Transaction* txn, Rid rid,
   live_records_.fetch_sub(1);
   if (old_rec != nullptr) *old_rec = std::move(old_copy);
   {
-    std::lock_guard<std::mutex> g(hints_mu_);
+    sync::MutexLock g(&hints_mu_);
     if (free_hints_.size() < 64) free_hints_.push_back(rid.page);
   }
   return Status::OK();
@@ -330,7 +330,7 @@ StatusOr<PageId> HeapFile::ExtractPage(
 }
 
 StatusOr<std::vector<PageId>> HeapFile::ChainPages(PageId stop_at) const {
-  std::lock_guard<std::mutex> g(hints_mu_);
+  sync::MutexLock g(&hints_mu_);
   if (stop_at == kInvalidPageId) return chain_pages_;
   std::vector<PageId> pages;
   pages.reserve(chain_pages_.size());
@@ -355,7 +355,7 @@ Status HeapFile::ForEach(
 }
 
 size_t HeapFile::page_count() const {
-  std::lock_guard<std::mutex> g(hints_mu_);
+  sync::MutexLock g(&hints_mu_);
   return page_count_;
 }
 

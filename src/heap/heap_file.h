@@ -24,11 +24,11 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "heap/slotted_page.h"
 #include "storage/buffer_pool.h"
@@ -139,12 +139,20 @@ class HeapFile {
   std::atomic<PageId> tail_page_{kInvalidPageId};
   std::atomic<uint64_t> live_records_{0};
 
-  mutable std::mutex hints_mu_;
-  std::vector<PageId> free_hints_;  // pages believed to have insert room
-  std::vector<PageId> chain_pages_;  // the chain, in order (append-only)
-  size_t page_count_ = 0;
+  // Taken under a heap page latch on the insert path (recording a
+  // free-space hint while the page is still latched), hence ranked above
+  // kPageLatch.
+  mutable sync::Mutex hints_mu_{sync::LockRank::kHeapHints,
+                                "heapfile.hints_mu"};
+  // Pages believed to have insert room.
+  std::vector<PageId> free_hints_ OIB_GUARDED_BY(hints_mu_);
+  // The chain, in order (append-only).
+  std::vector<PageId> chain_pages_ OIB_GUARDED_BY(hints_mu_);
+  size_t page_count_ OIB_GUARDED_BY(hints_mu_) = 0;
 
-  std::mutex extend_mu_;  // serializes chain extension
+  // Serializes chain extension; taken only with no page latch held, and
+  // page latches, shard mutexes and the WAL are all acquired under it.
+  sync::Mutex extend_mu_{sync::LockRank::kHeapExtend, "heapfile.extend_mu"};
 };
 
 // Recovery handler for all heap files (dispatch key: rec.aux_id == table,

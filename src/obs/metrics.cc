@@ -90,7 +90,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry& e = entries_[name];
   if (e.counter == nullptr && e.gauge == nullptr && e.histogram == nullptr &&
       !e.fn) {
@@ -101,7 +101,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry& e = entries_[name];
   if (e.counter == nullptr && e.gauge == nullptr && e.histogram == nullptr &&
       !e.fn) {
@@ -112,7 +112,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry& e = entries_[name];
   if (e.counter == nullptr && e.gauge == nullptr && e.histogram == nullptr &&
       !e.fn) {
@@ -124,7 +124,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 void MetricsRegistry::RegisterCounter(const std::string& name, Counter* c,
                                       const void* owner) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry e;
   e.counter = c;
   e.owner = owner;
@@ -133,7 +133,7 @@ void MetricsRegistry::RegisterCounter(const std::string& name, Counter* c,
 
 void MetricsRegistry::RegisterGauge(const std::string& name, Gauge* g,
                                     const void* owner) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(&mu_);
   Entry e;
   e.gauge = g;
   e.owner = owner;
@@ -142,7 +142,7 @@ void MetricsRegistry::RegisterGauge(const std::string& name, Gauge* g,
 
 void MetricsRegistry::RegisterHistogram(const std::string& name, Histogram* h,
                                         const void* owner) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry e;
   e.histogram = h;
   e.owner = owner;
@@ -152,7 +152,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name, Histogram* h,
 void MetricsRegistry::RegisterValueFn(const std::string& name,
                                       std::function<uint64_t()> fn,
                                       const void* owner) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   Entry e;
   e.fn = std::move(fn);
   e.owner = owner;
@@ -161,7 +161,7 @@ void MetricsRegistry::RegisterValueFn(const std::string& name,
 
 void MetricsRegistry::DetachOwner(const void* owner) {
   if (owner == nullptr) return;
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.owner == owner) {
       it = entries_.erase(it);
@@ -172,7 +172,7 @@ void MetricsRegistry::DetachOwner(const void* owner) {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (auto& [name, e] : entries_) {
     (void)name;
     if (e.counter != nullptr) e.counter->Reset();
@@ -193,7 +193,7 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
   };
   std::vector<Ref> refs;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::MutexLock g(&mu_);
     refs.reserve(entries_.size());
     for (const auto& [name, e] : entries_) {
       refs.push_back({name, e.counter, e.gauge, e.histogram, e.fn});

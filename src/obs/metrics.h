@@ -29,9 +29,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace oib {
 namespace obs {
@@ -175,8 +176,8 @@ class MetricsRegistry {
     const void* owner = nullptr;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable sync::Mutex mu_{sync::LockRank::kObs, "metrics.mu"};
+  std::map<std::string, Entry> entries_ OIB_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

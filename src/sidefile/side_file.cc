@@ -39,7 +39,7 @@ Status SideFile::Create() {
   first_page_ = id;
   tail_page_.store(id);
   {
-    std::lock_guard<std::mutex> g(count_mu_);
+    sync::MutexLock g(&count_mu_);
     page_count_ = 1;
   }
   return Status::OK();
@@ -67,7 +67,7 @@ Status SideFile::Open(PageId first) {
   }
   tail_page_.store(tail);
   appended_.store(entries);
-  std::lock_guard<std::mutex> g(count_mu_);
+  sync::MutexLock g(&count_mu_);
   page_count_ = count;
   return Status::OK();
 }
@@ -106,7 +106,7 @@ StatusOr<PageId> SideFile::ExtendChain() {
   }
   tail_page_.store(id);
   {
-    std::lock_guard<std::mutex> g(count_mu_);
+    sync::MutexLock g(&count_mu_);
     ++page_count_;
   }
   return id;
@@ -141,7 +141,7 @@ Status SideFile::Append(Transaction* txn, SideFileOp op,
     }
     if (!slot.status().IsBusy()) return slot.status();
     guard->Release();
-    std::lock_guard<std::mutex> ext(extend_mu_);
+    sync::MutexLock ext(&extend_mu_);
     if (tail == tail_page_.load()) {
       auto extended = ExtendChain();
       if (!extended.ok()) return extended.status();
@@ -178,7 +178,7 @@ StatusOr<size_t> SideFile::ReadBatch(Cursor* cursor, size_t max,
 }
 
 size_t SideFile::page_count() const {
-  std::lock_guard<std::mutex> g(count_mu_);
+  sync::MutexLock g(&count_mu_);
   return page_count_;
 }
 

@@ -16,11 +16,11 @@
 #define OIB_SIDEFILE_SIDE_FILE_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "storage/buffer_pool.h"
 #include "txn/transaction_manager.h"
@@ -87,9 +87,16 @@ class SideFile {
   PageId first_page_ = kInvalidPageId;
   std::atomic<PageId> tail_page_{kInvalidPageId};
   std::atomic<uint64_t> appended_{0};
-  std::mutex extend_mu_;
-  mutable std::mutex count_mu_;
-  size_t page_count_ = 0;
+  // Serializes chain extension.  The appender's own tail guard is always
+  // released before taking this, but the Figure 2 undo hook appends with
+  // the undone *data* page still latched, while ExtendChain latches
+  // side-file pages under this mutex — a benign crossing over disjoint
+  // page sets, so the rank is EXEMPT from order checking (common/sync.h).
+  sync::Mutex extend_mu_{sync::LockRank::kSideFileExtend,
+                         "sidefile.extend_mu"};
+  mutable sync::Mutex count_mu_{sync::LockRank::kSideFileCount,
+                                "sidefile.count_mu"};
+  size_t page_count_ OIB_GUARDED_BY(count_mu_) = 0;
 };
 
 // Recovery handler: physical redo only (appends are never undone).

@@ -13,14 +13,14 @@ int CompareSortItem(const SortItem& a, const SortItem& b) {
 }
 
 RunId RunStore::CreateRun() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   RunId id = next_id_++;
   runs_[id];
   return id;
 }
 
 Status RunStore::Append(RunId id, const SortItem& item) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   std::string& d = it->second.data;
@@ -33,7 +33,7 @@ Status RunStore::Append(RunId id, const SortItem& item) {
 }
 
 Status RunStore::Flush(RunId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   it->second.durable = it->second.data.size();
@@ -41,7 +41,7 @@ Status RunStore::Flush(RunId id) {
 }
 
 void RunStore::DropUnflushed() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (auto& [id, run] : runs_) {
     (void)id;
     run.data.resize(run.durable);
@@ -60,12 +60,12 @@ void RunStore::DropUnflushed() {
 }
 
 void RunStore::Remove(RunId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   runs_.erase(id);
 }
 
 Status RunStore::Truncate(RunId id, uint64_t bytes) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   Run& run = it->second;
@@ -88,33 +88,33 @@ Status RunStore::Truncate(RunId id, uint64_t bytes) {
 }
 
 StatusOr<uint64_t> RunStore::DurableSize(RunId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   return it->second.durable;
 }
 
 StatusOr<uint64_t> RunStore::Size(RunId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   return static_cast<uint64_t>(it->second.data.size());
 }
 
 StatusOr<uint64_t> RunStore::ItemCount(RunId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
   return it->second.items;
 }
 
 size_t RunStore::run_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   return runs_.size();
 }
 
 uint64_t RunStore::total_bytes() const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   uint64_t total = 0;
   for (const auto& [id, run] : runs_) {
     (void)id;
@@ -126,7 +126,7 @@ uint64_t RunStore::total_bytes() const {
 Status RunReader::SeekToItem(uint64_t index) {
   offset_ = 0;
   items_read_ = 0;
-  std::lock_guard<std::mutex> g(store_->mu_);
+  sync::MutexLock g(&store_->mu_);
   auto it = store_->runs_.find(id_);
   if (it == store_->runs_.end()) return Status::NotFound("no such run");
   const std::string& d = it->second.data;
@@ -141,7 +141,7 @@ Status RunReader::SeekToItem(uint64_t index) {
 }
 
 StatusOr<bool> RunReader::Read(SortItem* item) {
-  std::lock_guard<std::mutex> g(store_->mu_);
+  sync::MutexLock g(&store_->mu_);
   auto it = store_->runs_.find(id_);
   if (it == store_->runs_.end()) return Status::NotFound("no such run");
   const std::string& d = it->second.data;

@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace oib {
@@ -68,9 +68,9 @@ class RunStore {
     uint64_t items = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<RunId, Run> runs_;
-  RunId next_id_ = 1;
+  mutable sync::Mutex mu_{sync::LockRank::kRunStore, "runstore.mu"};
+  std::map<RunId, Run> runs_ OIB_GUARDED_BY(mu_);
+  RunId next_id_ OIB_GUARDED_BY(mu_) = 1;
 };
 
 // Sequential reader over a run, positionable by item index.

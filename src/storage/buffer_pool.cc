@@ -128,7 +128,7 @@ StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {
   Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(s.mu);
+    sync::MutexLock g(&s.mu);
     auto r = FetchPageLocked(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
@@ -141,7 +141,7 @@ StatusOr<WritePageGuard> BufferPool::FetchWrite(PageId page_id) {
   Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(s.mu);
+    sync::MutexLock g(&s.mu);
     auto r = FetchPageLocked(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
@@ -168,7 +168,7 @@ StatusOr<WritePageGuard> BufferPool::BindNewPage(PageId page_id) {
   Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(s.mu);
+    sync::MutexLock g(&s.mu);
     auto r = PinNewFrame(s, page_id);
     if (!r.ok()) return r.status();
     page = *r;
@@ -269,7 +269,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   Shard& s = ShardFor(page_id);
   Page* page;
   {
-    std::lock_guard<std::mutex> g(s.mu);
+    sync::MutexLock g(&s.mu);
     auto it = s.table.find(page_id);
     if (it == s.table.end()) return Status::OK();  // not cached
     page = s.frames[it->second].get();
@@ -294,7 +294,7 @@ Status BufferPool::FlushAll() {
   for (auto& shard : shards_) {
     std::vector<PageId> cached;
     {
-      std::lock_guard<std::mutex> g(shard->mu);
+      sync::MutexLock g(&shard->mu);
       cached.reserve(shard->table.size());
       for (const auto& [pid, idx] : shard->table) {
         (void)idx;
@@ -310,7 +310,7 @@ Status BufferPool::FlushAll() {
 
 void BufferPool::DiscardAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard->mu);
+    sync::MutexLock g(&shard->mu);
     for (const auto& [pid, idx] : shard->table) {
       (void)pid;
       assert(shard->frames[idx]->pin_count() == 0 && "discard with live pins");

@@ -19,11 +19,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
@@ -152,11 +152,12 @@ class BufferPool {
   // pages resident in them.  alignas keeps neighbouring shards' mutexes
   // and clock hands off each other's cache lines.
   struct alignas(obs::kCacheLineSize) Shard {
-    std::mutex mu;
-    std::unordered_map<PageId, size_t> table;  // page -> frame index
-    std::vector<std::unique_ptr<Page>> frames;
-    std::vector<size_t> free_list;  // free frame indexes
-    size_t hand = 0;                // CLOCK sweep position
+    sync::Mutex mu{sync::LockRank::kBufferShard, "bufferpool.shard.mu"};
+    // page -> frame index
+    std::unordered_map<PageId, size_t> table OIB_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<Page>> frames OIB_GUARDED_BY(mu);
+    std::vector<size_t> free_list OIB_GUARDED_BY(mu);  // free frame indexes
+    size_t hand OIB_GUARDED_BY(mu) = 0;  // CLOCK sweep position
     obs::Counter hits;
     obs::Counter misses;
     obs::Counter evictions;
@@ -167,10 +168,11 @@ class BufferPool {
   }
 
   StatusOr<WritePageGuard> BindNewPage(PageId page_id);
-  // The following require s.mu held by the caller.
-  StatusOr<Page*> FetchPageLocked(Shard& s, PageId page_id);
-  StatusOr<Page*> PinNewFrame(Shard& s, PageId page_id);
-  Status EvictOne(Shard& s);  // frees one frame into s.free_list
+  StatusOr<Page*> FetchPageLocked(Shard& s, PageId page_id)
+      OIB_REQUIRES(s.mu);
+  StatusOr<Page*> PinNewFrame(Shard& s, PageId page_id) OIB_REQUIRES(s.mu);
+  // Frees one frame into s.free_list.
+  Status EvictOne(Shard& s) OIB_REQUIRES(s.mu);
   // Lock-free: atomic dirty bit + pin count (release; eviction acquires).
   void Unpin(Page* page, bool dirty);
 

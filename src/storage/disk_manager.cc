@@ -13,7 +13,7 @@ namespace oib {
 Status InMemoryDisk::ReadPage(PageId page_id, char* out) {
   uint32_t delay;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::MutexLock g(&mu_);
     if (page_id >= pages_.size()) {
       return Status::IoError("read of unallocated page " +
                              std::to_string(page_id));
@@ -29,7 +29,7 @@ Status InMemoryDisk::ReadPage(PageId page_id, char* out) {
 }
 
 Status InMemoryDisk::WritePage(PageId page_id, const char* data) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (page_id >= pages_.size()) {
     return Status::IoError("write of unallocated page " +
                            std::to_string(page_id));
@@ -40,7 +40,7 @@ Status InMemoryDisk::WritePage(PageId page_id, const char* data) {
 }
 
 StatusOr<PageId> InMemoryDisk::AllocatePage() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -53,14 +53,14 @@ StatusOr<PageId> InMemoryDisk::AllocatePage() {
 }
 
 StatusOr<PageId> InMemoryDisk::AllocatePageNoReuse() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   PageId id = static_cast<PageId>(pages_.size());
   pages_.emplace_back(page_size_, '\0');
   return id;
 }
 
 Status InMemoryDisk::FreePage(PageId page_id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("free of unallocated page");
   }
@@ -69,13 +69,13 @@ Status InMemoryDisk::FreePage(PageId page_id) {
 }
 
 PageId InMemoryDisk::PageCount() const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   return static_cast<PageId>(pages_.size());
 }
 
 Status InMemoryDisk::PutMeta(const std::string& key,
                              const std::string& value) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (auto& kv : meta_) {
     if (kv.first == key) {
       kv.second = value;
@@ -87,7 +87,7 @@ Status InMemoryDisk::PutMeta(const std::string& key,
 }
 
 Status InMemoryDisk::GetMeta(const std::string& key, std::string* value) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (const auto& kv : meta_) {
     if (kv.first == key) {
       *value = kv.second;
@@ -95,6 +95,16 @@ Status InMemoryDisk::GetMeta(const std::string& key, std::string* value) {
     }
   }
   return Status::NotFound("meta key " + key);
+}
+
+uint64_t InMemoryDisk::reads() const {
+  sync::MutexLock g(&mu_);
+  return reads_;
+}
+
+uint64_t InMemoryDisk::writes() const {
+  sync::MutexLock g(&mu_);
+  return writes_;
 }
 
 // ----------------------------- FileDisk -----------------------------
@@ -108,6 +118,7 @@ StatusOr<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path,
       std::unique_ptr<FileDisk>(new FileDisk(path, f, page_size));
   std::fseek(f, 0, SEEK_END);
   long end = std::ftell(f);
+  sync::MutexLock g(&disk->mu_);
   disk->page_count_ = static_cast<PageId>(end / page_size);
   Status s = disk->LoadMeta();
   if (!s.ok() && !s.IsNotFound()) return s;
@@ -119,7 +130,7 @@ FileDisk::~FileDisk() {
 }
 
 Status FileDisk::ReadPage(PageId page_id, char* out) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (page_id >= page_count_) {
     return Status::IoError("read of unallocated page");
   }
@@ -135,7 +146,7 @@ Status FileDisk::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDisk::WritePage(PageId page_id, const char* data) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (page_id >= page_count_) {
     return Status::IoError("write of unallocated page");
   }
@@ -151,7 +162,7 @@ Status FileDisk::WritePage(PageId page_id, const char* data) {
 }
 
 StatusOr<PageId> FileDisk::AllocatePage() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -167,7 +178,7 @@ StatusOr<PageId> FileDisk::AllocatePage() {
 }
 
 StatusOr<PageId> FileDisk::AllocatePageNoReuse() {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   PageId id = page_count_++;
   std::string zeros(page_size_, '\0');
   if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0 ||
@@ -178,18 +189,18 @@ StatusOr<PageId> FileDisk::AllocatePageNoReuse() {
 }
 
 Status FileDisk::FreePage(PageId page_id) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   free_list_.push_back(page_id);
   return Status::OK();
 }
 
 PageId FileDisk::PageCount() const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   return page_count_;
 }
 
 Status FileDisk::PutMeta(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   bool found = false;
   for (auto& kv : meta_) {
     if (kv.first == key) {
@@ -203,7 +214,7 @@ Status FileDisk::PutMeta(const std::string& key, const std::string& value) {
 }
 
 Status FileDisk::GetMeta(const std::string& key, std::string* value) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   for (const auto& kv : meta_) {
     if (kv.first == key) {
       *value = kv.second;
@@ -211,6 +222,16 @@ Status FileDisk::GetMeta(const std::string& key, std::string* value) {
     }
   }
   return Status::NotFound("meta key " + key);
+}
+
+uint64_t FileDisk::reads() const {
+  sync::MutexLock g(&mu_);
+  return reads_;
+}
+
+uint64_t FileDisk::writes() const {
+  sync::MutexLock g(&mu_);
+  return writes_;
 }
 
 Status FileDisk::LoadMeta() {

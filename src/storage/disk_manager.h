@@ -17,11 +17,11 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace oib {
@@ -62,7 +62,10 @@ class InMemoryDisk : public DiskManager {
 
   // Benches simulate an I/O-bound environment (the paper's "several days
   // to scan a petabyte table") by charging a fixed latency per page read.
-  void set_read_delay_us(uint32_t us) { read_delay_us_ = us; }
+  void set_read_delay_us(uint32_t us) {
+    sync::MutexLock g(&mu_);
+    read_delay_us_ = us;
+  }
 
   Status ReadPage(PageId page_id, char* out) override;
   Status WritePage(PageId page_id, const char* data) override;
@@ -73,18 +76,18 @@ class InMemoryDisk : public DiskManager {
   Status PutMeta(const std::string& key, const std::string& value) override;
   Status GetMeta(const std::string& key, std::string* value) override;
   size_t page_size() const override { return page_size_; }
-  uint64_t reads() const override { return reads_; }
-  uint64_t writes() const override { return writes_; }
+  uint64_t reads() const override;
+  uint64_t writes() const override;
 
  private:
   size_t page_size_;
-  mutable std::mutex mu_;
-  std::vector<std::string> pages_;
-  std::vector<PageId> free_list_;
-  std::vector<std::pair<std::string, std::string>> meta_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint32_t read_delay_us_ = 0;
+  mutable sync::Mutex mu_{sync::LockRank::kDisk, "inmemorydisk.mu"};
+  std::vector<std::string> pages_ OIB_GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ OIB_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> meta_ OIB_GUARDED_BY(mu_);
+  uint64_t reads_ OIB_GUARDED_BY(mu_) = 0;
+  uint64_t writes_ OIB_GUARDED_BY(mu_) = 0;
+  uint32_t read_delay_us_ OIB_GUARDED_BY(mu_) = 0;
 };
 
 class FileDisk : public DiskManager {
@@ -103,25 +106,25 @@ class FileDisk : public DiskManager {
   Status PutMeta(const std::string& key, const std::string& value) override;
   Status GetMeta(const std::string& key, std::string* value) override;
   size_t page_size() const override { return page_size_; }
-  uint64_t reads() const override { return reads_; }
-  uint64_t writes() const override { return writes_; }
+  uint64_t reads() const override;
+  uint64_t writes() const override;
 
  private:
   FileDisk(std::string path, std::FILE* file, size_t page_size)
       : path_(std::move(path)), file_(file), page_size_(page_size) {}
 
-  Status LoadMeta();
-  Status StoreMeta();
+  Status LoadMeta() OIB_REQUIRES(mu_);
+  Status StoreMeta() OIB_REQUIRES(mu_);
 
   std::string path_;
   std::FILE* file_;
   size_t page_size_;
-  mutable std::mutex mu_;
-  PageId page_count_ = 0;
-  std::vector<PageId> free_list_;
-  std::vector<std::pair<std::string, std::string>> meta_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  mutable sync::Mutex mu_{sync::LockRank::kDisk, "filedisk.mu"};
+  PageId page_count_ OIB_GUARDED_BY(mu_) = 0;
+  std::vector<PageId> free_list_ OIB_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> meta_ OIB_GUARDED_BY(mu_);
+  uint64_t reads_ OIB_GUARDED_BY(mu_) = 0;
+  uint64_t writes_ OIB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oib

@@ -82,7 +82,7 @@ bool LockManager::Grantable(const LockState& st, TxnId txn, LockMode mode) {
 
 Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
                          const LockOptions& options) {
-  std::unique_lock<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   LockState& st = locks_[lock];
 
   // Re-entrant fast path: already held in a sufficient mode.
@@ -125,7 +125,7 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout);
   for (;;) {
-    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       // Remove self from the queue and abort.
       auto& q = locks_[lock].waiters;
       for (auto it = q.begin(); it != q.end(); ++it) {
@@ -136,7 +136,7 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
       }
       timeouts_.Inc();
       wait_ns_.Record(obs::MonotonicNanos() - wait_start_ns);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::Aborted("lock wait timeout (presumed deadlock)");
     }
     LockState& cur = locks_[lock];
@@ -158,14 +158,14 @@ Status LockManager::Lock(TxnId txn, LockId lock, LockMode mode,
         held_[txn].insert(lock);
       }
       wait_ns_.Record(obs::MonotonicNanos() - wait_start_ns);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::OK();
     }
   }
 }
 
 void LockManager::Unlock(TxnId txn, LockId lock) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = locks_.find(lock);
   if (it == locks_.end()) return;
   it->second.holders.erase(txn);
@@ -174,11 +174,11 @@ void LockManager::Unlock(TxnId txn, LockId lock) {
   if (it->second.holders.empty() && it->second.waiters.empty()) {
     locks_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto h = held_.find(txn);
   if (h == held_.end()) return;
   for (LockId lock : h->second) {
@@ -190,11 +190,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   held_.erase(h);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, LockId lock, LockMode mode) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto it = locks_.find(lock);
   if (it == locks_.end()) return false;
   auto h = it->second.holders.find(txn);
@@ -203,7 +203,7 @@ bool LockManager::Holds(TxnId txn, LockId lock, LockMode mode) const {
 }
 
 size_t LockManager::held_count(TxnId txn) const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   auto h = held_.find(txn);
   return h == held_.end() ? 0 : h->second.size();
 }

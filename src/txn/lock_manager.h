@@ -15,16 +15,15 @@
 #ifndef OIB_TXN_LOCK_MANAGER_H_
 #define OIB_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 
@@ -99,10 +98,11 @@ class LockManager {
   static bool Grantable(const LockState& st, TxnId txn, LockMode mode);
 
   uint64_t default_timeout_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<LockId, LockState> locks_;
-  std::unordered_map<TxnId, std::unordered_set<LockId>> held_;
+  mutable sync::Mutex mu_{sync::LockRank::kLockTable, "locktable.mu"};
+  sync::CondVar cv_;
+  std::unordered_map<LockId, LockState> locks_ OIB_GUARDED_BY(mu_);
+  std::unordered_map<TxnId, std::unordered_set<LockId>> held_
+      OIB_GUARDED_BY(mu_);
   obs::Counter waits_;
   obs::Counter timeouts_;  // timeout-based deadlock aborts
   obs::Histogram wait_ns_;

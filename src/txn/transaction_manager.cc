@@ -7,13 +7,16 @@ Transaction* TransactionManager::Begin() {
   auto txn = std::make_unique<Transaction>(id);
   Transaction* raw = txn.get();
   {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::MutexLock g(&mu_);
     active_[id] = std::move(txn);
   }
   LogRecord rec;
   rec.type = LogRecordType::kBegin;
   rec.txn_id = id;
-  AppendLog(raw, &rec);
+  // A Begin record is a fixed-size header that always fits the ring, and
+  // Begin() has no error channel; a failure would only repeat on the first
+  // real append, which does propagate.
+  (void)AppendLog(raw, &rec);
   return raw;
 }
 
@@ -97,19 +100,19 @@ Transaction* TransactionManager::AdoptLoser(TxnId id, Lsn last_lsn) {
   auto txn = std::make_unique<Transaction>(id);
   txn->set_last_lsn(last_lsn);
   Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   active_[id] = std::move(txn);
   return raw;
 }
 
 void TransactionManager::End(Transaction* txn) {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   active_.erase(txn->id());
 }
 
 std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveTransactions()
     const {
-  std::lock_guard<std::mutex> g(mu_);
+  sync::MutexLock g(&mu_);
   std::vector<std::pair<TxnId, Lsn>> out;
   out.reserve(active_.size());
   for (const auto& [id, txn] : active_) {

@@ -11,11 +11,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 #include "wal/log_manager.h"
@@ -79,8 +79,9 @@ class TransactionManager {
   RmRegistry* rms_;
 
   std::atomic<TxnId> next_txn_id_{1};
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  mutable sync::Mutex mu_{sync::LockRank::kTxnActive, "txn.active_mu"};
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_
+      OIB_GUARDED_BY(mu_);
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
 };

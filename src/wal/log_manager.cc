@@ -35,7 +35,8 @@ Status LogManager::ConfigureRing(size_t ring_bytes) {
   if (ring_bytes < 2 * kFrameHeader || (ring_bytes & (ring_bytes - 1)) != 0) {
     return Status::InvalidArgument("wal ring size must be a power of two");
   }
-  std::scoped_lock g(flush_mu_, drain_mu_);
+  sync::MutexLock fl(&flush_mu_);
+  sync::MutexLock dg(&drain_mu_);
   // Empty the old ring into the backing store first (does not flush:
   // drained bytes stay volatile until Flush moves the boundary).  Callers
   // guarantee no concurrent appenders, so every reservation is sealed and
@@ -111,7 +112,7 @@ Status LogManager::Append(LogRecord* rec) {
 }
 
 void LogManager::TryDrain() {
-  std::unique_lock<std::mutex> g(drain_mu_, std::try_to_lock);
+  sync::TryMutexLock g(&drain_mu_);
   if (g.owns_lock()) {
     ConsumeSealedLocked();
   } else {
@@ -191,13 +192,13 @@ Status LogManager::Flush(Lsn lsn) {
   if (target > reserved) target = reserved;
 
   uint64_t t0 = obs::MonotonicNanos();
-  std::lock_guard<std::mutex> fl(flush_mu_);
+  sync::MutexLock fl(&flush_mu_);
   // Re-check after the leader hand-off: whoever held flush_mu_ published
   // the boundary for every record sealed before it released.
   uint64_t flushed = flushed_.load(std::memory_order_relaxed);
   if (flushed >= target) return Status::OK();
   {
-    std::lock_guard<std::mutex> dg(drain_mu_);
+    sync::MutexLock dg(&drain_mu_);
     DrainUntilLocked(target);
     // Group commit: publish everything drained, not just the target, so
     // committers queued behind this leader find their records durable.
@@ -215,7 +216,7 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec) {
   if (off >= reserved_.load(std::memory_order_acquire)) {
     return Status::Corruption("lsn beyond log end");
   }
-  std::lock_guard<std::mutex> g(drain_mu_);
+  sync::MutexLock g(&drain_mu_);
   // The caller's record was fully appended (sealed), so draining up to it
   // terminates; this only buffers volatile bytes, it does not flush.
   DrainUntilLocked(off + 1);
@@ -232,7 +233,7 @@ Status LogManager::ScanDurable(
   std::string snapshot;
   uint64_t limit = flushed_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> g(drain_mu_);
+    sync::MutexLock g(&drain_mu_);
     snapshot = backing_.substr(0, limit);
   }
   size_t pos = (start_lsn == kInvalidLsn) ? 0 : start_lsn - 1;
@@ -256,7 +257,8 @@ void LogManager::DropUnflushed() {
   // reservation counter itself rewinds to the boundary — so the volatile
   // tail vanishes exactly as if the process had died, leaving a
   // prefix-exact durable log.
-  std::scoped_lock g(flush_mu_, drain_mu_);
+  sync::MutexLock fl(&flush_mu_);
+  sync::MutexLock dg(&drain_mu_);
   uint64_t flushed = flushed_.load(std::memory_order_relaxed);
   backing_.resize(flushed);
   drained_.store(flushed, std::memory_order_relaxed);

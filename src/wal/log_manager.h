@@ -32,12 +32,12 @@
 #include <array>
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "wal/log_record.h"
@@ -132,10 +132,11 @@ class LogManager {
   // Opportunistic drain used by appenders blocked on ring space or a
   // lapped seal slot; yields if another thread is already draining.
   void TryDrain();
-  // The following require drain_mu_ held.
-  void ConsumeSealedLocked();
-  void DrainUntilLocked(uint64_t target_bytes);  // until drained_ >= target
-  Status ParseRecordAt(uint64_t off, LogRecord* rec) const;
+  void ConsumeSealedLocked() OIB_REQUIRES(drain_mu_);
+  // Drains until drained_ >= target.
+  void DrainUntilLocked(uint64_t target_bytes) OIB_REQUIRES(drain_mu_);
+  Status ParseRecordAt(uint64_t off, LogRecord* rec) const
+      OIB_REQUIRES(drain_mu_);
 
   // --- hot, lock-free appender state ---
   std::atomic<uint64_t> reserved_{0};  // log bytes reserved (next_lsn - 1)
@@ -146,20 +147,25 @@ class LogManager {
   size_t ring_mask_ = 0;
   std::vector<SealSlot> slots_;
 
-  // --- drain state (guarded by drain_mu_) ---
-  mutable std::mutex drain_mu_;
-  uint64_t consume_seq_ = 0;  // seal tickets consumed
+  // --- drain state ---
+  // Acquired under flush_mu_ by the group-commit leader; TryDrain takes
+  // it with a try-lock (order-check-free) from the append path.
+  mutable sync::Mutex drain_mu_{sync::LockRank::kWalDrain, "wal.drain_mu"};
+  // Seal tickets consumed.
+  uint64_t consume_seq_ OIB_GUARDED_BY(drain_mu_) = 0;
   // Sealed ranges consumed out of byte order (ticket order and reservation
   // order can differ transiently between the two fetch-adds in Append);
   // min-heap by start offset, popped as the contiguous prefix extends.
   std::priority_queue<std::pair<uint64_t, uint64_t>,
                       std::vector<std::pair<uint64_t, uint64_t>>,
                       std::greater<>>
-      pending_;
-  std::string backing_;  // drained bytes [0, drained_); durable [0, flushed_)
+      pending_ OIB_GUARDED_BY(drain_mu_);
+  // Drained bytes [0, drained_); durable [0, flushed_).
+  std::string backing_ OIB_GUARDED_BY(drain_mu_);
 
   // --- group commit ---
-  std::mutex flush_mu_;  // serializes flush leaders
+  // Serializes flush leaders; always acquired before drain_mu_.
+  sync::Mutex flush_mu_{sync::LockRank::kWalFlush, "wal.flush_mu"};
 
   // --- statistics (lock-free cells; stats() snapshots them) ---
   std::atomic<uint64_t> records_{0};

@@ -1,0 +1,44 @@
+// Compile-only smoke file for scripts/check_thread_safety.py.
+//
+// Never linked into any target.  Compiled twice by the script under
+// clang -Werror=thread-safety: once with OIB_SMOKE_THREAD_SAFETY_VIOLATION
+// defined (must FAIL — a guarded field is touched without its mutex) and
+// once without (must pass).  If the seeded build ever compiles cleanly,
+// the thread-safety gate has stopped analyzing our annotations.
+
+#include "common/sync.h"
+
+namespace oib {
+namespace {
+
+class SmokeCounter {
+ public:
+  void Increment() {
+    sync::MutexLock g(&mu_);
+    ++value_;
+  }
+
+  int Get() {
+#ifdef OIB_SMOKE_THREAD_SAFETY_VIOLATION
+    // Seeded violation: reading value_ without holding mu_.
+    return value_;
+#else
+    sync::MutexLock g(&mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  sync::Mutex mu_{sync::LockRank::kObs, "smoke.mu"};
+  int value_ OIB_GUARDED_BY(mu_) = 0;
+};
+
+// Odr-use the class so the analysis runs over the member functions.
+[[maybe_unused]] int SmokeUse() {
+  SmokeCounter c;
+  c.Increment();
+  return c.Get();
+}
+
+}  // namespace
+}  // namespace oib

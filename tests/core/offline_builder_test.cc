@@ -149,6 +149,48 @@ TEST_F(OfflineBuilderTest, UniqueViolationAborts) {
   EXPECT_TRUE(engine_->catalog()->IndexesOf(table).empty());
 }
 
+TEST_F(OfflineBuilderTest, FailedBuildReleasesLoaderLatches) {
+  // Regression: the abort path used to run the transaction rollback with
+  // the bulk loader's page X latches still open (found by the lock-rank
+  // checker; loaders must Abandon() before abort_build).  A leaked latch
+  // would wedge everything that touches those frames afterwards.
+  TableId table = MakeTable();
+  Transaction* txn = engine_->Begin();
+  Rid dup_rid;
+  {
+    auto r = engine_->records()->InsertRecord(
+        txn, table, Schema::EncodeRecord({"same", "a"}));
+    ASSERT_OK(r.status());
+  }
+  {
+    auto r = engine_->records()->InsertRecord(
+        txn, table, Schema::EncodeRecord({"same", "b"}));
+    ASSERT_OK(r.status());
+    dup_rid = *r;
+  }
+  ASSERT_OK(engine_->Commit(txn));
+
+  OfflineIndexBuilder builder(engine_.get());
+  BuildParams params;
+  params.name = "u";
+  params.table = table;
+  params.unique = true;
+  params.key_cols = {0};
+  IndexId index;
+  Status s = builder.Build(params, &index);
+  ASSERT_TRUE(s.IsUniqueViolation()) << s.ToString();
+
+  // Every frame must be unpinned and unlatched again: deleting the
+  // duplicate and rebuilding exercises the same heap pages and fresh
+  // tree pages end-to-end (a leaked latch hangs here, tripping the
+  // suite timeout; a leaked pin trips DiscardAll-style asserts later).
+  txn = engine_->Begin();
+  ASSERT_OK(engine_->records()->DeleteRecord(txn, table, dup_rid));
+  ASSERT_OK(engine_->Commit(txn));
+  ASSERT_OK(builder.Build(params, &index));
+  ExpectIndexConsistent(table, index);
+}
+
 TEST_F(OfflineBuilderTest, EmptyTableBuild) {
   TableId table = MakeTable();
   OfflineIndexBuilder builder(engine_.get());

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/random.h"
@@ -331,6 +333,50 @@ TEST(DiskManagerTest, MetaRoundTrip) {
   ASSERT_TRUE(disk.GetMeta("k1", &v).ok());
   EXPECT_EQ(v, "v2");
   EXPECT_TRUE(disk.GetMeta("absent", &v).IsNotFound());
+}
+
+// Regression: reads()/writes() used to load the counters without the disk
+// mutex while I/O threads increment them under it — a data race TSan
+// flags and a torn read on principle.  The suite name keeps this test in
+// the TSan CI job's filter ("Stress").
+TEST(DiskManagerStressTest, IoCountersAreSafeToPollDuringIo) {
+  InMemoryDisk disk(4096);
+  auto page = disk.AllocatePage();
+  ASSERT_TRUE(page.ok());
+  std::vector<char> buf(4096, 0);
+  ASSERT_TRUE(disk.WritePage(*page, buf.data()).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kIosPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    uint64_t last_reads = 0, last_writes = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t r = disk.reads(), w = disk.writes();
+      // Monotonicity is the only invariant a racing poller can check.
+      EXPECT_GE(r, last_reads);
+      EXPECT_GE(w, last_writes);
+      last_reads = r;
+      last_writes = w;
+    }
+  });
+  std::vector<std::thread> io;
+  io.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    io.emplace_back([&] {
+      std::vector<char> local(4096, 0);
+      for (int i = 0; i < kIosPerThread; ++i) {
+        ASSERT_TRUE(disk.ReadPage(*page, local.data()).ok());
+        ASSERT_TRUE(disk.WritePage(*page, local.data()).ok());
+      }
+    });
+  }
+  for (auto& t : io) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_GE(disk.reads(), static_cast<uint64_t>(kThreads * kIosPerThread));
+  EXPECT_GE(disk.writes(),
+            static_cast<uint64_t>(kThreads * kIosPerThread) + 1);
 }
 
 }  // namespace
