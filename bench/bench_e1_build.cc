@@ -114,6 +114,7 @@ void Run(const std::vector<uint64_t>& threads_sweep,
 }  // namespace oib
 
 int main(int argc, char** argv) {
+  oib::bench::InitBenchObs(&argc, argv);
   std::vector<uint64_t> threads = {1, 2, 4};
   std::vector<uint64_t> rows = {20000ull, 60000ull};
   for (int i = 1; i < argc; ++i) {

@@ -79,7 +79,8 @@ void Run() {
 }  // namespace bench
 }  // namespace oib
 
-int main() {
+int main(int argc, char** argv) {
+  oib::bench::InitBenchObs(&argc, argv);
   oib::bench::Run();
   return 0;
 }

@@ -45,8 +45,15 @@ struct Result {
   uint64_t bp_evictions = 0;
 };
 
-Result RunOne(size_t workload_threads, uint64_t rows) {
-  World w = MakeWorld(rows);
+Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile) {
+  Options options = DefaultBenchOptions();
+  options.obs_lock_profile = lock_profile;
+  World w = MakeWorld(rows, options);
+  // The Open above enabled the (sticky, process-wide) profiler when
+  // lock_profile is set; scope it to the build window instead so the
+  // per-rank numbers attribute the *build*, not populate/warm-up — and so
+  // a baseline run after a profiled one actually measures profiler-off.
+  sync::prof::SetEnabled(false);
   WorkloadOptions wo;
   wo.threads = static_cast<uint32_t>(workload_threads);
 
@@ -59,6 +66,7 @@ Result RunOne(size_t workload_threads, uint64_t rows) {
 
   // Scope every histogram/counter to the build window.
   obs::MetricsRegistry::Default().ResetAll();
+  sync::prof::SetEnabled(lock_profile);
 
   BuildParams params = KeyIndexParams(w.table, "idx");
   BuildStats stats;
@@ -74,6 +82,7 @@ Result RunOne(size_t workload_threads, uint64_t rows) {
           .GetHistogram("workload.update_ns")
           ->Snapshot();
   obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().TakeSnapshot();
+  sync::prof::SetEnabled(false);
   WorkloadStats wstats = workload.Stop();
   if (!s.ok()) {
     std::fprintf(stderr, "sf build failed (threads=%zu): %s\n",
@@ -100,26 +109,50 @@ Result RunOne(size_t workload_threads, uint64_t rows) {
   return r;
 }
 
-void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows) {
+void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows,
+         int reps) {
   PrintHeader("E9: update scalability during an SF build",
               "updates are not quiesced — and with no global lock on the "
               "update hot path, parallel updaters scale while SF builds");
   BenchReport report("e9");
-  std::printf("%-8s %10s %14s %9s %9s %9s %9s %9s %10s %10s\n", "threads",
-              "build_ms", "ops/sec(build)", "commits", "aborts", "upd_p50us",
-              "upd_p95us", "upd_p99us", "upd_maxus", "walflush");
+  std::printf("%-8s %10s %14s %14s %8s %9s %9s %9s %9s %10s %10s\n",
+              "threads", "build_ms", "ops/sec(build)", "ops/sec(nolp)",
+              "lp_ov%", "commits", "aborts", "upd_p50us", "upd_p99us",
+              "upd_maxus", "walflush");
   for (uint64_t threads : threads_sweep) {
-    Result r = RunOne(static_cast<size_t>(threads), rows);
-    std::printf("%-8llu %10.1f %14.1f %9llu %9llu %9.1f %9.1f %9.1f %10.1f "
-                "%10llu\n",
+    // Overhead A/B: discard one warmup run (cold page cache / file
+    // creation dominate the first run), then alternate baseline/profiled
+    // `reps` times and compare best-of throughput per arm — a single
+    // pair is swamped by scheduler noise on a shared runner, while the
+    // per-arm maximum estimates the uncontaminated rate.  The reported
+    // row is the last profiled run, with the baseline throughput and the
+    // relative overhead alongside (acceptance target: <= 3% at full
+    // size).
+    RunOne(static_cast<size_t>(threads), rows, false);  // warmup
+    Result base, r;
+    for (int rep = 0; rep < reps; ++rep) {
+      Result b = RunOne(static_cast<size_t>(threads), rows, false);
+      Result p = RunOne(static_cast<size_t>(threads), rows, true);
+      if (b.ops_per_sec > base.ops_per_sec) base = b;
+      if (p.ops_per_sec >= r.ops_per_sec) r = p;
+    }
+    double overhead_pct =
+        base.ops_per_sec > 0
+            ? 100.0 * (base.ops_per_sec - r.ops_per_sec) / base.ops_per_sec
+            : 0.0;
+    std::printf("%-8llu %10.1f %14.1f %14.1f %8.2f %9llu %9llu %9.1f %9.1f "
+                "%10.1f %10llu\n",
                 (unsigned long long)threads, r.build_ms, r.ops_per_sec,
+                base.ops_per_sec, overhead_pct,
                 (unsigned long long)r.commits, (unsigned long long)r.aborts,
-                r.upd_p50_us, r.upd_p95_us, r.upd_p99_us, r.upd_max_us,
+                r.upd_p50_us, r.upd_p99_us, r.upd_max_us,
                 (unsigned long long)r.wal_flushes);
     report.AddRow("threads_" + std::to_string(threads),
                   {{"threads", static_cast<double>(threads)},
                    {"build_ms", r.build_ms},
                    {"ops_per_sec_during_build", r.ops_per_sec},
+                   {"ops_per_sec_noprofile", base.ops_per_sec},
+                   {"lock_profile_overhead_pct", overhead_pct},
                    {"commits", static_cast<double>(r.commits)},
                    {"aborts", static_cast<double>(r.aborts)},
                    {"update_p50_us", r.upd_p50_us},
@@ -137,21 +170,27 @@ void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows) {
 }  // namespace oib
 
 int main(int argc, char** argv) {
+  oib::bench::InitBenchObs(&argc, argv);
   std::vector<uint64_t> threads = {1, 2, 4, 8};
   uint64_t rows = 20000;
+  int reps = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = oib::bench::ParseList(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       std::vector<uint64_t> r = oib::bench::ParseList(argv[i] + 7);
       if (!r.empty()) rows = r[0];
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      std::vector<uint64_t> r = oib::bench::ParseList(argv[i] + 7);
+      if (!r.empty()) reps = static_cast<int>(r[0]);
     } else {
-      std::fprintf(stderr, "usage: %s [--threads=1,2,4,8] [--rows=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads=1,2,4,8] [--rows=N] [--reps=N]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (threads.empty() || rows == 0) return 2;
-  oib::bench::Run(threads, rows);
+  if (threads.empty() || rows == 0 || reps < 1) return 2;
+  oib::bench::Run(threads, rows, reps);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -20,10 +21,55 @@
 #include "core/workload.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace oib {
 namespace bench {
+
+// Process-wide observability context shared by every harness: the
+// time-series sampler plus the --trace-out destination.  Populated by
+// InitBenchObs; consumed by BenchReport::Write.
+struct BenchObs {
+  std::string trace_out;               // empty = no trace export
+  uint64_t metrics_interval_ms = 100;  // 0 = sampler off
+  std::unique_ptr<obs::StatsSampler> sampler;
+};
+
+inline BenchObs& GetBenchObs() {
+  static BenchObs* ctx = new BenchObs();
+  return *ctx;
+}
+
+// Parses and strips the shared observability flags from argv:
+//   --trace-out=<path>          write a Chrome/Perfetto trace on report
+//   --metrics-interval-ms=<n>   sampler tick (default 100, 0 = off)
+// then starts the background sampler.  Call first thing in main(); other
+// flags are left in place for the harness's own parsing.
+inline void InitBenchObs(int* argc, char** argv) {
+  BenchObs& ctx = GetBenchObs();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kTraceOut = "--trace-out=";
+    constexpr std::string_view kInterval = "--metrics-interval-ms=";
+    if (arg.substr(0, kTraceOut.size()) == kTraceOut) {
+      ctx.trace_out = std::string(arg.substr(kTraceOut.size()));
+    } else if (arg.substr(0, kInterval.size()) == kInterval) {
+      ctx.metrics_interval_ms =
+          std::strtoull(argv[i] + kInterval.size(), nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  obs::SetCurrentThreadName("bench.main");
+  if (ctx.metrics_interval_ms > 0) {
+    ctx.sampler = std::make_unique<obs::StatsSampler>(
+        &obs::MetricsRegistry::Default(), ctx.metrics_interval_ms);
+    ctx.sampler->Start();
+  }
+}
 
 struct World {
   Options options;
@@ -157,6 +203,19 @@ class BenchReport {
     obs::MetricsToJson(obs::MetricsRegistry::Default().TakeSnapshot(), &w);
     w.Key("spans");
     obs::SpansToJson(obs::Tracer::Default().Snapshot(), &w);
+    BenchObs& ctx = GetBenchObs();
+    w.Key("timeseries");
+    {
+      std::vector<obs::StatsSampler::Sample> samples;
+      if (ctx.sampler != nullptr) {
+        // One last tick so even a sub-interval smoke run reports a point.
+        ctx.sampler->SampleNow();
+        samples = ctx.sampler->Samples();
+      }
+      obs::TimeseriesToJson(samples, ctx.metrics_interval_ms, &w);
+    }
+    w.Key("lock_contention");
+    obs::LockContentionToJson(obs::CollectLockProfile(), &w);
     w.EndObject();
     std::string path = "BENCH_" + experiment_ + ".json";
     Status s = obs::WriteStringToFile(path, w.str());
@@ -165,6 +224,19 @@ class BenchReport {
                    s.ToString().c_str());
     } else {
       std::printf("\n[%s written]\n", path.c_str());
+    }
+    if (!ctx.trace_out.empty()) {
+      obs::Tracer& tracer = obs::Tracer::Default();
+      Status ts = obs::WriteStringToFile(
+          ctx.trace_out,
+          obs::TraceToChromeJson(tracer.Snapshot(), tracer.dropped()));
+      if (!ts.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n",
+                     ctx.trace_out.c_str(), ts.ToString().c_str());
+      } else {
+        std::printf("[%s written — load in ui.perfetto.dev]\n",
+                    ctx.trace_out.c_str());
+      }
     }
   }
 

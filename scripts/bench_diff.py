@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and flag regressions.
+
+Usage:
+  bench_diff.py <baseline.json> <candidate.json> [--threshold-pct=N]
+  bench_diff.py --self-check
+
+Rows are matched by label.  For every shared numeric column the diff is
+printed; columns with known polarity are checked against the threshold
+(default 10%):
+
+  * higher-is-better: ops_per_sec*, keys_per_sec
+  * lower-is-better:  *_ms, *_us, *_ns, *_pct
+
+Also compares the top contended lock ranks (lock_contention section) by
+total wait time and the end-to-end span totals.  Exits 1 when any checked
+column regresses past the threshold, 2 on usage/parse errors; plain
+drift in unchecked columns is reported but never fails the run.
+
+--self-check runs the comparator against synthetic fixtures (improvement,
+regression, row mismatch) and exits non-zero if the verdicts are wrong —
+CI runs it so a refactor cannot silently neuter the gate.
+"""
+
+import json
+import sys
+
+HIGHER_IS_BETTER = ("ops_per_sec", "keys_per_sec")
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_us", "_ns", "_pct")
+
+# Columns that are counts/config, not performance: never gated.
+NEUTRAL = {"threads", "rows", "commits", "aborts", "wal_flushes",
+           "bp_evictions", "label"}
+
+
+def polarity(column):
+    """+1 higher is better, -1 lower is better, 0 don't gate."""
+    if column in NEUTRAL:
+        return 0
+    if any(column.startswith(p) for p in HIGHER_IS_BETTER):
+        return 1
+    if any(column.endswith(s) for s in LOWER_IS_BETTER_SUFFIXES):
+        return -1
+    return 0
+
+
+def pct_change(base, cand):
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return 100.0 * (cand - base) / base
+
+
+def diff_rows(base_doc, cand_doc, threshold_pct, out):
+    regressions = []
+    base_rows = {r["label"]: r for r in base_doc.get("rows", [])
+                 if isinstance(r, dict) and "label" in r}
+    cand_rows = {r["label"]: r for r in cand_doc.get("rows", [])
+                 if isinstance(r, dict) and "label" in r}
+    for label in base_rows:
+        if label not in cand_rows:
+            out.append("  row %r: present in baseline only" % label)
+    for label in cand_rows:
+        if label not in base_rows:
+            out.append("  row %r: present in candidate only" % label)
+    for label in sorted(set(base_rows) & set(cand_rows)):
+        b, c = base_rows[label], cand_rows[label]
+        for col in sorted(set(b) & set(c) - {"label"}):
+            bv, cv = b[col], c[col]
+            if not (isinstance(bv, (int, float))
+                    and isinstance(cv, (int, float))):
+                continue
+            change = pct_change(bv, cv)
+            pol = polarity(col)
+            regressed = (pol == 1 and change < -threshold_pct) or \
+                        (pol == -1 and change > threshold_pct)
+            mark = " <-- REGRESSION" if regressed else ""
+            if regressed or abs(change) >= threshold_pct / 2:
+                out.append("  %s.%s: %g -> %g (%+.1f%%)%s"
+                           % (label, col, bv, cv, change, mark))
+            if regressed:
+                regressions.append("%s.%s %+.1f%%" % (label, col, change))
+    return regressions
+
+
+def diff_lock_contention(base_doc, cand_doc, out, top_n=5):
+    def top_ranks(doc):
+        ranks = doc.get("lock_contention", {}).get("ranks", {})
+        items = []
+        for name, r in ranks.items():
+            wait = r.get("wait", {})
+            items.append((wait.get("total_ns", 0), name, r.get("waits", 0)))
+        items.sort(reverse=True)
+        return items[:top_n]
+
+    base_top = top_ranks(base_doc)
+    cand_top = top_ranks(cand_doc)
+    if not base_top and not cand_top:
+        return
+    out.append("  top contended ranks (total wait ns, waits):")
+    base_by_name = {name: (total, waits) for total, name, waits in base_top}
+    for total, name, waits in cand_top:
+        btotal, bwaits = base_by_name.get(name, (0, 0))
+        out.append("    %-16s %12d (%d waits)   baseline %12d (%d waits)"
+                   % (name, total, waits, btotal, bwaits))
+    for total, name, waits in base_top:
+        if name not in {n for _, n, _ in cand_top}:
+            out.append("    %-16s dropped out of top-%d (baseline %d ns)"
+                       % (name, top_n, total))
+
+
+def run_diff(base_path, cand_path, threshold_pct):
+    try:
+        with open(base_path, encoding="utf-8") as f:
+            base_doc = json.load(f)
+        with open(cand_path, encoding="utf-8") as f:
+            cand_doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("bench_diff: %s" % e, file=sys.stderr)
+        return 2
+    out = []
+    regressions = diff_rows(base_doc, cand_doc, threshold_pct, out)
+    diff_lock_contention(base_doc, cand_doc, out)
+    print("bench_diff %s -> %s (threshold %.1f%%)"
+          % (base_path, cand_path, threshold_pct))
+    for line in out:
+        print(line)
+    if regressions:
+        print("REGRESSIONS: %s" % "; ".join(regressions), file=sys.stderr)
+        return 1
+    print("no regressions past threshold")
+    return 0
+
+
+def self_check():
+    def doc(ops, p99):
+        return {
+            "experiment": "e9",
+            "rows": [{"label": "threads_2",
+                      "ops_per_sec_during_build": ops,
+                      "update_p99_us": p99,
+                      "threads": 2}],
+            "lock_contention": {"enabled": True, "ranks": {
+                "WalFlush": {"rank": 130, "waits": 10,
+                             "wait": {"count": 10, "total_ns": 5000,
+                                      "p50_ns": 400, "p99_ns": 900,
+                                      "max_ns": 1000},
+                             "hold": {"count": 10, "total_ns": 2000,
+                                      "p50_ns": 150, "p99_ns": 300,
+                                      "max_ns": 400}}}},
+        }
+
+    failures = []
+
+    # Identical reports: no regression.
+    base = doc(1000.0, 50.0)
+    out = []
+    if diff_rows(base, doc(1000.0, 50.0), 10.0, out):
+        failures.append("identical reports flagged as regression")
+
+    # Throughput down 50%: regression.
+    if not diff_rows(base, doc(500.0, 50.0), 10.0, []):
+        failures.append("50% throughput drop not flagged")
+
+    # Latency up 3x: regression.
+    if not diff_rows(base, doc(1000.0, 150.0), 10.0, []):
+        failures.append("3x p99 increase not flagged")
+
+    # Improvement in both: no regression.
+    if diff_rows(base, doc(2000.0, 25.0), 10.0, []):
+        failures.append("improvement flagged as regression")
+
+    # Neutral column churn (commits) never gates.
+    b = doc(1000.0, 50.0)
+    c = doc(1000.0, 50.0)
+    b["rows"][0]["commits"] = 100
+    c["rows"][0]["commits"] = 5
+    if diff_rows(b, c, 10.0, []):
+        failures.append("neutral column gated")
+
+    # Lock-contention section renders without error.
+    out = []
+    diff_lock_contention(base, doc(1000.0, 50.0), out)
+    if not any("WalFlush" in line for line in out):
+        failures.append("lock contention table missing ranks")
+
+    for f in failures:
+        print("SELF-CHECK FAIL: %s" % f, file=sys.stderr)
+    if not failures:
+        print("bench_diff self-check: OK")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if "--self-check" in argv[1:]:
+        return self_check()
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 10.0
+    for a in argv[1:]:
+        if a.startswith("--threshold-pct="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return run_diff(args[0], args[1], threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,13 +7,19 @@ For every named experiment, <dir>/BENCH_<experiment>.json must exist and
 contain the contract documented in EXPERIMENTS.md ("Machine-readable
 output"):
 
-  * top-level keys: experiment, rows, metrics, spans
+  * top-level keys: experiment, rows, metrics, spans, timeseries,
+    lock_contention
   * experiment matches the file name
   * rows is a non-empty array, every row has a "label" plus at least one
     numeric value column
   * per-experiment required row columns (e.g. e2/e9 must report
     ops_per_sec_during_build) so a harness that silently stops
     reporting a headline metric fails CI rather than drifting
+  * timeseries carries interval_ms and at least one sample with t_ms,
+    update_ops_per_sec, wal_lag_bytes, side_file_backlog, bp_hit_rate
+  * lock_contention carries "enabled" and a "ranks" object; when a rank
+    is present it must report waits plus wait/hold histograms with
+    count, total_ns, p50_ns, p99_ns, max_ns
 
 Exits non-zero with one line per violation.
 """
@@ -52,7 +58,8 @@ def check(path, experiment):
     except (OSError, ValueError) as e:
         return ["%s: unparseable JSON: %s" % (path, e)]
 
-    for key in ("experiment", "rows", "metrics", "spans"):
+    for key in ("experiment", "rows", "metrics", "spans", "timeseries",
+                "lock_contention"):
         if key not in doc:
             errors.append("%s: missing top-level key %r" % (path, key))
     if errors:
@@ -83,6 +90,71 @@ def check(path, experiment):
                               % (path, i, row["label"], key))
     if not isinstance(doc["metrics"], dict):
         errors.append("%s: metrics is not an object" % path)
+    errors.extend(check_timeseries(path, doc["timeseries"]))
+    errors.extend(check_lock_contention(path, doc["lock_contention"]))
+    return errors
+
+
+SAMPLE_KEYS = ("t_ms", "update_ops_per_sec", "wal_lag_bytes",
+               "side_file_backlog", "bp_hit_rate")
+HIST_KEYS = ("count", "total_ns", "p50_ns", "p99_ns", "max_ns")
+
+
+def check_timeseries(path, ts):
+    if not isinstance(ts, dict):
+        return ["%s: timeseries is not an object" % path]
+    errors = []
+    if not isinstance(ts.get("interval_ms"), (int, float)):
+        errors.append("%s: timeseries.interval_ms missing/non-numeric" % path)
+    samples = ts.get("samples")
+    if not isinstance(samples, list) or not samples:
+        # Every harness starts the sampler and forces a final tick, so an
+        # empty series means the wiring broke.
+        errors.append("%s: timeseries.samples must be non-empty" % path)
+        return errors
+    for i, s in enumerate(samples):
+        if not isinstance(s, dict):
+            errors.append("%s: timeseries.samples[%d] not an object"
+                          % (path, i))
+            continue
+        for key in SAMPLE_KEYS:
+            if key not in s:
+                errors.append("%s: timeseries.samples[%d] missing %r"
+                              % (path, i, key))
+        if not isinstance(s.get("bp_hit_rate"), list):
+            errors.append("%s: timeseries.samples[%d].bp_hit_rate not a list"
+                          % (path, i))
+    return errors
+
+
+def check_lock_contention(path, lc):
+    if not isinstance(lc, dict):
+        return ["%s: lock_contention is not an object" % path]
+    errors = []
+    if not isinstance(lc.get("enabled"), bool):
+        errors.append("%s: lock_contention.enabled missing/non-bool" % path)
+    ranks = lc.get("ranks")
+    if not isinstance(ranks, dict):
+        return errors + ["%s: lock_contention.ranks is not an object" % path]
+    for name, r in ranks.items():
+        if not isinstance(r, dict):
+            errors.append("%s: lock_contention.ranks[%s] not an object"
+                          % (path, name))
+            continue
+        if not isinstance(r.get("waits"), int):
+            errors.append("%s: lock_contention.ranks[%s].waits missing"
+                          % (path, name))
+        for side in ("wait", "hold"):
+            h = r.get(side)
+            if not isinstance(h, dict):
+                errors.append("%s: lock_contention.ranks[%s].%s missing"
+                              % (path, name, side))
+                continue
+            for key in HIST_KEYS:
+                if not isinstance(h.get(key), (int, float)):
+                    errors.append(
+                        "%s: lock_contention.ranks[%s].%s.%s missing"
+                        % (path, name, side, key))
     return errors
 
 

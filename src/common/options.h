@@ -77,6 +77,15 @@ struct Options {
   // Bounded merge->consumer queue depth when the merge runs on its own
   // thread (build_threads > 1).  2 = classic double buffering.
   size_t merge_queue_depth = 2;
+
+  // --- observability ---
+  // Turns on the per-rank lock-contention profiler (common/sync.h,
+  // obs/lock_profile.h): contended mutex acquisitions record wait and
+  // hold times per LockRank.  Uncontended acquisitions stay a single
+  // atomic either way; builds with OIB_NO_LOCK_PROFILE compile the whole
+  // mechanism out and ignore this flag.  The switch is process-wide
+  // (sticky-on): opening any engine with it set enables profiling.
+  bool obs_lock_profile = false;
 };
 
 class Status;

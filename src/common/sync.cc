@@ -26,6 +26,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kMergeQueue:     return "MergeQueue";
     case LockRank::kDisk:           return "Disk";
     case LockRank::kFailPoint:      return "FailPoint";
+    case LockRank::kStatsSampler:   return "StatsSampler";
     case LockRank::kObs:            return "Obs";
   }
   return "?";

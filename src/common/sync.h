@@ -48,6 +48,7 @@
 #ifndef OIB_COMMON_SYNC_H_
 #define OIB_COMMON_SYNC_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -130,10 +131,42 @@ enum class LockRank : uint16_t {
   kMergeQueue = 150,     // BuildPipeline merge/consume handoff queue
   kDisk = 160,           // DiskManager::mu_ (leaf; held across simulated IO)
   kFailPoint = 170,      // FailPointRegistry::mu_ (checked under latches)
+  kStatsSampler = 175,   // obs::StatsSampler::mu_ (sample ring + lifecycle;
+                         // the sampler thread snapshots the registry with
+                         // this released, but kObs still nests above it)
   kObs = 180,            // MetricsRegistry::mu_ (registration/snapshot)
 };
 
 const char* LockRankName(LockRank rank);
+
+// Dense 0-based index used by the per-rank lock-contention profiler
+// (obs/lock_profile.cc).  Keep in sync with the enum above.
+inline constexpr int kNumLockRanks = 20;
+constexpr int LockRankIndex(LockRank rank) {
+  switch (rank) {
+    case LockRank::kBuildPlan:      return 0;
+    case LockRank::kDrainGate:      return 1;
+    case LockRank::kHeapExtend:     return 2;
+    case LockRank::kSideFileExtend: return 3;
+    case LockRank::kTxnActive:      return 4;
+    case LockRank::kPageLatch:      return 5;
+    case LockRank::kBufferShard:    return 6;
+    case LockRank::kRecordBuilds:   return 7;
+    case LockRank::kCatalog:        return 8;
+    case LockRank::kHeapHints:      return 9;
+    case LockRank::kSideFileCount:  return 10;
+    case LockRank::kLockTable:      return 11;
+    case LockRank::kWalFlush:       return 12;
+    case LockRank::kWalDrain:       return 13;
+    case LockRank::kRunStore:       return 14;
+    case LockRank::kMergeQueue:     return 15;
+    case LockRank::kDisk:           return 16;
+    case LockRank::kFailPoint:      return 17;
+    case LockRank::kStatsSampler:   return 18;
+    case LockRank::kObs:            return 19;
+  }
+  return 0;
+}
 
 // Equal-rank acquisition allowed (page-latch crabbing).
 constexpr bool LockRankNestable(LockRank rank) {
@@ -148,6 +181,54 @@ constexpr bool LockRankExempt(LockRank rank) {
 
 // True when the runtime rank checker is compiled in and active.
 bool RankCheckActive();
+
+// ---------------------------------------------------------------------------
+// Lock-contention profiler hooks
+// ---------------------------------------------------------------------------
+//
+// When enabled at runtime (Options::obs_lock_profile, or a bench calling
+// SetLockProfileEnabled directly), every *contended* blocking acquisition
+// records its wait time, and the hold that follows records its duration
+// on release, into per-rank log-scaled histograms owned by
+// obs/lock_profile.cc.  The design keeps the instrumented paths honest:
+//
+//  * the uncontended acquire path is a single try_lock atomic — no clock
+//    reads, no histogram touches, nothing but the relaxed enabled-flag
+//    load on top of the unprofiled build;
+//  * only contended acquisitions pay for timestamps and recording, so the
+//    profiler's cost is proportional to the contention it measures;
+//  * shared (reader) acquisitions record wait time only — hold tracking
+//    needs a per-owner cell, and readers are many.
+//
+// Defining OIB_NO_LOCK_PROFILE (cmake -DOIB_NO_LOCK_PROFILE=ON) compiles
+// the whole mechanism out: the hooks become empty inlines, the enabled
+// flag disappears, and Mutex/SharedMutex shrink back to bare wrappers.
+#if !defined(OIB_NO_LOCK_PROFILE)
+#define OIB_LOCK_PROFILE 1
+#else
+#define OIB_LOCK_PROFILE 0
+#endif
+
+namespace prof {
+#if OIB_LOCK_PROFILE
+extern std::atomic<bool> g_lock_profile_enabled;
+inline bool Enabled() {
+  return g_lock_profile_enabled.load(std::memory_order_relaxed);
+}
+// Defined in obs/lock_profile.cc (steady-clock read; called only on the
+// contended path, so an out-of-line call is fine).
+uint64_t NowNanos();
+void RecordWait(LockRank rank, uint64_t wait_ns);
+void RecordHold(LockRank rank, uint64_t hold_ns);
+void SetEnabled(bool on);
+#else
+inline bool Enabled() { return false; }
+inline uint64_t NowNanos() { return 0; }
+inline void RecordWait(LockRank, uint64_t) {}
+inline void RecordHold(LockRank, uint64_t) {}
+inline void SetEnabled(bool) {}
+#endif
+}  // namespace prof
 
 namespace internal {
 #if OIB_RANK_CHECK
@@ -180,6 +261,17 @@ class OIB_CAPABILITY("mutex") Mutex {
 
   void Lock() OIB_ACQUIRE() {
     internal::OnAcquire(&mu_, rank_, name_);
+#if OIB_LOCK_PROFILE
+    if (prof::Enabled()) {
+      if (mu_.try_lock()) return;  // uncontended: one atomic, no stats
+      uint64_t t0 = prof::NowNanos();
+      mu_.lock();
+      uint64_t t1 = prof::NowNanos();
+      prof::RecordWait(rank_, t1 - t0);
+      hold_start_ns_ = t1;
+      return;
+    }
+#endif
     mu_.lock();
   }
   bool TryLock() OIB_TRY_ACQUIRE(true) {
@@ -190,6 +282,12 @@ class OIB_CAPABILITY("mutex") Mutex {
   }
   void Unlock() OIB_RELEASE() {
     internal::OnRelease(&mu_, name_);
+#if OIB_LOCK_PROFILE
+    if (hold_start_ns_ != 0) {
+      prof::RecordHold(rank_, prof::NowNanos() - hold_start_ns_);
+      hold_start_ns_ = 0;
+    }
+#endif
     mu_.unlock();
   }
 
@@ -203,6 +301,12 @@ class OIB_CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+#if OIB_LOCK_PROFILE
+  // Start of the current contended hold; written and cleared only by the
+  // holder while the mutex is held, so plain (non-atomic) access is
+  // race-free.  Zero = the current hold was uncontended (untracked).
+  uint64_t hold_start_ns_ = 0;
+#endif
   const LockRank rank_;
   const char* const name_;
 };
@@ -220,6 +324,17 @@ class OIB_CAPABILITY("shared_mutex") SharedMutex {
 
   void Lock() OIB_ACQUIRE() {
     internal::OnAcquire(&mu_, rank_, name_);
+#if OIB_LOCK_PROFILE
+    if (prof::Enabled()) {
+      if (mu_.try_lock()) return;  // uncontended: one atomic, no stats
+      uint64_t t0 = prof::NowNanos();
+      mu_.lock();
+      uint64_t t1 = prof::NowNanos();
+      prof::RecordWait(rank_, t1 - t0);
+      hold_start_ns_ = t1;
+      return;
+    }
+#endif
     mu_.lock();
   }
   bool TryLock() OIB_TRY_ACQUIRE(true) {
@@ -230,11 +345,27 @@ class OIB_CAPABILITY("shared_mutex") SharedMutex {
   }
   void Unlock() OIB_RELEASE() {
     internal::OnRelease(&mu_, name_);
+#if OIB_LOCK_PROFILE
+    if (hold_start_ns_ != 0) {
+      prof::RecordHold(rank_, prof::NowNanos() - hold_start_ns_);
+      hold_start_ns_ = 0;
+    }
+#endif
     mu_.unlock();
   }
 
   void LockShared() OIB_ACQUIRE_SHARED() {
     internal::OnAcquire(&mu_, rank_, name_);
+#if OIB_LOCK_PROFILE
+    // Shared acquisitions record wait only (see the prof file comment).
+    if (prof::Enabled()) {
+      if (mu_.try_lock_shared()) return;
+      uint64_t t0 = prof::NowNanos();
+      mu_.lock_shared();
+      prof::RecordWait(rank_, prof::NowNanos() - t0);
+      return;
+    }
+#endif
     mu_.lock_shared();
   }
   bool TryLockShared() OIB_TRY_ACQUIRE_SHARED(true) {
@@ -253,6 +384,10 @@ class OIB_CAPABILITY("shared_mutex") SharedMutex {
 
  private:
   std::shared_mutex mu_;
+#if OIB_LOCK_PROFILE
+  // See Mutex::hold_start_ns_; tracks exclusive holds only.
+  uint64_t hold_start_ns_ = 0;
+#endif
   const LockRank rank_;
   const char* const name_;
 };

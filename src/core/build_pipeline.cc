@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <string>
 #include <thread>
 
 #include "common/coding.h"
@@ -217,6 +218,7 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
     workers.reserve(parts);
     for (size_t k = 0; k < parts; ++k) {
       workers.emplace_back([&, k] {
+        obs::SetCurrentThreadName("build.scan." + std::to_string(k));
         worker_status[k] = work(k);
         if (!worker_status[k].ok()) {
           stop.store(true, std::memory_order_relaxed);
@@ -249,6 +251,10 @@ Status BuildPipeline::MergeToConsumer(
   // nothing was pulled.  The counters snapshot identifies the position
   // *after* the batch (§5.2), i.e. the consumer's checkpoint.
   auto fill = [&](Batch* b) -> StatusOr<bool> {
+    // Per-batch span on the filling thread's track: in overlapped mode
+    // the Perfetto view shows build.merge (producer) and build.consume
+    // (loader) interleaving instead of alternating.
+    obs::ScopedSpan span(&obs::Tracer::Default(), "build.merge");
     auto t0 = std::chrono::steady_clock::now();
     b->items.clear();
     b->items.reserve(batch_keys);
@@ -261,6 +267,7 @@ Status BuildPipeline::MergeToConsumer(
     }
     b->counters = cursor->counters();
     local.merge_busy_ms += MsSince(t0);
+    span.set_arg(b->items.size());
     return !b->items.empty();
   };
 
@@ -275,7 +282,11 @@ Status BuildPipeline::MergeToConsumer(
       }
       if (!*more) break;
       auto t0 = std::chrono::steady_clock::now();
-      status = consume(b);
+      {
+        obs::ScopedSpan span(&obs::Tracer::Default(), "build.consume",
+                             b.items.size());
+        status = consume(b);
+      }
       local.consume_busy_ms += MsSince(t0);
       if (!status.ok()) break;
       if (b.items.size() < batch_keys) break;  // stream ended mid-batch
@@ -295,6 +306,7 @@ Status BuildPipeline::MergeToConsumer(
     Status producer_status;
 
     std::thread producer([&] {
+      obs::SetCurrentThreadName("build.merge");
       for (;;) {
         Batch b;
         auto more = fill(&b);
@@ -333,7 +345,11 @@ Status BuildPipeline::MergeToConsumer(
         can_push.NotifyAll();
       }
       auto t0 = std::chrono::steady_clock::now();
-      status = consume(b);
+      {
+        obs::ScopedSpan span(&obs::Tracer::Default(), "build.consume",
+                             b.items.size());
+        status = consume(b);
+      }
       local.consume_busy_ms += MsSince(t0);
       if (!status.ok()) break;
     }

@@ -38,6 +38,10 @@ void Engine::WireUp() {
   locks_.AttachMetrics(registry);
   env_->log.AttachMetrics(registry);
   records_.AttachMetrics(registry);
+
+  // Sticky-on: the profiler is process-wide, so an engine opened with the
+  // flag clear must not silently disable another engine's profiling.
+  if (options_.obs_lock_profile) sync::prof::SetEnabled(true);
 }
 
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,

@@ -480,6 +480,11 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   // ---- Phase 3: side-file application (3.2.5).
   build->SetPhase(obs::BuildPhase::kApply);
   obs::ScopedSpan apply_span(tracer, "sf.apply");
+  // Cumulative mirror of build->side_file_applied: paired with
+  // records.side_file_appends it lets the time-series sampler plot the
+  // side-file backlog without holding a reference to this build.
+  obs::Counter* applied_counter =
+      obs::MetricsRegistry::Default().GetCounter("sidefile.applied");
   uint32_t applying_idx = 0;
   PageId cur_page = kInvalidPageId;
   SlotId cur_slot = 0;
@@ -571,6 +576,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         ++applied;
         ++local.side_file_applied;
         build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
+        applied_counter->Inc();
       }
       OIB_RETURN_IF_ERROR(engine_->Commit(txn));
       ++local.commits;
@@ -610,6 +616,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         ++applied;
         ++local.side_file_applied;
         build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
+        applied_counter->Inc();
       }
       since_commit += *got;
       if (since_commit >= options.sf_apply_batch) {
@@ -679,6 +686,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           }
           ++local.side_file_applied;
           build->side_file_applied.fetch_add(1, std::memory_order_relaxed);
+          applied_counter->Inc();
         }
       }
       OIB_RETURN_IF_ERROR(catalog->SetIndexReady(ids[idx]));

@@ -177,6 +177,7 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
   ++stats->commits;
   stats->Add(txn_stats);
   ops_done_.fetch_add(txn_stats.ops());
+  ops_counter_->Inc(txn_stats.ops());
 
   // Apply staged shard changes (descending index order for removals).
   std::sort(removed_idx.rbegin(), removed_idx.rend());
@@ -191,6 +192,7 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
 }
 
 void Workload::WorkerLoop(uint32_t worker, uint64_t op_budget) {
+  obs::SetCurrentThreadName("workload." + std::to_string(worker));
   Random rng(options_.seed + worker * 7919 + 1);
   WorkloadStats& stats = thread_stats_[worker];
   uint64_t done = 0;

@@ -80,6 +80,9 @@ class Workload {
     update_ns_ = reg.GetHistogram("workload.update_ns");
     read_ns_ = reg.GetHistogram("workload.read_ns");
     commit_ns_ = reg.GetHistogram("workload.commit_ns");
+    // Committed-op counter mirrored into the registry so the time-series
+    // sampler can derive update throughput per tick without a Workload ref.
+    ops_counter_ = reg.GetCounter("workload.ops");
   }
 
   ~Workload();
@@ -128,6 +131,7 @@ class Workload {
   obs::Histogram* update_ns_ = nullptr;
   obs::Histogram* read_ns_ = nullptr;
   obs::Histogram* commit_ns_ = nullptr;
+  obs::Counter* ops_counter_ = nullptr;
 
   std::vector<Shard> shards_;
   std::vector<std::thread> threads_;

@@ -1,8 +1,11 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <string>
 
 namespace oib {
 namespace obs {
@@ -119,6 +122,11 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::RawNumber(std::string_view v) {
+  MaybeComma();
+  out_ += v;
+}
+
 std::string RenderMetricsTable(const MetricsSnapshot& snapshot) {
   std::string out;
   char line[256];
@@ -198,6 +206,221 @@ void SpansToJson(const std::vector<Span>& spans, JsonWriter* w) {
     w->EndObject();
   }
   w->EndObject();
+}
+
+namespace {
+
+void HistogramSummaryToJson(const HistogramSnapshot& h, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("count");
+  w->Value(h.count);
+  w->Key("total_ns");
+  w->Value(h.sum);
+  w->Key("p50_ns");
+  w->Value(h.Percentile(50));
+  w->Key("p99_ns");
+  w->Value(h.Percentile(99));
+  w->Key("max_ns");
+  w->Value(h.max);
+  w->EndObject();
+}
+
+uint64_t GetCounter(const std::map<std::string, uint64_t>& counters,
+                    const std::string& name) {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+// Counter deltas are clamped at zero: a MetricsRegistry::ResetAll between
+// two ticks must read as "no progress", not a negative rate.
+uint64_t ClampedDelta(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+}  // namespace
+
+void LockContentionToJson(const std::vector<LockRankContention>& ranks,
+                          JsonWriter* w) {
+  std::vector<const LockRankContention*> order;
+  order.reserve(ranks.size());
+  for (const LockRankContention& r : ranks) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const LockRankContention* a, const LockRankContention* b) {
+              return a->wait_ns.sum > b->wait_ns.sum;
+            });
+  w->BeginObject();
+  w->Key("enabled");
+  w->Value(LockProfileEnabled());
+  w->Key("ranks");
+  w->BeginObject();
+  for (const LockRankContention* r : order) {
+    w->Key(r->name);
+    w->BeginObject();
+    w->Key("rank");
+    w->Value(static_cast<uint64_t>(r->rank));
+    w->Key("waits");
+    w->Value(r->waits);
+    w->Key("wait");
+    HistogramSummaryToJson(r->wait_ns, w);
+    w->Key("hold");
+    HistogramSummaryToJson(r->hold_ns, w);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+void TimeseriesToJson(const std::vector<StatsSampler::Sample>& samples,
+                      uint64_t interval_ms, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("interval_ms");
+  w->Value(interval_ms);
+  w->Key("samples");
+  w->BeginArray();
+  const StatsSampler::Sample* prev = nullptr;
+  for (const StatsSampler::Sample& s : samples) {
+    double dt_ms = prev != nullptr ? s.t_ms - prev->t_ms : s.t_ms;
+    w->BeginObject();
+    w->Key("t_ms");
+    w->Value(s.t_ms);
+
+    uint64_t ops = GetCounter(s.counters, "workload.ops");
+    uint64_t dops =
+        prev != nullptr
+            ? ClampedDelta(ops, GetCounter(prev->counters, "workload.ops"))
+            : ops;
+    w->Key("ops");
+    w->Value(ops);
+    w->Key("update_ops_per_sec");
+    w->Value(dt_ms > 0 ? static_cast<double>(dops) * 1000.0 / dt_ms : 0.0);
+
+    uint64_t reserved = GetCounter(s.counters, "wal.reserved_bytes");
+    uint64_t flushed = GetCounter(s.counters, "wal.flushed_bytes");
+    w->Key("wal_lag_bytes");
+    w->Value(reserved >= flushed ? reserved - flushed : 0);
+
+    uint64_t appended = GetCounter(s.counters, "records.side_file_appends");
+    uint64_t applied = GetCounter(s.counters, "sidefile.applied");
+    w->Key("side_file_backlog");
+    w->Value(appended >= applied ? appended - applied : 0);
+
+    // Per-shard hit rate over this window; null when a shard saw no
+    // traffic (0/0 is "no data", not 0% or 100%).
+    w->Key("bp_hit_rate");
+    w->BeginArray();
+    for (size_t i = 0;; ++i) {
+      std::string prefix = "bufferpool.shard" + std::to_string(i);
+      auto it = s.counters.find(prefix + ".hits");
+      if (it == s.counters.end()) break;
+      uint64_t hits = it->second;
+      uint64_t misses = GetCounter(s.counters, prefix + ".misses");
+      uint64_t dh = prev != nullptr
+                        ? ClampedDelta(hits, GetCounter(prev->counters,
+                                                        prefix + ".hits"))
+                        : hits;
+      uint64_t dm = prev != nullptr
+                        ? ClampedDelta(misses, GetCounter(prev->counters,
+                                                          prefix + ".misses"))
+                        : misses;
+      if (dh + dm == 0) {
+        w->Null();
+      } else {
+        w->Value(static_cast<double>(dh) / static_cast<double>(dh + dm));
+      }
+    }
+    w->EndArray();
+    w->EndObject();
+    prev = &s;
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string TraceToChromeJson(const std::vector<Span>& spans,
+                              uint64_t dropped) {
+  // Rebase timestamps so ts stays small enough for ns precision to
+  // survive the fixed %.3f microsecond format.
+  uint64_t base = 0;
+  if (!spans.empty()) {
+    base = spans.front().start_ns;
+    for (const Span& s : spans) base = std::min(base, s.start_ns);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.Value("ns");
+  w.Key("otherData");
+  w.BeginObject();
+  w.Key("span_count");
+  w.Value(static_cast<uint64_t>(spans.size()));
+  w.Key("dropped_spans");
+  w.Value(dropped);
+  w.EndObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name");
+  w.Value("process_name");
+  w.Key("ph");
+  w.Value("M");
+  w.Key("pid");
+  w.Value(static_cast<uint64_t>(1));
+  w.Key("tid");
+  w.Value(static_cast<uint64_t>(0));
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.Value("oib");
+  w.EndObject();
+  w.EndObject();
+  for (const auto& [tid, name] : ThreadNames()) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value("thread_name");
+    w.Key("ph");
+    w.Value("M");
+    w.Key("pid");
+    w.Value(static_cast<uint64_t>(1));
+    w.Key("tid");
+    w.Value(static_cast<uint64_t>(tid));
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.Value(name);
+    w.EndObject();
+    w.EndObject();
+  }
+  char num[32];
+  for (const Span& s : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.Value(s.name);
+    w.Key("ph");
+    w.Value("X");
+    w.Key("pid");
+    w.Value(static_cast<uint64_t>(1));
+    w.Key("tid");
+    w.Value(static_cast<uint64_t>(s.tid));
+    w.Key("ts");
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(s.start_ns - base) / 1000.0);
+    w.RawNumber(num);
+    w.Key("dur");
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(s.duration_ns()) / 1000.0);
+    w.RawNumber(num);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("arg");
+    w.Value(s.arg);
+    w.Key("seq");
+    w.Value(s.seq);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 Status WriteStringToFile(const std::string& path, const std::string& data) {

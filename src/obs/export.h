@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace oib {
@@ -32,6 +34,9 @@ class JsonWriter {
   void Value(double v);  // non-finite values emitted as null
   void Value(bool v);
   void Null();
+  // Emits a pre-formatted numeric token verbatim (for callers that need a
+  // fixed decimal format, e.g. microsecond timestamps with ns precision).
+  void RawNumber(std::string_view v);
 
   const std::string& str() const { return out_; }
 
@@ -55,6 +60,27 @@ void MetricsToJson(const MetricsSnapshot& snapshot, JsonWriter* w);
 
 // Emits {"name":{"count":..,"total_ns":..,"max_ns":..},..} per span name.
 void SpansToJson(const std::vector<Span>& spans, JsonWriter* w);
+
+// Emits {"enabled":bool,"ranks":{name:{rank,waits,wait:{count,total_ns,
+// p50_ns,p99_ns,max_ns},hold:{...}}}} — the per-LockRank contention
+// profile (obs/lock_profile.h), ranks ordered by total wait descending.
+void LockContentionToJson(const std::vector<LockRankContention>& ranks,
+                          JsonWriter* w);
+
+// Emits {"interval_ms":..,"samples":[{"t_ms":..,"update_ops_per_sec":..,
+// "wal_lag_bytes":..,"side_file_backlog":..,"bp_hit_rate":[per shard],
+// ...},..]} derived from consecutive sampler ticks.  Rate deltas are
+// clamped at zero so a mid-run MetricsRegistry::ResetAll cannot produce
+// negative throughput.
+void TimeseriesToJson(const std::vector<StatsSampler::Sample>& samples,
+                      uint64_t interval_ms, JsonWriter* w);
+
+// Renders `spans` as a Chrome trace_event JSON document (loadable in
+// ui.perfetto.dev / chrome://tracing): one "X" complete event per span on
+// its emitting thread's track, plus thread_name metadata from
+// ThreadNames() and a "dropped_spans" count in the top-level metadata.
+std::string TraceToChromeJson(const std::vector<Span>& spans,
+                              uint64_t dropped);
 
 Status WriteStringToFile(const std::string& path, const std::string& data);
 

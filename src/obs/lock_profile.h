@@ -1,0 +1,50 @@
+// Per-rank lock-contention profile: the read side of the sync::prof
+// hooks (common/sync.h).
+//
+// Every contended blocking acquisition of a sync::Mutex / sync::SharedMutex
+// records its wait time into a per-LockRank log-scaled histogram, and the
+// exclusive hold that follows records its duration on release.  Because
+// PR 4 gave every mutex in the engine a rank, a rank is a subsystem:
+// "WalFlush waited 40 ms total, p99 900 us" attributes latency to the WAL
+// group-commit path without any per-call-site instrumentation.
+//
+// Recording is lock-free (atomic histogram cells in static storage) and
+// gated by Options::obs_lock_profile / sync::prof::SetEnabled.  Building
+// with OIB_NO_LOCK_PROFILE compiles the hooks out entirely; Collect()
+// then reports enabled=false and no ranks.
+
+#ifndef OIB_OBS_LOCK_PROFILE_H_
+#define OIB_OBS_LOCK_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace oib {
+namespace obs {
+
+// One rank's accumulated contention since the last ResetLockProfile().
+struct LockRankContention {
+  sync::LockRank rank;
+  const char* name = nullptr;       // LockRankName(rank)
+  uint64_t waits = 0;               // contended blocking acquisitions
+  HistogramSnapshot wait_ns;        // per-wait blocked time
+  HistogramSnapshot hold_ns;        // exclusive holds after a contended wait
+};
+
+// True when the profiler is compiled in AND currently enabled.
+bool LockProfileEnabled();
+
+// Ranks with at least one recorded wait, ascending by rank.
+std::vector<LockRankContention> CollectLockProfile();
+
+// Zeroes every rank's counters and histograms.  Best-effort under
+// concurrent recording (benches call it between measurement windows).
+void ResetLockProfile();
+
+}  // namespace obs
+}  // namespace oib
+
+#endif  // OIB_OBS_LOCK_PROFILE_H_

@@ -1,0 +1,107 @@
+#include "obs/sampler.h"
+
+#include <utility>
+
+namespace oib {
+namespace obs {
+
+StatsSampler::StatsSampler(MetricsRegistry* registry, uint64_t interval_ms,
+                           size_t capacity)
+    : registry_(registry),
+      interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+      capacity_(capacity == 0 ? 1 : capacity),
+      start_(std::chrono::steady_clock::now()) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  {
+    sync::MutexLock lock(&mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  start_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsSampler::Stop() {
+  {
+    sync::MutexLock lock(&mu_);
+    if (!running_) return;
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  thread_.join();
+  sync::MutexLock lock(&mu_);
+  running_ = false;
+}
+
+bool StatsSampler::running() const {
+  sync::MutexLock lock(&mu_);
+  return running_;
+}
+
+void StatsSampler::SampleNow() { Push(Collect()); }
+
+std::vector<StatsSampler::Sample> StatsSampler::Samples() const {
+  sync::MutexLock lock(&mu_);
+  return std::vector<Sample>(ring_.begin(), ring_.end());
+}
+
+void StatsSampler::Clear() {
+  sync::MutexLock lock(&mu_);
+  ring_.clear();
+}
+
+void StatsSampler::Loop() {
+  auto next = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(interval_ms_);
+  for (;;) {
+    {
+      sync::MutexLock lock(&mu_);
+      while (!stop_ && std::chrono::steady_clock::now() < next) {
+        cv_.WaitUntil(mu_, next);
+      }
+      if (stop_) break;
+    }
+    // Snapshot outside mu_: TakeSnapshot takes the registry lock (kObs)
+    // and runs value callbacks; holding the sampler lock across it would
+    // stall Stop() for the whole collection.
+    Push(Collect());
+    next += std::chrono::milliseconds(interval_ms_);
+    // If collection overran the interval, skip ahead rather than firing a
+    // burst of back-to-back samples.
+    auto now = std::chrono::steady_clock::now();
+    if (next < now) next = now + std::chrono::milliseconds(interval_ms_);
+  }
+  // Final sample on the way out so a run shorter than one interval still
+  // reports at least one point.
+  Push(Collect());
+}
+
+void StatsSampler::Push(Sample sample) {
+  sync::MutexLock lock(&mu_);
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+StatsSampler::Sample StatsSampler::Collect() const {
+  Sample s;
+  s.t_ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+               .count();
+  MetricsSnapshot snap = registry_->TakeSnapshot();
+  s.counters = std::move(snap.counters);
+  for (const auto& [name, g] : snap.gauges) s.gauges[name] = g;
+  // Histograms are folded to count/sum: enough to derive per-window rates
+  // and mean latencies without storing 252 buckets per tick.
+  for (const auto& [name, h] : snap.histograms) {
+    s.counters[name + ".count"] = h.count;
+    s.counters[name + ".sum"] = h.sum;
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace oib

@@ -1,0 +1,89 @@
+// StatsSampler: a background thread that snapshots a MetricsRegistry at a
+// fixed interval into a bounded in-memory time series.
+//
+// Point-in-time bench numbers (one snapshot at the end of a build) cannot
+// say *when* the WAL ring backed up or which phase starved the buffer
+// pool; the sampler turns the registry into a per-tick series so every
+// BENCH_*.json gains a "timeseries" section (update throughput, WAL
+// flushed-LSN lag, per-shard buffer-pool hit rate, side-file backlog —
+// see obs::TimeseriesToJson) alongside the end-of-run totals.
+//
+// Each tick stores every counter and gauge plus the count/sum of every
+// histogram (enough to derive rates and mean latencies per window)
+// tagged with milliseconds since Start().  The ring keeps the most
+// recent `capacity` samples.  Start/Stop are idempotent; Stop takes one
+// final sample so even a sub-interval run reports at least one point.
+
+#ifndef OIB_OBS_SAMPLER_H_
+#define OIB_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace oib {
+namespace obs {
+
+class StatsSampler {
+ public:
+  struct Sample {
+    double t_ms = 0;  // since Start() (0 for SampleNow before any Start)
+    std::map<std::string, uint64_t> counters;  // + histogram .count/.sum
+    std::map<std::string, int64_t> gauges;
+  };
+
+  explicit StatsSampler(MetricsRegistry* registry, uint64_t interval_ms = 100,
+                        size_t capacity = 4096);
+  ~StatsSampler();  // stops the thread if still running
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  // Idempotent: a second Start while running is a no-op; Start after Stop
+  // resumes sampling (the ring is kept).
+  void Start();
+  // Idempotent (including before any Start): stops the thread after one
+  // final sample and joins it.
+  void Stop();
+  bool running() const;
+
+  // Takes one sample immediately on the calling thread (works whether or
+  // not the background thread is running).
+  void SampleNow();
+
+  uint64_t interval_ms() const { return interval_ms_; }
+
+  // Oldest first.
+  std::vector<Sample> Samples() const;
+  void Clear();
+
+ private:
+  void Loop();
+  void Push(Sample sample);
+  Sample Collect() const;  // snapshots the registry (no sampler lock held)
+
+  MetricsRegistry* const registry_;
+  const uint64_t interval_ms_;
+  const size_t capacity_;
+
+  mutable sync::Mutex mu_{sync::LockRank::kStatsSampler, "obs.sampler.mu"};
+  sync::CondVar cv_;
+  bool running_ OIB_GUARDED_BY(mu_) = false;
+  bool stop_ OIB_GUARDED_BY(mu_) = false;
+  std::deque<Sample> ring_ OIB_GUARDED_BY(mu_);
+
+  std::thread thread_;  // accessed only by Start/Stop callers
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace oib
+
+#endif  // OIB_OBS_SAMPLER_H_

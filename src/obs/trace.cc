@@ -6,6 +6,8 @@
 #include <cstring>
 #include <map>
 
+#include "common/sync.h"
+
 namespace oib {
 namespace obs {
 
@@ -16,8 +18,44 @@ uint64_t MonotonicNanos() {
           .count());
 }
 
+uint32_t CurrentThreadTid() {
+  static std::atomic<uint32_t> next_tid{0};
+  thread_local uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tid;
+}
+
+namespace {
+
+struct ThreadNameTable {
+  sync::Mutex mu{sync::LockRank::kObs, "trace.thread_names_mu"};
+  std::map<uint32_t, std::string> names OIB_GUARDED_BY(mu);
+};
+
+ThreadNameTable& NameTable() {
+  static ThreadNameTable* table = new ThreadNameTable();
+  return *table;
+}
+
+}  // namespace
+
+void SetCurrentThreadName(const std::string& name) {
+  ThreadNameTable& table = NameTable();
+  sync::MutexLock lock(&table.mu);
+  table.names[CurrentThreadTid()] = name;
+}
+
+std::vector<std::pair<uint32_t, std::string>> ThreadNames() {
+  ThreadNameTable& table = NameTable();
+  sync::MutexLock lock(&table.mu);
+  return {table.names.begin(), table.names.end()};
+}
+
 Tracer& Tracer::Default() {
-  static Tracer* global = new Tracer(4096);
+  // Sized so one full build run (a few thousand phase spans plus one span
+  // per WAL group-commit batch) fits without wrapping — an evicted load
+  // phase would make exported traces show only the tail of the run.
+  static Tracer* global = new Tracer(32768);
   return *global;
 }
 
@@ -40,6 +78,7 @@ void Tracer::Record(const char* name, uint64_t start_ns, uint64_t end_ns,
   slot.start_ns = start_ns;
   slot.end_ns = end_ns;
   slot.arg = arg;
+  slot.tid = CurrentThreadTid();
   slot.seq.store(ticket, std::memory_order_release);
 }
 
@@ -56,6 +95,7 @@ std::vector<Span> Tracer::Snapshot() const {
     span.start_ns = slot.start_ns;
     span.end_ns = slot.end_ns;
     span.arg = slot.arg;
+    span.tid = slot.tid;
     uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
     if (seq1 != seq2) continue;  // torn by a concurrent writer: drop
     out.push_back(span);

@@ -26,12 +26,26 @@ namespace obs {
 
 uint64_t MonotonicNanos();
 
+// Dense 1-based id of the calling thread, assigned on first use.  Stable
+// for the thread's lifetime; used as the Perfetto track id so traces get
+// small, readable tids instead of OS handles.
+uint32_t CurrentThreadTid();
+
+// Names the calling thread's track in exported traces ("build.merge",
+// "wal.flush", ...).  Last call wins; names are process-global and
+// survive Tracer::Reset.
+void SetCurrentThreadName(const std::string& name);
+
+// tid -> name for every thread that called SetCurrentThreadName.
+std::vector<std::pair<uint32_t, std::string>> ThreadNames();
+
 struct Span {
   uint64_t seq = 0;  // 1-based global ticket; higher = more recent
   char name[32] = {};
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
-  uint64_t arg = 0;  // span-defined payload (batch size, page id, ...)
+  uint64_t arg = 0;   // span-defined payload (batch size, page id, ...)
+  uint32_t tid = 0;   // CurrentThreadTid() of the emitting thread
 
   uint64_t duration_ns() const { return end_ns - start_ns; }
 };
@@ -59,6 +73,15 @@ class Tracer {
   }
   size_t capacity() const { return mask_ + 1; }
 
+  // Spans evicted by ring wrap-around since construction/Reset.  Exact at
+  // quiescent points; a lower bound while writers are racing (a ticket is
+  // counted as dropped once `recorded` passes it by `capacity`).
+  uint64_t dropped() const {
+    uint64_t n = recorded();
+    size_t cap = capacity();
+    return n > cap ? n - cap : 0;
+  }
+
   // Not safe against concurrent writers; call only at quiescent points
   // (between bench runs / tests).
   void Reset();
@@ -70,6 +93,7 @@ class Tracer {
     uint64_t start_ns = 0;
     uint64_t end_ns = 0;
     uint64_t arg = 0;
+    uint32_t tid = 0;
   };
 
   std::unique_ptr<Slot[]> ring_;

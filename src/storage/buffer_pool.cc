@@ -122,6 +122,19 @@ void BufferPool::AttachMetrics(obs::MetricsRegistry* registry) {
       "bufferpool.misses", [this] { return misses(); }, this);
   registry->RegisterValueFn(
       "bufferpool.evictions", [this] { return evictions(); }, this);
+  // Per-shard cells so the time-series sampler can plot the hit rate of
+  // each lock domain separately (a single hot shard hides behind the sum).
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    std::string prefix = "bufferpool.shard" + std::to_string(i);
+    registry->RegisterValueFn(
+        prefix + ".hits", [shard] { return shard->hits.value(); }, this);
+    registry->RegisterValueFn(
+        prefix + ".misses", [shard] { return shard->misses.value(); }, this);
+    registry->RegisterValueFn(
+        prefix + ".evictions", [shard] { return shard->evictions.value(); },
+        this);
+  }
 }
 
 StatusOr<ReadPageGuard> BufferPool::FetchRead(PageId page_id) {

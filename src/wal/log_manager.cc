@@ -27,6 +27,15 @@ void LogManager::AttachMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterValueFn(
       "wal.flushes",
       [this] { return flushes_.load(std::memory_order_relaxed); }, this);
+  // Reserved vs flushed byte positions: their difference is the flushed-LSN
+  // lag (bytes appended but not yet durable), the quantity the time-series
+  // sampler plots to show WAL backpressure over a build.
+  registry->RegisterValueFn(
+      "wal.reserved_bytes",
+      [this] { return reserved_.load(std::memory_order_relaxed); }, this);
+  registry->RegisterValueFn(
+      "wal.flushed_bytes",
+      [this] { return flushed_.load(std::memory_order_relaxed); }, this);
   registry->RegisterHistogram("wal.append_ns", &append_ns_, this);
   registry->RegisterHistogram("wal.flush_ns", &flush_ns_, this);
 }
@@ -91,10 +100,18 @@ Status LogManager::Append(LogRecord* rec) {
   // 4. Publish via a per-slot seal.  Ticket order tracks reservation order
   // closely (both are fetch-adds in the same function), so the drain's
   // in-ticket-order consumption rarely buffers out-of-order ranges.
+  // Claiming must be atomic (CAS, not load-then-store): see the SealSlot
+  // comment — two sealers one lap apart may otherwise both observe the
+  // slot free and tear each other's start/end writes.
   const uint64_t ticket = seal_seq_.fetch_add(1, std::memory_order_relaxed);
   SealSlot& slot = slots_[static_cast<size_t>(ticket) & (kSealSlots - 1)];
-  while (slot.start_p1.load(std::memory_order_acquire) != 0) {
-    // Lapped: the occupant from `ticket - kSealSlots` is not consumed yet.
+  uint64_t expected = 0;
+  while (!slot.start_p1.compare_exchange_weak(expected, kSlotClaimed,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+    // Lapped: the occupant from `ticket - kSealSlots` is not consumed yet
+    // (or its sealer is mid-publication).  Help drain until it frees up.
+    expected = 0;
     TryDrain();
   }
   slot.end = end;
@@ -128,7 +145,8 @@ void LogManager::ConsumeSealedLocked() {
   while (true) {
     SealSlot& slot = slots_[static_cast<size_t>(consume_seq_) & (kSealSlots - 1)];
     uint64_t start_p1 = slot.start_p1.load(std::memory_order_acquire);
-    if (start_p1 == 0) break;  // next ticket not sealed yet
+    // Not sealed yet: free, or claimed with fields still being written.
+    if (start_p1 == 0 || start_p1 == kSlotClaimed) break;
     pending_.emplace(start_p1 - 1, slot.end);
     slot.start_p1.store(0, std::memory_order_release);
     ++consume_seq_;
@@ -198,8 +216,12 @@ Status LogManager::Flush(Lsn lsn) {
   uint64_t flushed = flushed_.load(std::memory_order_relaxed);
   if (flushed >= target) return Status::OK();
   {
+    // One span per group-commit batch, on the leader's track; arg = bytes
+    // made durable (set below once the drain publishes the boundary).
+    obs::ScopedSpan batch_span(&obs::Tracer::Default(), "wal.flush_batch");
     sync::MutexLock dg(&drain_mu_);
     DrainUntilLocked(target);
+    batch_span.set_arg(drained_.load(std::memory_order_relaxed) - flushed);
     // Group commit: publish everything drained, not just the target, so
     // committers queued behind this leader find their records durable.
     flushed_.store(drained_.load(std::memory_order_relaxed),

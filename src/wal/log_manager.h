@@ -121,8 +121,18 @@ class LogManager {
   // itself on some hosts, so the untimed path pays only this relaxed tick.
   static constexpr uint64_t kAppendSampleMask = 63;
 
-  // One published reservation: start_p1 == record start offset + 1
-  // (0 = slot free), end written before the release store to start_p1.
+  // One published reservation.  start_p1 moves through
+  //   0 (free) -> kSlotClaimed (claimed, fields not yet valid)
+  //     -> start offset + 1 (sealed; end was written before the release
+  //        store) -> 0 (consumed).
+  // The claim step must be a CAS, not a load-then-store: a sealer that is
+  // preempted between observing "free" and publishing would otherwise let
+  // the next lap's sealer (same slot, ticket + kSealSlots) observe "free"
+  // too, and their unsynchronized field writes can interleave into a torn
+  // (start of lap N, end of lap N+1) range — which, once consumed, jumps
+  // drained_ a whole lap forward past ranges still buffered in pending_,
+  // wedging every later drain.
+  static constexpr uint64_t kSlotClaimed = ~uint64_t{0};
   struct SealSlot {
     std::atomic<uint64_t> start_p1{0};
     uint64_t end = 0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -89,6 +91,50 @@ TEST(HistogramTest, PercentileOfSingleValue) {
   EXPECT_EQ(s.Percentile(0), 42u);
   EXPECT_EQ(s.Percentile(50), 42u);
   EXPECT_EQ(s.Percentile(100), 42u);
+}
+
+TEST(HistogramTest, PercentileInterpolationTracksSortedReference) {
+  // Exactness check against a sorted reference: for every percentile the
+  // interpolated readout must stay within the layout's error bound.  The
+  // estimate and the true nearest-rank value always land in the same
+  // log-scaled bucket, whose relative width is <= 25% (kSubBits = 2), so
+  // the bound is deterministic for any input distribution.
+  auto check = [](const std::vector<uint64_t>& values, const char* what) {
+    Histogram h;
+    for (uint64_t v : values) h.Record(v);
+    std::vector<uint64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    HistogramSnapshot s = h.Snapshot();
+    for (int p = 1; p <= 99; ++p) {
+      // Same nearest-rank convention as HistogramSnapshot::Percentile.
+      uint64_t rank = static_cast<uint64_t>(p / 100.0 * sorted.size());
+      if (rank < 1) rank = 1;
+      uint64_t truth = sorted[rank - 1];
+      uint64_t est = s.Percentile(p);
+      double err =
+          truth == 0
+              ? static_cast<double>(est)
+              : std::fabs(static_cast<double>(est) - static_cast<double>(truth)) /
+                    static_cast<double>(truth);
+      EXPECT_LE(err, 0.25) << what << " p" << p << ": estimate " << est
+                           << " vs reference " << truth;
+    }
+    EXPECT_EQ(s.Percentile(100), sorted.back());
+  };
+
+  std::vector<uint64_t> uniform;
+  for (uint64_t v = 1; v <= 1000; ++v) uniform.push_back(v);
+  check(uniform, "uniform");
+
+  std::vector<uint64_t> squares;  // quadratic spread across many octaves
+  for (uint64_t i = 1; i <= 500; ++i) squares.push_back(i * i);
+  check(squares, "squares");
+
+  std::vector<uint64_t> lumpy;  // heavy repeats piled into few buckets
+  for (uint64_t i = 0; i < 600; ++i) lumpy.push_back(100);
+  for (uint64_t i = 0; i < 300; ++i) lumpy.push_back(10000 + i * 7);
+  for (uint64_t i = 0; i < 100; ++i) lumpy.push_back(1u << (10 + i % 10));
+  check(lumpy, "lumpy");
 }
 
 TEST(CounterTest, ConcurrentIncrementsAreExact) {

@@ -1,0 +1,116 @@
+// StatsSampler tests: background ticking, idempotent start/stop (and
+// stop-before-start), the guaranteed final sample, histogram folding,
+// and ring capacity bounds.
+
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace oib {
+namespace obs {
+namespace {
+
+TEST(StatsSamplerTest, BackgroundThreadCollectsTicks) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  StatsSampler sampler(&reg, /*interval_ms=*/5);
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  c->Inc(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+
+  std::vector<StatsSampler::Sample> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);  // several 5 ms ticks fit in 60 ms
+  // Monotonic timestamps, and the final sample sees the counter.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_ms, samples[i - 1].t_ms);
+  }
+  EXPECT_EQ(samples.back().counters.at("test.counter"), 10u);
+}
+
+TEST(StatsSamplerTest, StopBeforeStartAndDoubleStopAreSafe) {
+  MetricsRegistry reg;
+  StatsSampler sampler(&reg, 10);
+  sampler.Stop();  // never started: no-op
+  EXPECT_FALSE(sampler.running());
+  sampler.Start();
+  sampler.Start();  // already running: no-op
+  sampler.Stop();
+  sampler.Stop();  // already stopped: no-op
+  EXPECT_FALSE(sampler.running());
+  // Start after Stop resumes.
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  sampler.Stop();
+}
+
+TEST(StatsSamplerTest, StopTakesAFinalSampleEvenWithinOneInterval) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.counter")->Inc();
+  // Interval far longer than the test: only the shutdown sample fires.
+  StatsSampler sampler(&reg, /*interval_ms=*/60000);
+  sampler.Start();
+  sampler.Stop();
+  ASSERT_GE(sampler.Samples().size(), 1u);
+  EXPECT_EQ(sampler.Samples().back().counters.at("test.counter"), 1u);
+}
+
+TEST(StatsSamplerTest, DestructorStopsARunningSampler) {
+  MetricsRegistry reg;
+  {
+    StatsSampler sampler(&reg, 5);
+    sampler.Start();
+  }  // must join without deadlock or crash
+}
+
+TEST(StatsSamplerTest, SampleNowWorksWithoutBackgroundThread) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  StatsSampler sampler(&reg, 100);
+  c->Inc(3);
+  sampler.SampleNow();
+  c->Inc(4);
+  sampler.SampleNow();
+  std::vector<StatsSampler::Sample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].counters.at("test.counter"), 3u);
+  EXPECT_EQ(samples[1].counters.at("test.counter"), 7u);
+}
+
+TEST(StatsSamplerTest, HistogramsFoldToCountAndSum) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test.lat_ns");
+  h->Record(5);
+  h->Record(7);
+  StatsSampler sampler(&reg, 100);
+  sampler.SampleNow();
+  const StatsSampler::Sample s = sampler.Samples().back();
+  EXPECT_EQ(s.counters.at("test.lat_ns.count"), 2u);
+  EXPECT_EQ(s.counters.at("test.lat_ns.sum"), 12u);
+}
+
+TEST(StatsSamplerTest, RingKeepsOnlyTheNewestCapacitySamples) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  StatsSampler sampler(&reg, 100, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    c->Inc();
+    sampler.SampleNow();
+  }
+  std::vector<StatsSampler::Sample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest evicted: the survivors are ticks 7..10.
+  EXPECT_EQ(samples.front().counters.at("test.counter"), 7u);
+  EXPECT_EQ(samples.back().counters.at("test.counter"), 10u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace oib

@@ -1,14 +1,18 @@
-// Tracer tests: scoped span recording, ring-buffer wraparound, and the
-// per-name aggregation used by exporters.
+// Tracer tests: scoped span recording, ring-buffer wraparound,
+// dropped-span accounting, per-thread tracks, Chrome trace export, and
+// the per-name aggregation used by exporters.
 
 #include "obs/trace.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/export.h"
 
 namespace oib {
 namespace obs {
@@ -103,6 +107,111 @@ TEST(TracerTest, ConcurrentWritersLoseNothingBeforeWrap) {
     EXPECT_FALSE(seen[s.arg]);
     seen[s.arg] = true;
   }
+}
+
+TEST(TracerTest, DroppedCountsRingEvictions) {
+  Tracer tracer(8);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  for (uint64_t i = 0; i < tracer.capacity(); ++i) {
+    tracer.Record("d", i, i + 1);
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);  // exactly full: nothing evicted yet
+  tracer.Record("d", 100, 101);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.Reset();
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, EightConcurrentEmittersWrapWithExactAccounting) {
+  // Well past capacity from 8 threads at once: the ring must end up
+  // internally consistent (unique seqs, bounded size, exact totals) even
+  // though which spans survive is scheduling-dependent.
+  Tracer tracer(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.Record("wrap.mt", 1, 2, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t total = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(tracer.recorded(), total);
+  EXPECT_EQ(tracer.dropped(), total - tracer.capacity());
+
+  std::vector<Span> spans = tracer.Snapshot();
+  EXPECT_FALSE(spans.empty());
+  EXPECT_LE(spans.size(), tracer.capacity());
+  std::set<uint64_t> seqs;
+  for (const Span& s : spans) {
+    EXPECT_GE(s.seq, 1u);
+    EXPECT_LE(s.seq, total);
+    EXPECT_TRUE(seqs.insert(s.seq).second) << "duplicate seq " << s.seq;
+  }
+}
+
+TEST(TracerTest, SpansCarryTheEmittingThreadsTid) {
+  Tracer tracer(16);
+  tracer.Record("from.main", 0, 1);
+  uint32_t main_tid = CurrentThreadTid();
+  uint32_t worker_tid = 0;
+  std::thread th([&] {
+    worker_tid = CurrentThreadTid();
+    tracer.Record("from.worker", 0, 1);
+  });
+  th.join();
+  ASSERT_NE(worker_tid, 0u);
+  EXPECT_NE(worker_tid, main_tid);
+  for (const Span& s : tracer.Snapshot()) {
+    if (std::string(s.name) == "from.main") {
+      EXPECT_EQ(s.tid, main_tid);
+    } else {
+      EXPECT_EQ(s.tid, worker_tid);
+    }
+  }
+}
+
+TEST(TracerTest, ThreadNamesRegisterPerTid) {
+  uint32_t worker_tid = 0;
+  std::thread th([&] {
+    SetCurrentThreadName("trace-test-worker");
+    worker_tid = CurrentThreadTid();
+  });
+  th.join();
+  bool found = false;
+  for (const auto& [tid, name] : ThreadNames()) {
+    if (tid == worker_tid) {
+      EXPECT_EQ(name, "trace-test-worker");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TracerTest, ChromeJsonHasEventsThreadNamesAndDropCount) {
+  Tracer tracer(16);
+  SetCurrentThreadName("trace-test-main");
+  tracer.Record("chrome.span", 1000, 4000, 5);
+  tracer.Record("chrome.later", 2000, 2500);
+  std::string json = TraceToChromeJson(tracer.Snapshot(), tracer.dropped());
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"chrome.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"chrome.later\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace-test-main\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+  // Timestamps are rebased to the earliest span and emitted in
+  // microseconds with ns precision: 1000ns..4000ns -> ts 0, dur 3.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos);
+  // 2000ns start -> 1.000us after the base.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
 }
 
 TEST(TracerTest, AggregateSpansRollsUpPerName) {

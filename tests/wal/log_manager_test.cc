@@ -231,6 +231,56 @@ TEST(LogManagerStressTest, TinyRingForcesDrainUnderConcurrency) {
   EXPECT_EQ(seen, uint64_t{kThreads} * kPerThread);
 }
 
+// Tiny records against the default (large) ring: the ring never exerts
+// backpressure, so sealed-but-unconsumed slots pile up until sealers lap
+// the seal array and must claim slots concurrently with the drain freeing
+// them — the regression surface for the torn-seal race (a sealer preempted
+// between observing a free slot and publishing let the next lap's sealer
+// in, and their interleaved start/end writes produced a range spanning a
+// whole lap, wedging DrainUntilLocked behind unpoppable pending ranges).
+// A racing flusher keeps ConsumeSealedLocked live throughout.  With the
+// bug, this hangs or loses records; with CAS claiming, the log is dense.
+TEST(LogManagerStressTest, SealSlotLappingKeepsRangesIntact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;  // ~31 laps of the 1024 seal slots
+  LogManager log;
+  std::atomic<bool> done{false};
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(log.FlushAll().ok());
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogRecord rec = MakeRec(t + 1, LogRecordType::kUpdate, "s");
+        ASSERT_TRUE(log.Append(&rec).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  done.store(true, std::memory_order_relaxed);
+  flusher.join();
+  ASSERT_TRUE(log.FlushAll().ok());
+  uint64_t seen = 0;
+  Lsn prev = 0;
+  uint64_t next = 1;
+  ASSERT_TRUE(log.ScanDurable(kInvalidLsn, [&](const LogRecord& rec) {
+    EXPECT_GT(rec.lsn, prev);
+    EXPECT_EQ(rec.lsn, next) << "hole or overlap in the drained stream";
+    prev = rec.lsn;
+    std::string payload;
+    rec.SerializeTo(&payload);
+    next = rec.lsn + 4 + payload.size();
+    ++seen;
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(log.next_lsn(), next);
+}
+
 // Appenders race a group-commit flusher; after a crash at whatever
 // boundary the last flush reached, the durable log must be *prefix
 // exact*: every record that starts below flushed_lsn is present and
