@@ -18,6 +18,7 @@
 #include <cstring>
 
 #include "bench/bench_util.h"
+#include "btree/tree_verifier.h"
 
 namespace oib {
 namespace bench {
@@ -62,26 +63,52 @@ void RunOne(const char* algo, uint64_t rows, size_t threads,
     return;
   }
   MustBeConsistent(w.engine.get(), w.table, index);
+  // Key-byte movement through the sort path and final leaf density:
+  // together they quantify what the normalized-key + prefix-compression
+  // format saves end to end.
+  double key_ratio =
+      stats.key_bytes_moved > 0
+          ? static_cast<double>(stats.key_bytes_stored) /
+                static_cast<double>(stats.key_bytes_moved)
+          : 1.0;
+  ClusteringStats clustering;
+  {
+    BTree* tree = w.engine->catalog()->index(index);
+    TreeVerifier tv(tree, w.engine->pool());
+    auto c = tv.Clustering();
+    if (c.ok()) clustering = *c;
+  }
   std::printf(
-      "%-8s %8llu %3zu %10.1f %9.1f %9.1f %9.1f %9.1f %10llu %12llu %8llu\n",
+      "%-8s %8llu %3zu %10.1f %9.1f %9.1f %9.1f %9.1f %10llu %12llu %8llu "
+      "%10llu %6.3f %8.1f\n",
       algo, (unsigned long long)rows, threads, elapsed, stats.scan_ms,
       stats.merge_ms, stats.load_ms, stats.apply_ms,
       (unsigned long long)stats.log_records,
       (unsigned long long)stats.log_bytes,
-      (unsigned long long)stats.sort_runs);
-  report->AddRow(std::string(algo) + "/" + std::to_string(rows) + "/t" +
-                     std::to_string(threads),
-                 {{"rows", static_cast<double>(rows)},
-                  {"threads", static_cast<double>(threads)},
-                  {"total_ms", elapsed},
-                  {"elapsed_ms", stats.elapsed_ms},
-                  {"scan_busy_ms", stats.scan_ms},
-                  {"merge_busy_ms", stats.merge_ms},
-                  {"load_busy_ms", stats.load_ms},
-                  {"apply_ms", stats.apply_ms},
-                  {"log_records", static_cast<double>(stats.log_records)},
-                  {"log_bytes", static_cast<double>(stats.log_bytes)},
-                  {"sort_runs", static_cast<double>(stats.sort_runs)}});
+      (unsigned long long)stats.sort_runs,
+      (unsigned long long)stats.key_bytes_moved, key_ratio,
+      clustering.entries_per_leaf);
+  report->AddRow(
+      std::string(algo) + "/" + std::to_string(rows) + "/t" +
+          std::to_string(threads),
+      {{"rows", static_cast<double>(rows)},
+       {"threads", static_cast<double>(threads)},
+       {"total_ms", elapsed},
+       {"elapsed_ms", stats.elapsed_ms},
+       {"scan_busy_ms", stats.scan_ms},
+       {"merge_busy_ms", stats.merge_ms},
+       {"load_busy_ms", stats.load_ms},
+       {"apply_ms", stats.apply_ms},
+       {"log_records", static_cast<double>(stats.log_records)},
+       {"log_bytes", static_cast<double>(stats.log_bytes)},
+       {"sort_runs", static_cast<double>(stats.sort_runs)},
+       {"key_bytes_moved", static_cast<double>(stats.key_bytes_moved)},
+       {"key_bytes_stored", static_cast<double>(stats.key_bytes_stored)},
+       {"key_compression_ratio", key_ratio},
+       {"leaf_entries_per_page", clustering.entries_per_leaf},
+       {"leaf_prefix_saved_bytes",
+        static_cast<double>(clustering.prefix_saved_bytes)},
+       {"mean_leaf_prefix_len", clustering.mean_leaf_prefix_len}});
 }
 
 void Run(const std::vector<uint64_t>& threads_sweep,
@@ -91,9 +118,10 @@ void Run(const std::vector<uint64_t>& threads_sweep,
               "both close to the offline bottom-up floor; threads>1 "
               "parallelizes scan and overlaps merge with load");
   BenchReport report("e1");
-  std::printf("%-8s %8s %3s %10s %9s %9s %9s %9s %10s %12s %8s\n", "algo",
-              "rows", "thr", "total_ms", "scan_ms", "merge_ms", "load_ms",
-              "apply_ms", "log_recs", "log_bytes", "runs");
+  std::printf("%-8s %8s %3s %10s %9s %9s %9s %9s %10s %12s %8s %10s %6s %8s\n",
+              "algo", "rows", "thr", "total_ms", "scan_ms", "merge_ms",
+              "load_ms", "apply_ms", "log_recs", "log_bytes", "runs",
+              "key_bytes", "kratio", "ent/leaf");
   for (uint64_t rows : rows_sweep) {
     for (const char* algo : {"offline", "sf", "nsf"}) {
       for (uint64_t threads : threads_sweep) {

@@ -32,7 +32,9 @@ import sys
 # subset of what the harnesses emit: these are the columns EXPERIMENTS.md
 # tables are built from.
 REQUIRED_ROW_KEYS = {
-    "e1": ["total_ms", "threads", "rows"],
+    "e1": ["total_ms", "threads", "rows", "key_bytes_moved",
+           "key_bytes_stored", "key_compression_ratio",
+           "leaf_entries_per_page"],
     "e2": ["build_ms", "blocked_ms", "ops_per_sec_during_build",
            "update_p99_us"],
     "e3": [],
@@ -88,10 +90,44 @@ def check(path, experiment):
             elif not isinstance(row[key], (int, float)):
                 errors.append("%s: rows[%d] (%s) column %r is not numeric"
                               % (path, i, row["label"], key))
+    if experiment == "e1":
+        errors.extend(check_key_stats(path, rows))
     if not isinstance(doc["metrics"], dict):
         errors.append("%s: metrics is not an object" % path)
     errors.extend(check_timeseries(path, doc["timeseries"]))
     errors.extend(check_lock_contention(path, doc["lock_contention"]))
+    return errors
+
+
+def check_key_stats(path, rows):
+    """Sanity-checks the normalized-key statistics e1 reports.
+
+    The sort path stores prefix-compressed key bytes, so stored <= moved
+    and the ratio must land in (0, 1]; a ratio of 0 or a stored count
+    above moved means the RunStore counters (or their plumbing through
+    BuildStats) broke.
+    """
+    errors = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        moved = row.get("key_bytes_moved")
+        stored = row.get("key_bytes_stored")
+        ratio = row.get("key_compression_ratio")
+        if not all(isinstance(v, (int, float))
+                   for v in (moved, stored, ratio)):
+            continue  # missing-column errors already reported
+        if moved <= 0:
+            errors.append("%s: rows[%d] (%s) key_bytes_moved must be > 0"
+                          % (path, i, row.get("label")))
+        if stored > moved:
+            errors.append(
+                "%s: rows[%d] (%s) key_bytes_stored %s > key_bytes_moved %s"
+                % (path, i, row.get("label"), stored, moved))
+        if not 0.0 < ratio <= 1.0:
+            errors.append(
+                "%s: rows[%d] (%s) key_compression_ratio %s outside (0, 1]"
+                % (path, i, row.get("label"), ratio))
     return errors
 
 

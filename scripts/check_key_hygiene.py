@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Key-hygiene lint for the normalized-key sort/btree layers.
+
+Usage: check_key_hygiene.py [--self-check] [<repo-root>]
+
+After the normalized-key refactor, every key that crosses a function
+boundary in src/sort/ and src/btree/ travels as a KeySlice (borrowed
+bytes) or NormalizedKey (owned bytes), and every ordering decision is a
+memcmp over normalized bytes.  This lint keeps those layers honest:
+
+  * no function PARAMETER in src/sort/ or src/btree/ may type a key as
+    std::string / const std::string& — that reintroduces per-call
+    allocation and invites locale- or char-signedness-sensitive
+    comparisons.  Owned std::string members, locals, and accessor return
+    types are fine (keys at rest), so only parameters are flagged.
+  * no std::string::compare(...) call sites at all — ordering must go
+    through memcmp-based CompareIndexKey / KeySlice::compare.
+
+Exits non-zero with one "file:line: reason" per violation.  --self-check
+runs the patterns against embedded positive/negative samples so a regex
+regression fails CI rather than silently passing everything.
+"""
+
+import os
+import re
+import sys
+
+# A std::string-typed parameter whose name mentions "key": preceded by an
+# opening paren or a comma (i.e. inside a parameter list), not a
+# declaration at line start (a local or member) and not a return type
+# (which is followed by the function name and '(').
+PARAM_RE = re.compile(
+    r"[(,]\s*(?:const\s+)?std::string\s*&?\s+\w*key\w*\s*[,)=]")
+COMPARE_RE = re.compile(r"\.compare\s*\(")
+
+SCAN_DIRS = ("src/sort", "src/btree")
+EXTS = (".h", ".cc")
+
+
+def scan_file(path):
+    violations = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            code = line.split("//", 1)[0]
+            if PARAM_RE.search(code):
+                violations.append(
+                    "%s:%d: std::string-typed key parameter (use KeySlice)"
+                    % (path, lineno))
+            if COMPARE_RE.search(code):
+                violations.append(
+                    "%s:%d: std::string::compare on keys (use memcmp-based "
+                    "CompareIndexKey / KeySlice)" % (path, lineno))
+    return violations
+
+
+def run(root):
+    violations = []
+    for rel in SCAN_DIRS:
+        base = os.path.join(root, rel)
+        if not os.path.isdir(base):
+            violations.append("%s: directory missing" % base)
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(EXTS):
+                    violations.extend(scan_file(os.path.join(dirpath, name)))
+    return violations
+
+
+SELF_CHECK_POSITIVE = [
+    "Status Add(const std::string& key, const Rid& rid);",
+    "void Route(std::string key, Rid rid);",
+    "int F(int a, const std::string& sep_key, int b);",
+    "  if (a.compare(b) < 0) return;",
+    "Status AddToLevel(size_t i, std::string high_key = {});",
+]
+
+SELF_CHECK_NEGATIVE = [
+    "Status Add(KeySlice key, const Rid& rid);",
+    "std::string sep_key;",               # owned local/member
+    "  std::string high_key_;",
+    "const std::string& high_key() const { return high_key_; }",
+    "std::string KeyAt(int i) const;",    # materializing accessor
+    "// takes const std::string& key (prose, not code)",
+]
+
+
+def self_check():
+    failures = []
+    for sample in SELF_CHECK_POSITIVE:
+        code = sample.split("//", 1)[0]
+        if not (PARAM_RE.search(code) or COMPARE_RE.search(code)):
+            failures.append("pattern missed violation: %r" % sample)
+    for sample in SELF_CHECK_NEGATIVE:
+        code = sample.split("//", 1)[0]
+        if PARAM_RE.search(code) or COMPARE_RE.search(code):
+            failures.append("pattern false-positived on: %r" % sample)
+    for f in failures:
+        print("SELF-CHECK FAIL %s" % f, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv):
+    if "--self-check" in argv:
+        rc = self_check()
+        if rc == 0:
+            print("self-check OK")
+        return rc
+    root = argv[1] if len(argv) > 1 else "."
+    violations = run(root)
+    for v in violations:
+        print("FAIL %s" % v, file=sys.stderr)
+    if not violations:
+        print("key hygiene OK (%s)" % ", ".join(SCAN_DIRS))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,9 +10,13 @@ namespace {
 
 // Maximum key-value size accepted by the tree.  Keeping this well under
 // page capacity lets the pessimistic descent use a constant "safe node"
-// space threshold.
+// space threshold.  The threshold is measured in *logical* free bytes
+// (every entry priced uncompressed) and must cover the largest logical
+// entry (internal header 10 + slen 2 + key 128 + offset slot 2 = 142)
+// plus the prefix_len reserve (<= kMaxKeySize) that HasSpaceFor demands
+// to absorb the worst physical expansion of a prefix shrink.
 constexpr size_t kMaxKeySize = 128;
-constexpr size_t kSafeNodeFreeBytes = 256;
+constexpr size_t kSafeNodeFreeBytes = 288;
 
 // Split-record payload codec (kSplit).
 struct SplitPayload {
@@ -257,10 +261,11 @@ Status BTree::DescendPessimistic(std::string_view key, const Rid& rid,
   // could be just [leaf] while a split is still required, and the split
   // would wrongly grow a new root above a non-root page.
   auto is_safe = [&](const BTreePage& page) {
-    if (page.FreeBytes() < kSafeNodeFreeBytes) return false;
+    if (page.LogicalFreeBytes() < kSafeNodeFreeBytes) return false;
     if (ib_mode && page.is_leaf() && page.count() > 0) {
       size_t entry = 1 + 6 + 2 + kMaxKeySize + 2;
-      return (page_size() - page.FreeBytes()) + entry <= LeafSoftCapacity();
+      return (page_size() - page.LogicalFreeBytes()) + entry <=
+             LeafSoftCapacity();
     }
     return true;
   };
@@ -338,7 +343,7 @@ Status BTree::EnsureParentHasRoom(std::vector<WritePageGuard>* path,
   size_t parent_idx = *idx - 1;
   {
     BTreePage parent((*path)[parent_idx].data(), page_size());
-    if (parent.HasSpaceFor(sep_key.size())) return Status::OK();
+    if (parent.HasSpaceFor(KeySlice(sep_key))) return Status::OK();
   }
   int mid;
   {
@@ -380,8 +385,7 @@ Status BTree::SplitNode(std::vector<WritePageGuard>* path, size_t* idx,
     assert(split_at >= 0 && split_at < n && (leaf || split_at > 0));
     p.is_leaf = leaf ? 1 : 0;
     p.level = node.level();
-    p.sep_key.assign(node.KeyAt(split_at).data(),
-                     node.KeyAt(split_at).size());
+    p.sep_key = node.KeyAt(split_at);
     p.sep_rid = node.RidAt(split_at);
     if (leaf) {
       moved_from = split_at;
@@ -517,12 +521,13 @@ Status BTree::MakeRoomInLeaf(std::vector<WritePageGuard>* path,
     int n, pos;
     {
       BTreePage leaf((*path)[leaf_idx].data(), page_size());
-      has_room = leaf.HasSpaceFor(key.size());
+      has_room = leaf.HasSpaceFor(KeySlice(key));
       if (has_room && ib_mode && leaf.count() > 0) {
         // Respect the IB fill factor: leave free space in each leaf for
-        // future inserts (section 2.2.3).
+        // future inserts (section 2.2.3).  Measured logically so the fill
+        // factor is independent of how well the leaf compresses.
         size_t entry = 1 + 6 + 2 + key.size() + 2;
-        has_room = (page_size() - leaf.FreeBytes()) + entry <=
+        has_room = (page_size() - leaf.LogicalFreeBytes()) + entry <=
                    LeafSoftCapacity();
       }
       n = leaf.count();
@@ -644,9 +649,7 @@ StatusOr<BTree::InsertResult> BTree::Insert(Transaction* txn,
     WritePageGuard* lg = pessimistic ? &path.back() : &leaf;
     BTreePage page(lg->data(), page_size());
     int pos = page.LowerBound(key, rid);
-    bool exact = pos < page.count() &&
-                 CompareIndexKey(page.KeyAt(pos), page.RidAt(pos), key,
-                                 rid) == 0;
+    bool exact = pos < page.count() && page.CompareEntryAt(pos, key, rid) == 0;
     if (exact) {
       uint8_t f = page.FlagsAt(pos);
       if ((f & kEntryPseudoDeleted) == 0) return InsertResult::kAlreadyPresent;
@@ -658,7 +661,7 @@ StatusOr<BTree::InsertResult> BTree::Insert(Transaction* txn,
                                          BtreeOp::kReactivate, log_type));
       return InsertResult::kReactivated;
     }
-    if (!page.HasSpaceFor(key.size())) {
+    if (!page.HasSpaceFor(KeySlice(key))) {
       if (!pessimistic) continue;  // retry with the full path held
       OIB_RETURN_IF_ERROR(MakeRoomInLeaf(&path, key, rid, /*ib_mode=*/false));
       lg = &path.back();
@@ -847,7 +850,7 @@ Status BTree::IbInsertBatch(Transaction* txn,
       if (!ng.ok()) return false;  // conservative: force re-descend
       BTreePage np(const_cast<char*>(ng->data()), page_size());
       if (np.count() == 0) return false;
-      return CompareIndexKey(k, r, np.KeyAt(0), np.RidAt(0)) < 0;
+      return np.CompareEntryAt(0, k, r) > 0;
     };
 
     bool leaf_done = false;
@@ -860,9 +863,8 @@ Status BTree::IbInsertBatch(Transaction* txn,
 
       BTreePage page(path.back().data(), page_size());
       int pos = page.LowerBound(k.key, k.rid);
-      bool exact = pos < page.count() &&
-                   CompareIndexKey(page.KeyAt(pos), page.RidAt(pos), k.key,
-                                   k.rid) == 0;
+      bool exact =
+          pos < page.count() && page.CompareEntryAt(pos, k.key, k.rid) == 0;
       if (exact) {
         // Duplicate <key,RID>: a transaction beat IB to it, or left a
         // tombstone; IB's insert is rejected with no log record
@@ -895,11 +897,12 @@ Status BTree::IbInsertBatch(Transaction* txn,
           }
         }
       }
-      // Space check against the soft (fill-factor) capacity.
+      // Space check against the soft (fill-factor) capacity, in logical
+      // bytes so compression does not loosen the fill factor.
       size_t entry = 1 + 6 + 2 + k.key.size() + 2;
-      bool fits = page.HasSpaceFor(k.key.size()) &&
+      bool fits = page.HasSpaceFor(k.key) &&
                   (page.count() == 0 ||
-                   (page_size() - page.FreeBytes()) + entry <=
+                   (page_size() - page.LogicalFreeBytes()) + entry <=
                        LeafSoftCapacity());
       if (!fits) {
         OIB_RETURN_IF_ERROR(flush_pending());

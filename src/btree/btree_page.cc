@@ -10,8 +10,8 @@ namespace oib {
 
 int CompareIndexKey(std::string_view a_key, const Rid& a_rid,
                     std::string_view b_key, const Rid& b_rid) {
-  int c = a_key.compare(b_key);
-  if (c != 0) return c < 0 ? -1 : 1;
+  int c = KeySlice(a_key).Compare(KeySlice(b_key));
+  if (c != 0) return c;
   if (a_rid < b_rid) return -1;
   if (b_rid < a_rid) return 1;
   return 0;
@@ -22,6 +22,7 @@ void BTreePage::Init(bool leaf, uint8_t level) {
                                            : PageType::kBtreeInternal);
   data_[kLevelOff] = static_cast<char>(level);
   set_count(0);
+  set_prefix_len(0);
   set_free_end(static_cast<uint16_t>(page_size_));
   set_next(kInvalidPageId);
   set_leftmost_child(kInvalidPageId);
@@ -49,6 +50,18 @@ void BTreePage::set_leftmost_child(PageId id) {
   EncodeFixed32(data_ + kLeftmostOff, id);
 }
 
+size_t BTreePage::prefix_len() const {
+  return DecodeFixed16(data_ + kPrefixLenOff);
+}
+void BTreePage::set_prefix_len(uint16_t v) {
+  EncodeFixed16(data_ + kPrefixLenOff, v);
+}
+
+std::string_view BTreePage::prefix() const {
+  size_t pl = prefix_len();
+  return std::string_view(data_ + page_size_ - pl, pl);
+}
+
 uint16_t BTreePage::free_end() const {
   return DecodeFixed16(data_ + kFreeEndOff);
 }
@@ -71,15 +84,25 @@ size_t BTreePage::EntryHeaderSize() const {
 std::string_view BTreePage::RawEntry(int i) const {
   uint16_t off = entry_offset(i);
   size_t hdr = EntryHeaderSize();
-  uint16_t klen = DecodeFixed16(data_ + off + hdr);
-  return std::string_view(data_ + off, hdr + 2 + klen);
+  uint16_t slen = DecodeFixed16(data_ + off + hdr);
+  return std::string_view(data_ + off, hdr + 2 + slen);
 }
 
-std::string_view BTreePage::KeyAt(int i) const {
+std::string_view BTreePage::SuffixAt(int i) const {
   uint16_t off = entry_offset(i);
   size_t hdr = EntryHeaderSize();
-  uint16_t klen = DecodeFixed16(data_ + off + hdr);
-  return std::string_view(data_ + off + hdr + 2, klen);
+  uint16_t slen = DecodeFixed16(data_ + off + hdr);
+  return std::string_view(data_ + off + hdr + 2, slen);
+}
+
+std::string BTreePage::KeyAt(int i) const {
+  std::string_view pfx = prefix();
+  std::string_view sfx = SuffixAt(i);
+  std::string key;
+  key.reserve(pfx.size() + sfx.size());
+  key.append(pfx);
+  key.append(sfx);
+  return key;
 }
 
 Rid BTreePage::RidAt(int i) const {
@@ -106,11 +129,22 @@ PageId BTreePage::ChildAt(int i) const {
   return DecodeFixed32(data_ + entry_offset(i));
 }
 
+int BTreePage::CompareEntryAt(int i, std::string_view key,
+                              const Rid& rid) const {
+  int c = ComparePrefixedKey(KeySlice(prefix()), KeySlice(SuffixAt(i)),
+                             KeySlice(key));
+  if (c != 0) return c;
+  Rid r = RidAt(i);
+  if (r < rid) return -1;
+  if (rid < r) return 1;
+  return 0;
+}
+
 int BTreePage::LowerBound(std::string_view key, const Rid& rid) const {
   int lo = 0, hi = count();
   while (lo < hi) {
     int mid = (lo + hi) / 2;
-    if (CompareIndexKey(KeyAt(mid), RidAt(mid), key, rid) < 0) {
+    if (CompareEntryAt(mid, key, rid) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -121,7 +155,7 @@ int BTreePage::LowerBound(std::string_view key, const Rid& rid) const {
 
 int BTreePage::FindExact(std::string_view key, const Rid& rid) const {
   int i = LowerBound(key, rid);
-  if (i < count() && CompareIndexKey(KeyAt(i), RidAt(i), key, rid) == 0) {
+  if (i < count() && CompareEntryAt(i, key, rid) == 0) {
     return i;
   }
   return -1;
@@ -131,7 +165,7 @@ PageId BTreePage::Route(std::string_view key, const Rid& rid) const {
   assert(!is_leaf());
   // Largest entry <= (key, rid); LowerBound gives first >=.
   int i = LowerBound(key, rid);
-  if (i < count() && CompareIndexKey(KeyAt(i), RidAt(i), key, rid) == 0) {
+  if (i < count() && CompareEntryAt(i, key, rid) == 0) {
     return ChildAt(i);
   }
   return ChildAt(i - 1);
@@ -151,12 +185,88 @@ size_t BTreePage::UsedEntryBytes() const {
 
 size_t BTreePage::FreeBytes() const {
   size_t dir_end = kOffsetsOff + 2 * count();
-  return page_size_ - dir_end - UsedEntryBytes();
+  return page_size_ - dir_end - UsedEntryBytes() - prefix_len();
 }
 
-bool BTreePage::HasSpaceFor(size_t key_len) const {
-  size_t need = EntryHeaderSize() + 2 + key_len + 2 /* offset slot */;
-  return FreeBytes() >= need;
+size_t BTreePage::LogicalFreeBytes() const {
+  size_t f = FreeBytes();
+  size_t pl = prefix_len();
+  if (count() == 0) return f + pl;
+  size_t savings = static_cast<size_t>(count() - 1) * pl;
+  return f > savings ? f - savings : 0;
+}
+
+size_t BTreePage::EntryGrowth(KeySlice key) const {
+  size_t fixed = EntryHeaderSize() + 2 /* slen */ + 2 /* offset slot */;
+  size_t pl = prefix_len();
+  if (count() == 0) {
+    // The key becomes the new whole-page prefix (replacing the old one).
+    size_t prefix_growth = key.size() > pl ? key.size() - pl : 0;
+    return fixed + prefix_growth;
+  }
+  size_t p = CommonPrefixLen(KeySlice(prefix()), key);
+  // A shrink to p widens every resident suffix by (pl - p) but also frees
+  // the (pl - p) cut bytes of the stored prefix, hence count() - 1.
+  return fixed + (key.size() - p) + (pl - p) * (count() - 1);
+}
+
+bool BTreePage::HasSpaceFor(KeySlice key) const {
+  // Logical admission with a prefix_len reserve.  If the insert shrinks
+  // the prefix from L to p over n entries, the physical cost exceeds the
+  // logical cost by L - p*(n+1) <= L, so logical_free >= logical_need + L
+  // guarantees the physical fit.
+  size_t logical_need = EntryHeaderSize() + 2 + key.size() + 2;
+  return LogicalFreeBytes() >= logical_need + prefix_len();
+}
+
+void BTreePage::ResetPrefix(KeySlice key) {
+  assert(count() == 0);
+  uint16_t pl = static_cast<uint16_t>(key.size());
+  set_prefix_len(pl);
+  std::memcpy(data_ + page_size_ - pl, key.data(), pl);
+  set_free_end(static_cast<uint16_t>(page_size_ - pl));
+}
+
+void BTreePage::ShrinkPrefix(size_t new_len) {
+  assert(new_len <= prefix_len());
+  if (new_len == prefix_len()) return;
+  int n = count();
+  size_t hdr = EntryHeaderSize();
+  std::string_view pfx = prefix();
+  // Bytes migrating from the shared prefix into every entry's suffix.
+  std::string ext(pfx.substr(new_len));
+  std::vector<std::string> raws;
+  raws.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::string_view raw = RawEntry(i);
+    uint16_t slen = DecodeFixed16(raw.data() + hdr);
+    std::string widened;
+    widened.reserve(raw.size() + ext.size());
+    widened.append(raw.substr(0, hdr));
+    PutFixed16(&widened, static_cast<uint16_t>(ext.size() + slen));
+    widened.append(ext);
+    widened.append(raw.substr(hdr + 2, slen));
+    raws.push_back(std::move(widened));
+  }
+  std::string kept(pfx.substr(0, new_len));
+  set_prefix_len(static_cast<uint16_t>(new_len));
+  std::memcpy(data_ + page_size_ - new_len, kept.data(), new_len);
+  uint16_t fe = static_cast<uint16_t>(page_size_ - new_len);
+  for (int i = 0; i < n; ++i) {
+    fe = static_cast<uint16_t>(fe - raws[i].size());
+    std::memcpy(data_ + fe, raws[i].data(), raws[i].size());
+    set_entry_offset(i, fe);
+  }
+  set_free_end(fe);
+}
+
+void BTreePage::AdjustPrefixFor(KeySlice key) {
+  if (count() == 0) {
+    ResetPrefix(key);
+    return;
+  }
+  size_t p = CommonPrefixLen(KeySlice(prefix()), key);
+  if (p < prefix_len()) ShrinkPrefix(p);
 }
 
 void BTreePage::Compact() {
@@ -166,7 +276,7 @@ void BTreePage::Compact() {
   for (int i = 0; i < n; ++i) {
     raws.emplace_back(RawEntry(i));
   }
-  uint16_t fe = static_cast<uint16_t>(page_size_);
+  uint16_t fe = static_cast<uint16_t>(page_size_ - prefix_len());
   for (int i = 0; i < n; ++i) {
     fe = static_cast<uint16_t>(fe - raws[i].size());
     std::memcpy(data_ + fe, raws[i].data(), raws[i].size());
@@ -196,28 +306,39 @@ Status BTreePage::InsertRawAt(int i, std::string_view raw) {
   return Status::OK();
 }
 
+Status BTreePage::InsertFullAt(int i, std::string_view key,
+                               std::string_view header) {
+  if (FreeBytes() < EntryGrowth(KeySlice(key))) {
+    return Status::Busy("btree page full");
+  }
+  AdjustPrefixFor(KeySlice(key));
+  size_t pl = prefix_len();
+  std::string raw;
+  raw.reserve(header.size() + 2 + key.size() - pl);
+  raw.append(header);
+  PutFixed16(&raw, static_cast<uint16_t>(key.size() - pl));
+  raw.append(key.substr(pl));
+  return InsertRawAt(i, raw);
+}
+
 Status BTreePage::InsertLeafAt(int i, std::string_view key, const Rid& rid,
                                uint8_t flags) {
   assert(is_leaf());
-  std::string raw;
-  raw.push_back(static_cast<char>(flags));
-  PutFixed32(&raw, rid.page);
-  PutFixed16(&raw, rid.slot);
-  PutFixed16(&raw, static_cast<uint16_t>(key.size()));
-  raw.append(key.data(), key.size());
-  return InsertRawAt(i, raw);
+  std::string header;
+  header.push_back(static_cast<char>(flags));
+  PutFixed32(&header, rid.page);
+  PutFixed16(&header, rid.slot);
+  return InsertFullAt(i, key, header);
 }
 
 Status BTreePage::InsertInternalAt(int i, std::string_view key,
                                    const Rid& rid, PageId child) {
   assert(!is_leaf());
-  std::string raw;
-  PutFixed32(&raw, child);
-  PutFixed32(&raw, rid.page);
-  PutFixed16(&raw, rid.slot);
-  PutFixed16(&raw, static_cast<uint16_t>(key.size()));
-  raw.append(key.data(), key.size());
-  return InsertRawAt(i, raw);
+  std::string header;
+  PutFixed32(&header, child);
+  PutFixed32(&header, rid.page);
+  PutFixed16(&header, rid.slot);
+  return InsertFullAt(i, key, header);
 }
 
 void BTreePage::RemoveAt(int i) {
@@ -225,16 +346,26 @@ void BTreePage::RemoveAt(int i) {
   std::memmove(data_ + kOffsetsOff + 2 * i,
                data_ + kOffsetsOff + 2 * (i + 1), 2 * (n - i - 1));
   set_count(static_cast<uint16_t>(n - 1));
-  // Entry bytes become garbage, reclaimed by Compact.
+  // Entry bytes become garbage, reclaimed by Compact.  The prefix stays:
+  // it remains a common prefix of any subset.
 }
 
 std::string BTreePage::SerializeEntries(int from, int to) const {
+  // Full-key raw entries, independent of this page's prefix, so the blob
+  // can be replayed into any page (splits, batch inserts, checkpoints).
   std::string blob;
   PutFixed16(&blob, static_cast<uint16_t>(to - from));
+  std::string_view pfx = prefix();
+  size_t hdr = EntryHeaderSize();
   for (int i = from; i < to; ++i) {
     std::string_view raw = RawEntry(i);
-    PutFixed16(&blob, static_cast<uint16_t>(raw.size()));
-    blob.append(raw.data(), raw.size());
+    std::string_view sfx = raw.substr(hdr + 2);
+    PutFixed16(&blob,
+               static_cast<uint16_t>(hdr + 2 + pfx.size() + sfx.size()));
+    blob.append(raw.substr(0, hdr));
+    PutFixed16(&blob, static_cast<uint16_t>(pfx.size() + sfx.size()));
+    blob.append(pfx);
+    blob.append(sfx);
   }
   return blob;
 }
@@ -243,12 +374,18 @@ Status BTreePage::AppendSerialized(std::string_view blob) {
   BufferReader r(blob);
   uint16_t n;
   if (!r.GetFixed16(&n)) return Status::Corruption("entry blob");
+  size_t hdr = EntryHeaderSize();
   for (uint16_t i = 0; i < n; ++i) {
     uint16_t len;
     if (!r.GetFixed16(&len)) return Status::Corruption("entry blob len");
     if (r.remaining() < len) return Status::Corruption("entry blob bytes");
     std::string_view raw(blob.data() + r.position(), len);
-    OIB_RETURN_IF_ERROR(InsertRawAt(count(), raw));
+    if (len < hdr + 2) return Status::Corruption("entry blob entry");
+    uint16_t klen = DecodeFixed16(raw.data() + hdr);
+    if (hdr + 2 + klen != len) return Status::Corruption("entry blob entry");
+    // Re-encode under this page's prefix.
+    OIB_RETURN_IF_ERROR(
+        InsertFullAt(count(), raw.substr(hdr + 2, klen), raw.substr(0, hdr)));
     r.Skip(len);
   }
   return Status::OK();

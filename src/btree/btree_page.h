@@ -7,6 +7,14 @@
 // flag ("a 1-bit flag is associated with every key in the index to indicate
 // whether the key is pseudo deleted or not", section 2.1.2).
 //
+// Keys are normalized byte strings (common/key.h): all ordering is raw
+// memcmp.  Each page stores the common prefix of its keys ONCE (at the top
+// of the page) and every entry stores only its suffix past that prefix —
+// classic prefix truncation.  The prefix only ever shrinks: inserting a key
+// that shares less with the prefix re-encodes the resident entries with
+// correspondingly longer suffixes.  Comparisons run against the
+// (prefix, suffix) pair without materializing full keys.
+//
 // Layout (offsets within the page):
 //   [0..8)    page LSN
 //   [8]       page type (kBtreeLeaf / kBtreeInternal)
@@ -15,17 +23,28 @@
 //   [12..14)  free_end — lowest byte offset used by entry data
 //   [14..18)  next page id (leaf right-sibling chain)
 //   [18..22)  leftmost child (internal pages only)
-//   [22..)    offset array, 2 bytes per entry, in key order
+//   [22..24)  prefix length
+//   [24..)    offset array, 2 bytes per entry, in key order
 //   ...       free space
-//   [free_end..page_size)  entry data, growing downward
+//   [free_end..page_size-prefix_len)  entry data, growing downward
+//   [page_size-prefix_len..page_size) shared key prefix
 //
-// Entry encodings:
-//   leaf:     [flags u8][rid_page u32][rid_slot u16][klen u16][key bytes]
-//   internal: [child u32][rid_page u32][rid_slot u16][klen u16][key bytes]
+// Entry encodings (suffix = key bytes past the page prefix):
+//   leaf:     [flags u8][rid_page u32][rid_slot u16][slen u16][suffix]
+//   internal: [child u32][rid_page u32][rid_slot u16][slen u16][suffix]
 //
 // Internal-node routing: child pointers are leftmost_child, child_0, ...,
 // child_{n-1}; an entry (key_i, child_i) routes keys >= key_i and
 // < key_{i+1}.
+//
+// Space accounting is dual.  *Physical* (FreeBytes/EntryGrowth) is exact
+// under compression and is what admission on the bulk-load path uses, so
+// compressed leaves hold more entries.  *Logical* (LogicalFreeBytes)
+// prices every entry at its uncompressed size; the insert path's
+// safe-node and admission checks use it so the pre-compression split
+// invariants (kSafeNodeFreeBytes margins) stay valid: HasSpaceFor demands
+// logical room plus prefix_len, which provably covers the worst physical
+// expansion a prefix shrink can cause.
 
 #ifndef OIB_BTREE_BTREE_PAGE_H_
 #define OIB_BTREE_BTREE_PAGE_H_
@@ -33,6 +52,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/key.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "heap/slotted_page.h"  // PageType
@@ -42,7 +62,8 @@ namespace oib {
 // Pseudo-delete flag bit (paper section 2.1.2).
 inline constexpr uint8_t kEntryPseudoDeleted = 0x1;
 
-// Three-way comparison of full index keys <key value, RID>.
+// Three-way comparison of full index keys <key value, RID>.  Keys are
+// normalized byte strings: memcmp order.
 int CompareIndexKey(std::string_view a_key, const Rid& a_rid,
                     std::string_view b_key, const Rid& b_rid);
 
@@ -61,11 +82,23 @@ class BTreePage {
   PageId leftmost_child() const;
   void set_leftmost_child(PageId id);
 
-  std::string_view KeyAt(int i) const;
+  // Page-wide shared key prefix.
+  size_t prefix_len() const;
+  std::string_view prefix() const;
+  // Suffix stored by entry i (full key = prefix + suffix).
+  std::string_view SuffixAt(int i) const;
+
+  // Materializes entry i's full key (prefix + suffix).  Hot paths compare
+  // via CompareEntryAt instead.
+  std::string KeyAt(int i) const;
   Rid RidAt(int i) const;
   uint8_t FlagsAt(int i) const;        // leaf only
   void SetFlagsAt(int i, uint8_t f);   // leaf only
   PageId ChildAt(int i) const;         // internal; i == -1 -> leftmost
+
+  // Three-way comparison of entry i against (key, rid) without
+  // materializing the entry's key.
+  int CompareEntryAt(int i, std::string_view key, const Rid& rid) const;
 
   // First index whose entry >= (key, rid); count() if none.
   int LowerBound(std::string_view key, const Rid& rid) const;
@@ -74,9 +107,19 @@ class BTreePage {
   // Internal routing: child to descend into for (key, rid).
   PageId Route(std::string_view key, const Rid& rid) const;
 
-  // Space checks (entry data + one offset slot).
-  bool HasSpaceFor(size_t key_len) const;
+  // Exact physical bytes inserting `key` would consume: entry + offset
+  // slot + the expansion of resident suffixes if the prefix shrinks.
+  size_t EntryGrowth(KeySlice key) const;
+  // Conservative logical-space admission (insert path): logical room for
+  // the uncompressed entry plus prefix_len, which always covers the
+  // physical cost of the worst prefix shrink `key` can cause.
+  bool HasSpaceFor(KeySlice key) const;
+  // Physical free bytes (offset directory through entry data + prefix).
   size_t FreeBytes() const;
+  // Free bytes if every entry were priced at its uncompressed size —
+  // FreeBytes() minus the savings (count-1)*prefix_len.  The insert
+  // path's safe-node checks use this so pre-compression thresholds hold.
+  size_t LogicalFreeBytes() const;
   size_t UsedEntryBytes() const;
 
   Status InsertLeafAt(int i, std::string_view key, const Rid& rid,
@@ -87,6 +130,9 @@ class BTreePage {
 
   // Serializes entries [from, to) as an opaque blob (for split log records
   // and checkpoints) and appends a previously serialized blob in order.
+  // Blob entries carry FULL keys — the blob format is independent of the
+  // source/target pages' prefixes; AppendSerialized re-encodes under the
+  // target's prefix.
   std::string SerializeEntries(int from, int to) const;
   Status AppendSerialized(std::string_view blob);
   // Removes entries [from, count()).
@@ -99,14 +145,26 @@ class BTreePage {
   static constexpr size_t kFreeEndOff = 12;
   static constexpr size_t kNextOff = 14;
   static constexpr size_t kLeftmostOff = 18;
-  static constexpr size_t kOffsetsOff = 22;
+  static constexpr size_t kPrefixLenOff = 22;
+  static constexpr size_t kOffsetsOff = 24;
 
-  size_t EntryHeaderSize() const;  // bytes before klen+key
+  size_t EntryHeaderSize() const;  // bytes before slen+suffix
   uint16_t entry_offset(int i) const;
   void set_entry_offset(int i, uint16_t off);
   uint16_t free_end() const;
   void set_free_end(uint16_t v);
   void set_count(uint16_t v);
+  void set_prefix_len(uint16_t v);
+
+  // count()==0: install `key` as the whole-page prefix.
+  void ResetPrefix(KeySlice key);
+  // Re-encodes every entry with the prefix cut to new_len (suffixes grow
+  // by the cut bytes).  new_len <= prefix_len().
+  void ShrinkPrefix(size_t new_len);
+  // ResetPrefix/ShrinkPrefix as needed so `key` shares the page prefix.
+  void AdjustPrefixFor(KeySlice key);
+  // Shared insert path: space check, prefix adjust, suffix encode.
+  Status InsertFullAt(int i, std::string_view key, std::string_view header);
 
   size_t ContiguousFree() const;
   void Compact();

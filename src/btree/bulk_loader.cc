@@ -49,15 +49,28 @@ Status BulkLoader::Begin() {
   return Status::OK();
 }
 
-Status BulkLoader::Add(std::string_view key, const Rid& rid) {
+Status BulkLoader::Add(KeySlice key, const Rid& rid) {
   size_t page_size = pool_->disk()->page_size();
   BTreePage leaf(guards_[0].data(), page_size);
-  size_t entry = 1 + 6 + 2 + key.size() + 2;
-  bool fits = leaf.HasSpaceFor(key.size()) &&
+  // Physical-exact admission: under prefix truncation the entry's real
+  // cost is EntryGrowth, so leaves whose keys share prefixes pack more
+  // entries before hitting the fill factor.
+  size_t growth = leaf.EntryGrowth(key);
+  bool fits = growth <= leaf.FreeBytes() &&
               (leaf.count() == 0 ||
-               (page_size - leaf.FreeBytes()) + entry <= SoftCapacity());
+               (page_size - leaf.FreeBytes()) + growth <= SoftCapacity());
   if (!fits) {
-    // Chain a new rightmost leaf; its first key is the separator.
+    // Chain a new rightmost leaf.  The separator is the shortest prefix
+    // of the new leaf's first key that still sorts above the old leaf's
+    // last key (suffix truncation); a truncated separator carries a -inf
+    // RID so every real (key, rid) >= it still routes right.
+    std::string sep;
+    Rid sep_rid = rid;
+    if (TruncateSeparator(KeySlice(high_key_), key, &sep)) {
+      sep_rid = Rid::MinusInfinity();
+    } else {
+      sep.assign(key.data(), key.size());
+    }
     PageId old_leaf = levels_[0].cur;
     WritePageGuard old_guard = std::move(guards_[0]);
     auto new_id = AllocPage(/*leaf=*/true, 0);
@@ -72,7 +85,7 @@ Status BulkLoader::Add(std::string_view key, const Rid& rid) {
     }
     old_guard.Release();
     levels_[0].cur = *new_id;
-    OIB_RETURN_IF_ERROR(AddToLevel(1, key, rid, *new_id));
+    OIB_RETURN_IF_ERROR(AddToLevel(1, KeySlice(sep), sep_rid, *new_id));
     BTreePage np(guards_[0].data(), page_size);
     OIB_RETURN_IF_ERROR(np.InsertLeafAt(np.count(), key, rid, 0));
     guards_[0].MarkDirty();
@@ -88,7 +101,7 @@ Status BulkLoader::Add(std::string_view key, const Rid& rid) {
   return Status::OK();
 }
 
-Status BulkLoader::AddToLevel(size_t i, std::string_view key, const Rid& rid,
+Status BulkLoader::AddToLevel(size_t i, KeySlice key, const Rid& rid,
                               PageId right_child) {
   size_t page_size = pool_->disk()->page_size();
   if (i >= levels_.size()) {
@@ -109,9 +122,9 @@ Status BulkLoader::AddToLevel(size_t i, std::string_view key, const Rid& rid,
     return Status::OK();
   }
   BTreePage page(guards_[i].data(), page_size);
-  size_t entry = 4 + 6 + 2 + key.size() + 2;
-  bool fits = page.HasSpaceFor(key.size()) &&
-              (page_size - page.FreeBytes()) + entry <= SoftCapacity();
+  size_t growth = page.EntryGrowth(key);
+  bool fits = growth <= page.FreeBytes() &&
+              (page_size - page.FreeBytes()) + growth <= SoftCapacity();
   if (fits) {
     OIB_RETURN_IF_ERROR(
         page.InsertInternalAt(page.count(), key, rid, right_child));

@@ -45,7 +45,10 @@ class BulkLoader {
   // Appends one key; keys must arrive in strictly ascending (key, rid)
   // order.  Unique violations among consecutive keys surface as
   // UniqueViolation when `unique` was set in Begin... (checked by caller).
-  Status Add(std::string_view key, const Rid& rid);
+  // Admission is physically exact (EntryGrowth), so leaves whose keys
+  // compress well pack more entries per page; separators pushed into
+  // internal levels are suffix-truncated.
+  Status Add(KeySlice key, const Rid& rid);
 
   // Completes internal levels and publishes the new root (anchor update is
   // the only logged action).
@@ -80,7 +83,7 @@ class BulkLoader {
   };
 
   // Propagates separator (key, rid) -> right_child into level `i`.
-  Status AddToLevel(size_t i, std::string_view key, const Rid& rid,
+  Status AddToLevel(size_t i, KeySlice key, const Rid& rid,
                     PageId right_child);
   StatusOr<PageId> AllocPage(bool leaf, uint8_t level);
   size_t SoftCapacity() const;

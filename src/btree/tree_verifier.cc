@@ -68,7 +68,7 @@ Status TreeVerifier::CheckSubtree(PageId page_id, uint32_t expect_level,
   std::vector<PageId> children(n);
   PageId leftmost = page.leftmost_child();
   for (int i = 0; i < n; ++i) {
-    keys[i].assign(page.KeyAt(i).data(), page.KeyAt(i).size());
+    keys[i] = page.KeyAt(i);
     rids[i] = page.RidAt(i);
     children[i] = page.ChildAt(i);
   }
@@ -148,6 +148,8 @@ StatusOr<ClusteringStats> TreeVerifier::Clustering() {
   }
 
   double util_sum = 0.0;
+  double prefix_len_sum = 0.0;
+  uint64_t nonempty = 0;
   for (PageId id : chain) {
     auto guard = pool_->FetchRead(id);
     if (!guard.ok()) return guard.status();
@@ -155,6 +157,12 @@ StatusOr<ClusteringStats> TreeVerifier::Clustering() {
     util_sum += 1.0 - static_cast<double>(page.FreeBytes()) /
                           static_cast<double>(page_size);
     stats.entries += page.count();
+    if (page.count() > 0) {
+      ++nonempty;
+      prefix_len_sum += static_cast<double>(page.prefix_len());
+      stats.prefix_saved_bytes +=
+          static_cast<uint64_t>(page.count() - 1) * page.prefix_len();
+    }
     for (int i = 0; i < page.count(); ++i) {
       if ((page.FlagsAt(i) & kEntryPseudoDeleted) != 0) {
         ++stats.pseudo_deleted;
@@ -163,6 +171,11 @@ StatusOr<ClusteringStats> TreeVerifier::Clustering() {
   }
   if (!chain.empty()) {
     stats.utilization = util_sum / static_cast<double>(chain.size());
+    stats.entries_per_leaf = static_cast<double>(stats.entries) /
+                             static_cast<double>(chain.size());
+  }
+  if (nonempty > 0) {
+    stats.mean_leaf_prefix_len = prefix_len_sum / static_cast<double>(nonempty);
   }
   return stats;
 }

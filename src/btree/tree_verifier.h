@@ -37,6 +37,13 @@ struct ClusteringStats {
   double utilization = 0.0;
   uint64_t entries = 0;
   uint64_t pseudo_deleted = 0;
+  // Bytes leaf prefix truncation saves versus storing every key in full:
+  // sum over leaves of (count - 1) * prefix_len.
+  uint64_t prefix_saved_bytes = 0;
+  // Mean shared-prefix length across non-empty leaves.
+  double mean_leaf_prefix_len = 0.0;
+  // entries / leaf_pages; rises as prefix truncation packs leaves denser.
+  double entries_per_leaf = 0.0;
 };
 
 class TreeVerifier {

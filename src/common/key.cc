@@ -1,0 +1,97 @@
+#include "common/key.h"
+
+namespace oib {
+
+size_t CommonPrefixLen(KeySlice a, KeySlice b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  size_t i = 0;
+  while (i < n && a.data()[i] == b.data()[i]) ++i;
+  return i;
+}
+
+int ComparePrefixedKey(KeySlice prefix, KeySlice suffix, KeySlice probe) {
+  size_t n = prefix.size() < probe.size() ? prefix.size() : probe.size();
+  int c = n == 0 ? 0 : std::memcmp(prefix.data(), probe.data(), n);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (probe.size() <= prefix.size()) {
+    // probe exhausted inside (or exactly at) the prefix.
+    if (probe.size() == prefix.size() && suffix.empty()) return 0;
+    return 1;  // prefix+suffix is longer -> greater
+  }
+  return suffix.Compare(
+      KeySlice(probe.data() + prefix.size(), probe.size() - prefix.size()));
+}
+
+bool TruncateSeparator(KeySlice left_max, KeySlice right_first,
+                       std::string* sep) {
+  size_t d = CommonPrefixLen(left_max, right_first);
+  if (d >= right_first.size()) {
+    // right_first equals left_max or is a prefix of it; no proper prefix
+    // of right_first exceeds left_max.
+    return false;
+  }
+  // right_first[0..d] differs from (or extends past) left_max, so the
+  // (d+1)-byte prefix already sorts strictly above left_max.
+  size_t len = d + 1;
+  if (len >= right_first.size()) return false;  // no shorter than the key
+  sep->assign(right_first.data(), len);
+  return true;
+}
+
+namespace keyenc {
+
+void AppendStringColumn(std::string* out, std::string_view value) {
+  for (char ch : value) {
+    if (ch == '\0') {
+      out->push_back('\0');
+      out->push_back(static_cast<char>(0xFF));
+    } else {
+      out->push_back(ch);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\0');
+}
+
+void AppendInt64Column(std::string* out, int64_t value) {
+  uint64_t u = static_cast<uint64_t>(value) ^ (uint64_t{1} << 63);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((u >> shift) & 0xFF));
+  }
+}
+
+}  // namespace keyenc
+
+bool KeyDecoder::DecodeString(std::string* out) {
+  out->clear();
+  while (pos_ + 1 < size_ || (pos_ < size_ && data_[pos_] != '\0')) {
+    char ch = data_[pos_];
+    if (ch != '\0') {
+      out->push_back(ch);
+      ++pos_;
+      continue;
+    }
+    char next = data_[pos_ + 1];
+    pos_ += 2;
+    if (next == '\0') return true;  // terminator
+    if (static_cast<uint8_t>(next) == 0xFF) {
+      out->push_back('\0');
+      continue;
+    }
+    return false;  // invalid escape
+  }
+  return false;  // ran out of bytes before the terminator
+}
+
+bool KeyDecoder::DecodeInt64(int64_t* out) {
+  if (pos_ + 8 > size_) return false;
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+  }
+  pos_ += 8;
+  *out = static_cast<int64_t>(u ^ (uint64_t{1} << 63));
+  return true;
+}
+
+}  // namespace oib

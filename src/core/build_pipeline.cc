@@ -138,6 +138,7 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
     const PageId stop_page = plan->stop_page;  // never mutated
     uint64_t keys_since_ckpt = 0;
     std::vector<std::pair<Rid, std::string>> recs;
+    std::string key_buf;  // normalized-key scratch, reused per record
     Status status;
     while (next != kInvalidPageId && !stop.load(std::memory_order_relaxed)) {
       if (hooks.failpoint != nullptr &&
@@ -158,11 +159,10 @@ Status BuildPipeline::RunScan(const HeapFile* heap, obs::Tracer* tracer,
       }
       for (auto& [rid, rec] : recs) {
         for (size_t ti = 0; ti < targets.size() && status.ok(); ++ti) {
-          auto key = Schema::ExtractKey(rec, targets[ti].key_cols);
-          if (!key.ok()) {
-            status = key.status();
-          } else {
-            status = targets[ti].sorter->writer(k)->Add(std::move(*key), rid);
+          status = Schema::ExtractKeyTo(rec, targets[ti].key_cols,
+                                        targets[ti].key_types, &key_buf);
+          if (status.ok()) {
+            status = targets[ti].sorter->writer(k)->Add(key_buf, rid);
           }
         }
         if (!status.ok()) break;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/key.h"
 #include "common/status.h"
 #include "heap/heap_file.h"
 #include "sort/external_sorter.h"
@@ -71,6 +72,7 @@ class BuildPipeline {
  public:
   struct ScanTarget {
     std::vector<uint32_t> key_cols;
+    std::vector<KeyColumnType> key_types;  // empty = all kString
     ExternalSorter* sorter = nullptr;
   };
 

@@ -54,7 +54,11 @@ StatusOr<TableId> Catalog::TableByName(const std::string& name) const {
 
 StatusOr<IndexDescriptor> Catalog::CreateIndex(
     const std::string& name, TableId table, bool unique,
-    std::vector<uint32_t> key_cols, BuildAlgo algo) {
+    std::vector<uint32_t> key_cols, BuildAlgo algo,
+    std::vector<KeyColumnType> key_types) {
+  if (!key_types.empty() && key_types.size() != key_cols.size()) {
+    return Status::InvalidArgument("key_types/key_cols size mismatch");
+  }
   IndexId id;
   {
     sync::MutexLock g(&mu_);
@@ -75,6 +79,7 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
   d.table = table;
   d.unique = unique;
   d.key_cols = std::move(key_cols);
+  d.key_types = std::move(key_types);
   d.anchor = tree->anchor_page();
   d.state = IndexState::kBuilding;
   d.algo = algo;
@@ -185,6 +190,10 @@ Status Catalog::PersistLocked() {
     blob.push_back(d.unique ? 1 : 0);
     PutFixed32(&blob, static_cast<uint32_t>(d.key_cols.size()));
     for (uint32_t c : d.key_cols) PutFixed32(&blob, c);
+    PutFixed32(&blob, static_cast<uint32_t>(d.key_types.size()));
+    for (KeyColumnType t : d.key_types) {
+      blob.push_back(static_cast<char>(t));
+    }
     PutFixed32(&blob, d.anchor);
     PutFixed32(&blob, d.side_file_first);
     blob.push_back(static_cast<char>(d.state));
@@ -256,6 +265,13 @@ Status Catalog::Load() {
       uint32_t col;
       if (!r.GetFixed32(&col)) return Status::Corruption("key col");
       d.key_cols.push_back(col);
+    }
+    uint32_t n_types;
+    if (!r.GetFixed32(&n_types)) return Status::Corruption("key types");
+    for (uint32_t c = 0; c < n_types; ++c) {
+      uint8_t t;
+      if (!r.GetByte(&t)) return Status::Corruption("key type");
+      d.key_types.push_back(static_cast<KeyColumnType>(t));
     }
     if (!r.GetFixed32(&d.anchor) || !r.GetFixed32(&d.side_file_first) ||
         !r.GetByte(&state_byte) || !r.GetByte(&algo_byte)) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/key.h"
 #include "common/options.h"
 #include "common/status.h"
 #include "common/sync.h"
@@ -49,6 +50,9 @@ struct IndexDescriptor {
   TableId table = 0;
   bool unique = false;
   std::vector<uint32_t> key_cols;
+  // Normalized-encoding column types, parallel to key_cols (empty =
+  // all kString); see common/key.h.
+  std::vector<KeyColumnType> key_types;
   PageId anchor = kInvalidPageId;
   PageId side_file_first = kInvalidPageId;  // SF builds only
   IndexState state = IndexState::kBuilding;
@@ -78,10 +82,10 @@ class Catalog {
   // ---- indexes ----
   // Creates descriptor + empty tree (+ side-file for SF).  The caller
   // (builder) is responsible for the quiesce protocol around this.
-  StatusOr<IndexDescriptor> CreateIndex(const std::string& name,
-                                        TableId table, bool unique,
-                                        std::vector<uint32_t> key_cols,
-                                        BuildAlgo algo);
+  StatusOr<IndexDescriptor> CreateIndex(
+      const std::string& name, TableId table, bool unique,
+      std::vector<uint32_t> key_cols, BuildAlgo algo,
+      std::vector<KeyColumnType> key_types = {});
   // Marks an index ready for reads (build complete) and persists.
   Status SetIndexReady(IndexId id);
   // Removes an index entirely (cancel / drop).  Caller holds the table

@@ -37,6 +37,7 @@ void Engine::WireUp() {
   pool_.AttachMetrics(registry);
   locks_.AttachMetrics(registry);
   env_->log.AttachMetrics(registry);
+  env_->runs.AttachMetrics(registry);
   records_.AttachMetrics(registry);
 
   // Sticky-on: the profiler is process-wide, so an engine opened with the

@@ -29,8 +29,17 @@ bool GetCounters(BufferReader* r, std::vector<uint64_t>* counters) {
   return true;
 }
 
+// Checkpoint format version.  v2: keys in phase blobs (sorter last-output
+// keys, loader high keys, side-file positions) are normalized
+// byte-comparable encodings and runs are prefix-compressed; a v1
+// checkpoint's raw concatenated keys would silently mis-sort against
+// them, so decoding rejects any other version and the build restarts
+// from scratch.
+inline constexpr uint8_t kBuildMetaVersion = 2;
+
 std::string EncodeBuildMeta(const BuildMeta& meta) {
   std::string blob;
+  blob.push_back(static_cast<char>(kBuildMetaVersion));
   blob.push_back(static_cast<char>(meta.algo));
   PutFixed32(&blob, static_cast<uint32_t>(meta.indexes.size()));
   for (IndexId id : meta.indexes) PutFixed32(&blob, id);
@@ -51,8 +60,12 @@ std::string EncodeBuildMeta(const BuildMeta& meta) {
 
 Status DecodeBuildMeta(const std::string& blob, BuildMeta* meta) {
   BufferReader r(blob);
-  uint8_t algo, phase;
+  uint8_t version, algo, phase;
   uint32_t n_indexes, n_fences;
+  if (!r.GetByte(&version)) return Status::Corruption("build meta header");
+  if (version != kBuildMetaVersion) {
+    return Status::Corruption("build meta version mismatch (key encoding)");
+  }
   if (!r.GetByte(&algo) || !r.GetFixed32(&n_indexes)) {
     return Status::Corruption("build meta header");
   }
@@ -109,6 +122,7 @@ Status ClearBuildMeta(Engine* engine, TableId table) {
 
 Status VerifyUniqueConflict(Engine* engine, TxnId locker, TableId table,
                             const std::vector<uint32_t>& key_cols,
+                            const std::vector<KeyColumnType>& key_types,
                             std::string_view key, const Rid& existing_rid,
                             const Rid& new_rid) {
   // Section 2.2.3: IB locks both records in share mode, then verifies
@@ -127,7 +141,7 @@ Status VerifyUniqueConflict(Engine* engine, TxnId locker, TableId table,
   auto key_of = [&](const Rid& rid) -> StatusOr<std::string> {
     auto rec = heap->Get(rid);
     if (!rec.ok()) return rec.status();  // NotFound: record gone
-    return Schema::ExtractKey(*rec, key_cols);
+    return Schema::ExtractKey(*rec, key_cols, key_types);
   };
 
   Status result = Status::OK();
@@ -167,6 +181,7 @@ Status ReattachInterruptedBuilds(Engine* engine) {
       ib.side_file = engine->catalog()->side_file(d.id);
       ib.unique = d.unique;
       ib.key_cols = d.key_cols;
+      ib.key_types = d.key_types;
       in_build.push_back(std::move(ib));
     }
     auto build = engine->records()->RegisterBuild(table, algo,

@@ -37,6 +37,9 @@ struct BuildParams {
   TableId table = 0;
   bool unique = false;
   std::vector<uint32_t> key_cols;
+  // Normalized-encoding column types, parallel to key_cols (empty =
+  // all kString).
+  std::vector<KeyColumnType> key_types;
 };
 
 struct BuildStats {
@@ -67,6 +70,11 @@ struct BuildStats {
   // concurrently — benches isolate as needed).
   uint64_t log_records = 0;
   uint64_t log_bytes = 0;
+  // Key-byte movement through the sort/merge path (delta of RunStore
+  // counters over the build): raw normalized key bytes submitted vs the
+  // prefix-compressed bytes actually written into runs.
+  uint64_t key_bytes_moved = 0;
+  uint64_t key_bytes_stored = 0;
 };
 
 class OfflineIndexBuilder {
@@ -126,6 +134,7 @@ Status ReattachInterruptedBuilds(Engine* engine);
 // insert may proceed, UniqueViolation when the build must be terminated.
 Status VerifyUniqueConflict(Engine* engine, TxnId locker, TableId table,
                             const std::vector<uint32_t>& key_cols,
+                            const std::vector<KeyColumnType>& key_types,
                             std::string_view key, const Rid& existing_rid,
                             const Rid& new_rid);
 

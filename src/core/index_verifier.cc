@@ -25,7 +25,7 @@ StatusOr<IndexVerifyReport> IndexVerifier::Verify(TableId table,
   Status extract_error = Status::OK();
   OIB_RETURN_IF_ERROR(
       heap->ForEach([&](const Rid& rid, std::string_view rec) {
-        auto key = Schema::ExtractKey(rec, desc->key_cols);
+        auto key = Schema::ExtractKey(rec, desc->key_cols, desc->key_types);
         if (!key.ok()) {
           extract_error = key.status();
           return;

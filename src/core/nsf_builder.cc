@@ -85,7 +85,8 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
       quiesce_txn->id(), TableLockId(params.table), LockMode::kS, opt));
 
   auto desc = catalog->CreateIndex(params.name, params.table, params.unique,
-                                   params.key_cols, BuildAlgo::kNsf);
+                                   params.key_cols, BuildAlgo::kNsf,
+                                   params.key_types);
   if (!desc.ok()) {
     (void)engine_->Rollback(quiesce_txn);
     return desc.status();
@@ -96,6 +97,7 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
   ib.side_file = nullptr;
   ib.unique = params.unique;
   ib.key_cols = params.key_cols;
+  ib.key_types = params.key_types;
   auto build =
       records->RegisterBuild(params.table, BuildAlgo::kNsf, {std::move(ib)});
   build->SetPhase(obs::BuildPhase::kQuiesce);
@@ -129,6 +131,7 @@ Status NsfIndexBuilder::Resume(TableId table, IndexId* out,
   params.table = table;
   params.unique = desc->unique;
   params.key_cols = desc->key_cols;
+  params.key_types = desc->key_types;
   if (out != nullptr) *out = id;
   return Run(params, id, meta->phase, meta->phase_blob, stats);
 }
@@ -162,6 +165,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   }
   const Options& options = engine_->options();
   LogStats log_before = engine_->log()->stats();
+  uint64_t key_raw_before = engine_->runs()->raw_key_bytes();
+  uint64_t key_stored_before = engine_->runs()->stored_key_bytes();
   BuildStats local;
   auto build = engine_->records()->GetBuild(params.table);
   obs::Tracer* tracer = engine_->tracer();
@@ -211,11 +216,9 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
       };
     }
     BuildPipeline::ScanResult scan_res;
-    Status s = BuildPipeline::RunScan(heap, tracer,
-                                      {{params.key_cols, &sorter}}, &plan,
-                                      hooks,
-                                      options.sort_checkpoint_every_keys,
-                                      &scan_res);
+    Status s = BuildPipeline::RunScan(
+        heap, tracer, {{params.key_cols, params.key_types, &sorter}}, &plan,
+        hooks, options.sort_checkpoint_every_keys, &scan_res);
     local.keys_extracted = scan_res.keys_extracted;
     local.data_pages_scanned = scan_res.pages_scanned;
     local.checkpoints += scan_res.checkpoints;
@@ -265,7 +268,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
           const Rid& new_rid) -> Status {
     (void)existing_pseudo;
     return VerifyUniqueConflict(engine_, txn->id(), params.table,
-                                params.key_cols, key, existing, new_rid);
+                                params.key_cols, params.key_types, key,
+                                existing, new_rid);
   };
 
   std::vector<std::pair<std::string, Rid>> batch;
@@ -302,16 +306,16 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   // insert batch is flushed.
   auto consume = [&](const BuildPipeline::Batch& mb) -> Status {
     for (const SortItem& item : mb.items) {
-      if (params.unique && has_prev && item.key == prev_key &&
+      if (params.unique && has_prev && item.key.view() == prev_key &&
           !(item.rid == prev_rid)) {
         OIB_RETURN_IF_ERROR(VerifyUniqueConflict(
-            engine_, txn->id(), params.table, params.key_cols, item.key,
-            prev_rid, item.rid));
+            engine_, txn->id(), params.table, params.key_cols,
+            params.key_types, item.key.view(), prev_rid, item.rid));
       }
-      prev_key = item.key;
+      prev_key.assign(item.key.data(), item.key.size());
       prev_rid = item.rid;
       has_prev = true;
-      batch.emplace_back(std::move(const_cast<SortItem&>(item).key),
+      batch.emplace_back(const_cast<SortItem&>(item).key.TakeBytes(),
                          item.rid);
       if (batch.size() >= options.ib_keys_per_call) {
         OIB_RETURN_IF_ERROR(flush_batch());
@@ -365,6 +369,9 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;
+  local.key_bytes_moved = engine_->runs()->raw_key_bytes() - key_raw_before;
+  local.key_bytes_stored =
+      engine_->runs()->stored_key_bytes() - key_stored_before;
   local.elapsed_ms = MsSince(t_run);
   if (stats != nullptr) {
     local.quiesce_ms = stats->quiesce_ms;  // preserved from Build()

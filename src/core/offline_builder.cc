@@ -36,6 +36,8 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   if (heap == nullptr) return Status::NotFound("no such table");
   const Options& options = engine_->options();
   LogStats log_before = engine_->log()->stats();
+  uint64_t key_raw_before = engine_->runs()->raw_key_bytes();
+  uint64_t key_stored_before = engine_->runs()->stored_key_bytes();
   BuildStats local;
 
   auto t0 = std::chrono::steady_clock::now();
@@ -49,7 +51,8 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
       txn->id(), TableLockId(params.table), LockMode::kX, opt));
 
   auto desc = catalog->CreateIndex(params.name, params.table, params.unique,
-                                   params.key_cols, BuildAlgo::kOffline);
+                                   params.key_cols, BuildAlgo::kOffline,
+                                   params.key_types);
   if (!desc.ok()) {
     (void)engine_->Rollback(txn);
     return desc.status();
@@ -79,10 +82,10 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   hooks.span_name_count = 8;
   BuildPipeline::ScanResult scan_res;
   {
-    Status s = BuildPipeline::RunScan(heap, engine_->tracer(),
-                                      {{params.key_cols, &sorter}}, &plan,
-                                      hooks, /*checkpoint_every_keys=*/0,
-                                      &scan_res);
+    Status s = BuildPipeline::RunScan(
+        heap, engine_->tracer(),
+        {{params.key_cols, params.key_types, &sorter}}, &plan, hooks,
+        /*checkpoint_every_keys=*/0, &scan_res);
     if (s.ok()) s = sorter.FinishWriters();
     if (s.ok()) s = sorter.PrepareMerge();
     if (!s.ok()) return abort_build(s);
@@ -112,12 +115,12 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   bool has_prev = false;
   auto consume = [&](const BuildPipeline::Batch& batch) -> Status {
     for (const SortItem& item : batch.items) {
-      if (params.unique && has_prev && item.key == prev_key) {
+      if (params.unique && has_prev && item.key.view() == prev_key) {
         return Status::UniqueViolation(
             "duplicate key value in offline build");
       }
       OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
-      prev_key = item.key;
+      prev_key.assign(item.key.data(), item.key.size());
       has_prev = true;
       ++local.keys_loaded;
     }
@@ -158,6 +161,9 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;
+  local.key_bytes_moved = engine_->runs()->raw_key_bytes() - key_raw_before;
+  local.key_bytes_stored =
+      engine_->runs()->stored_key_bytes() - key_stored_before;
   if (out != nullptr) *out = id;
   if (stats != nullptr) *stats = local;
   return Status::OK();

@@ -17,11 +17,9 @@ namespace {
 // comparison is ambiguous for that case).
 
 Status ExtractKeyFor(const std::vector<uint32_t>& cols,
+                     const std::vector<KeyColumnType>& types,
                      std::string_view record, std::string* key) {
-  auto k = Schema::ExtractKey(record, cols);
-  if (!k.ok()) return k.status();
-  *key = std::move(*k);
-  return Status::OK();
+  return Schema::ExtractKeyTo(record, cols, types, key);
 }
 
 }  // namespace
@@ -170,18 +168,19 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
                                std::string_view new_rec) {
   auto maintain_direct = [&](BTree* tree, bool unique,
                              const std::vector<uint32_t>& cols,
+                             const std::vector<KeyColumnType>& types,
                              bool nsf_build) -> Status {
     std::string old_key, new_key;
     switch (op) {
       case HeapOp::kInsert:
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, new_rec, &new_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, new_rec, &new_key));
         return InsertKey(txn, table, tree, unique, nsf_build, new_key, rid);
       case HeapOp::kDelete:
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, old_rec, &old_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, old_rec, &old_key));
         return DeleteKey(txn, tree, nsf_build, old_key, rid);
       case HeapOp::kUpdate: {
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, old_rec, &old_key));
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, new_rec, &new_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, old_rec, &old_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, new_rec, &new_key));
         if (old_key == new_key) return Status::OK();
         OIB_RETURN_IF_ERROR(DeleteKey(txn, tree, nsf_build, old_key, rid));
         return InsertKey(txn, table, tree, unique, nsf_build, new_key, rid);
@@ -194,8 +193,8 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
   for (const IndexDescriptor& d : plan.ready) {
     BTree* tree = catalog_->index(d.id);
     if (tree == nullptr) return Status::Corruption("missing ready index");
-    OIB_RETURN_IF_ERROR(
-        maintain_direct(tree, d.unique, d.key_cols, /*nsf_build=*/false));
+    OIB_RETURN_IF_ERROR(maintain_direct(tree, d.unique, d.key_cols,
+                                        d.key_types, /*nsf_build=*/false));
   }
 
   if (!plan.build) return Status::OK();
@@ -203,7 +202,7 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
   if (plan.build->algo == BuildAlgo::kNsf) {
     for (const InBuildIndex& ib : plan.build->indexes) {
       OIB_RETURN_IF_ERROR(maintain_direct(ib.tree, ib.unique, ib.key_cols,
-                                          /*nsf_build=*/true));
+                                          ib.key_types, /*nsf_build=*/true));
     }
     return Status::OK();
   }
@@ -215,7 +214,8 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
       std::string old_key, new_key;
       switch (op) {
         case HeapOp::kInsert:
-          OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, new_rec, &new_key));
+          OIB_RETURN_IF_ERROR(
+              ExtractKeyFor(ib.key_cols, ib.key_types, new_rec, &new_key));
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kInsertKey, new_key, rid));
           stats_.side_file_appends.fetch_add(1);
@@ -223,7 +223,8 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
               1, std::memory_order_relaxed);
           break;
         case HeapOp::kDelete:
-          OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, old_rec, &old_key));
+          OIB_RETURN_IF_ERROR(
+              ExtractKeyFor(ib.key_cols, ib.key_types, old_rec, &old_key));
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kDeleteKey, old_key, rid));
           stats_.side_file_appends.fetch_add(1);
@@ -231,8 +232,10 @@ Status RecordManager::Maintain(Transaction* txn, TableId table,
               1, std::memory_order_relaxed);
           break;
         case HeapOp::kUpdate: {
-          OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, old_rec, &old_key));
-          OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, new_rec, &new_key));
+          OIB_RETURN_IF_ERROR(
+              ExtractKeyFor(ib.key_cols, ib.key_types, old_rec, &old_key));
+          OIB_RETURN_IF_ERROR(
+              ExtractKeyFor(ib.key_cols, ib.key_types, new_rec, &new_key));
           if (old_key == new_key) break;
           OIB_RETURN_IF_ERROR(ib.side_file->Append(
               txn, SideFileOp::kDeleteKey, old_key, rid));
@@ -404,28 +407,29 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
 
   // Direct (tree-traversal) compensation, logged redo-only: these actions
   // are themselves undo actions and must never be re-undone.
-  auto compensate_direct = [&](BTree* tree, const std::vector<uint32_t>& cols)
+  auto compensate_direct = [&](BTree* tree, const std::vector<uint32_t>& cols,
+                               const std::vector<KeyColumnType>& types)
       -> Status {
     std::string old_key, new_key;
     switch (original_op) {
       case HeapOp::kInsert: {
         // Undo of insert: the key for `after` must leave the index.
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, after, &new_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, after, &new_key));
         Status s = tree->PhysicalDelete(txn, new_key, rid,
                                         LogRecordType::kRedoOnly);
         if (!s.ok() && !s.IsNotFound()) return s;
         return Status::OK();
       }
       case HeapOp::kDelete: {
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, before, &old_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, before, &old_key));
         auto r = tree->Insert(txn, old_key, rid, 0,
                               LogRecordType::kRedoOnly);
         if (!r.ok()) return r.status();
         return Status::OK();
       }
       case HeapOp::kUpdate: {
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, after, &new_key));
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, before, &old_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, after, &new_key));
+        OIB_RETURN_IF_ERROR(ExtractKeyFor(cols, types, before, &old_key));
         if (new_key == old_key) return Status::OK();
         Status s = tree->PhysicalDelete(txn, new_key, rid,
                                         LogRecordType::kRedoOnly);
@@ -447,16 +451,20 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
     std::string old_key, new_key;
     switch (original_op) {
       case HeapOp::kInsert:
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, after, &new_key));
+        OIB_RETURN_IF_ERROR(
+            ExtractKeyFor(ib.key_cols, ib.key_types, after, &new_key));
         return ib.side_file->Append(txn, SideFileOp::kDeleteKey, new_key,
                                     rid);
       case HeapOp::kDelete:
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, before, &old_key));
+        OIB_RETURN_IF_ERROR(
+            ExtractKeyFor(ib.key_cols, ib.key_types, before, &old_key));
         return ib.side_file->Append(txn, SideFileOp::kInsertKey, old_key,
                                     rid);
       case HeapOp::kUpdate: {
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, after, &new_key));
-        OIB_RETURN_IF_ERROR(ExtractKeyFor(ib.key_cols, before, &old_key));
+        OIB_RETURN_IF_ERROR(
+            ExtractKeyFor(ib.key_cols, ib.key_types, after, &new_key));
+        OIB_RETURN_IF_ERROR(
+            ExtractKeyFor(ib.key_cols, ib.key_types, before, &old_key));
         if (new_key == old_key) return Status::OK();
         OIB_RETURN_IF_ERROR(ib.side_file->Append(
             txn, SideFileOp::kDeleteKey, new_key, rid));
@@ -475,7 +483,7 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
       // by traversing the tree (Figure 2).
       BTree* tree = catalog_->index(d.id);
       if (tree == nullptr) return Status::Corruption("missing index");
-      OIB_RETURN_IF_ERROR(compensate_direct(tree, d.key_cols));
+      OIB_RETURN_IF_ERROR(compensate_direct(tree, d.key_cols, d.key_types));
       stats_.rollback_compensations.fetch_add(1);
     }
     ++ordinal;
@@ -497,7 +505,8 @@ Status RecordManager::UndoHook(Transaction* txn, TableId table,
           // NSF builds quiesce updates at descriptor creation (2.2.1), so
           // a transaction older than the descriptor cannot exist; kept
           // for safety with a tolerant direct compensation.
-          OIB_RETURN_IF_ERROR(compensate_direct(ib.tree, ib.key_cols));
+          OIB_RETURN_IF_ERROR(
+              compensate_direct(ib.tree, ib.key_cols, ib.key_types));
         }
       }
       ++ordinal;

@@ -53,6 +53,7 @@ struct InBuildIndex {
   SideFile* side_file = nullptr;  // SF only
   bool unique = false;
   std::vector<uint32_t> key_cols;
+  std::vector<KeyColumnType> key_types;  // empty = all kString
 };
 
 // Shared state between an index builder and concurrent transactions.

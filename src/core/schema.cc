@@ -32,17 +32,82 @@ Status Schema::DecodeRecord(std::string_view record,
   return Status::OK();
 }
 
-StatusOr<std::string> Schema::ExtractKey(
-    std::string_view record, const std::vector<uint32_t>& key_cols) {
-  std::vector<std::string> fields;
-  OIB_RETURN_IF_ERROR(DecodeRecord(record, &fields));
-  std::string key;
-  for (uint32_t col : key_cols) {
+std::string Schema::EncodeInt64Field(int64_t value) {
+  std::string out;
+  PutFixed64(&out, static_cast<uint64_t>(value));
+  return out;
+}
+
+Status Schema::DecodeInt64Field(std::string_view field, int64_t* value) {
+  if (field.size() != 8) return Status::Corruption("int64 field size");
+  *value = static_cast<int64_t>(DecodeFixed64(field.data()));
+  return Status::OK();
+}
+
+Status Schema::ExtractKeyTo(std::string_view record,
+                            const std::vector<uint32_t>& key_cols,
+                            const std::vector<KeyColumnType>& key_types,
+                            std::string* key) {
+  if (!key_types.empty() && key_types.size() != key_cols.size()) {
+    return Status::InvalidArgument("key_types/key_cols size mismatch");
+  }
+  // Walk the record once, collecting field views; no field copies.
+  BufferReader r(record);
+  uint16_t n;
+  if (!r.GetFixed16(&n)) return Status::Corruption("record header");
+  std::vector<std::string_view> fields;
+  fields.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t len;
+    if (!r.GetFixed16(&len) || r.remaining() < len) {
+      return Status::Corruption("record field");
+    }
+    fields.push_back(record.substr(r.position(), len));
+    r.Skip(len);
+  }
+  std::string out;
+  out.swap(*key);  // reuse the caller's capacity
+  out.clear();
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    uint32_t col = key_cols[i];
     if (col >= fields.size()) {
+      key->swap(out);
       return Status::Corruption("key column out of range");
     }
-    key.append(fields[col]);
+    KeyColumnType type =
+        key_types.empty() ? KeyColumnType::kString : key_types[i];
+    switch (type) {
+      case KeyColumnType::kString:
+        keyenc::AppendStringColumn(&out, fields[col]);
+        break;
+      case KeyColumnType::kInt64: {
+        int64_t v;
+        Status s = DecodeInt64Field(fields[col], &v);
+        if (!s.ok()) {
+          key->swap(out);
+          return s;
+        }
+        keyenc::AppendInt64Column(&out, v);
+        break;
+      }
+    }
   }
+  key->swap(out);
+  return Status::OK();
+}
+
+StatusOr<std::string> Schema::ExtractKey(
+    std::string_view record, const std::vector<uint32_t>& key_cols) {
+  std::string key;
+  OIB_RETURN_IF_ERROR(ExtractKeyTo(record, key_cols, {}, &key));
+  return key;
+}
+
+StatusOr<std::string> Schema::ExtractKey(
+    std::string_view record, const std::vector<uint32_t>& key_cols,
+    const std::vector<KeyColumnType>& key_types) {
+  std::string key;
+  OIB_RETURN_IF_ERROR(ExtractKeyTo(record, key_cols, key_types, &key));
   return key;
 }
 

@@ -1,13 +1,20 @@
-// Schema: minimal record codec and key extraction.
+// Schema: minimal record codec and normalized key extraction.
 //
 // A record is a sequence of string fields: [n u16] ([len u16][bytes])*.
-// An index key is the concatenation of the values of the key columns
-// (paper section 1.1: "key value is the concatenation of the values of
-// the columns of the table over which the index is defined").
+// An index key covers a list of columns (paper section 1.1); ExtractKey
+// emits the *normalized* byte-comparable encoding of those columns (see
+// common/key.h), so every downstream comparison — sort, merge, bulk load,
+// B+-tree lookup, side-file ordering — is a raw memcmp.
 //
-// NOTE: plain concatenation is order-preserving only when each key column
-// is fixed-width (e.g. zero-padded decimal strings); workloads, examples,
-// and tests use fixed-width fields.
+// Each key column carries a KeyColumnType (default kString).  An kInt64
+// column's record field must be the 8-byte little-endian payload written
+// by EncodeInt64Field; its normalized form is order-preserving across
+// negative values.
+//
+// The former encoding — plain concatenation of the column values — was
+// only order-preserving for fixed-width columns and collided composites
+// like ("ab","c") and ("a","bc"); the normalized encoding terminates every
+// string column, so those extract to distinct, correctly ordered keys.
 
 #ifndef OIB_CORE_SCHEMA_H_
 #define OIB_CORE_SCHEMA_H_
@@ -15,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/key.h"
 #include "common/status.h"
 
 namespace oib {
@@ -24,9 +32,26 @@ class Schema {
   static std::string EncodeRecord(const std::vector<std::string>& fields);
   static Status DecodeRecord(std::string_view record,
                              std::vector<std::string>* fields);
-  // Concatenation of the named columns' values.
+
+  // Record-field payload for an int64-typed key column.
+  static std::string EncodeInt64Field(int64_t value);
+  static Status DecodeInt64Field(std::string_view field, int64_t* value);
+
+  // Normalized key of the named columns, all treated as strings.
   static StatusOr<std::string> ExtractKey(
       std::string_view record, const std::vector<uint32_t>& key_cols);
+  // Typed variant; `key_types` runs parallel to `key_cols` (empty =
+  // all kString).
+  static StatusOr<std::string> ExtractKey(
+      std::string_view record, const std::vector<uint32_t>& key_cols,
+      const std::vector<KeyColumnType>& key_types);
+  // Core implementation: appends nothing on error, replaces *key on
+  // success.  Reuses *key's capacity — the per-record extraction path of
+  // the build scan calls this in a loop.
+  static Status ExtractKeyTo(std::string_view record,
+                             const std::vector<uint32_t>& key_cols,
+                             const std::vector<KeyColumnType>& key_types,
+                             std::string* key);
 };
 
 }  // namespace oib

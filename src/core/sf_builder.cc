@@ -152,7 +152,7 @@ Status SfIndexBuilder::BuildMany(const std::vector<BuildParams>& params,
   for (const BuildParams& p : params) {
     auto desc =
         catalog->CreateIndex(p.name, table, p.unique, p.key_cols,
-                             BuildAlgo::kSf);
+                             BuildAlgo::kSf, p.key_types);
     if (!desc.ok()) return desc.status();
     ids.push_back(desc->id);
     InBuildIndex ib;
@@ -161,6 +161,7 @@ Status SfIndexBuilder::BuildMany(const std::vector<BuildParams>& params,
     ib.side_file = catalog->side_file(desc->id);
     ib.unique = p.unique;
     ib.key_cols = p.key_cols;
+    ib.key_types = p.key_types;
     in_build.push_back(std::move(ib));
   }
   engine_->records()->RegisterBuild(table, BuildAlgo::kSf,
@@ -213,6 +214,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   if (!build) return Status::Corruption("SF build not registered");
   const Options& options = engine_->options();
   LogStats log_before = engine_->log()->stats();
+  uint64_t key_raw_before = engine_->runs()->raw_key_bytes();
+  uint64_t key_stored_before = engine_->runs()->stored_key_bytes();
   BuildStats local;
   auto t_run = std::chrono::steady_clock::now();
 
@@ -270,7 +273,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     std::vector<BuildPipeline::ScanTarget> targets;
     targets.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      targets.push_back({descs[i].key_cols, sorters[i].get()});
+      targets.push_back(
+          {descs[i].key_cols, descs[i].key_types, sorters[i].get()});
     }
     BuildPipeline::ScanHooks hooks;
     hooks.failpoint = "sf.scan";
@@ -331,12 +335,13 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
       std::vector<std::pair<Rid, std::string>> recs;
       auto next = heap->ExtractPage(more, &recs);
       if (!next.ok()) return next.status();
+      std::string key_buf;
       for (const auto& [rid, rec] : recs) {
         for (size_t i = 0; i < n; ++i) {
-          auto key = Schema::ExtractKey(rec, descs[i].key_cols);
-          if (!key.ok()) return key.status();
+          OIB_RETURN_IF_ERROR(Schema::ExtractKeyTo(
+              rec, descs[i].key_cols, descs[i].key_types, &key_buf));
           OIB_RETURN_IF_ERROR(
-              sorters[i]->writer(tail_writer)->Add(std::move(*key), rid));
+              sorters[i]->writer(tail_writer)->Add(key_buf, rid));
         }
         ++local.keys_extracted;
         build->keys_done.fetch_add(1, std::memory_order_relaxed);
@@ -422,14 +427,14 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
       auto consume = [&](const BuildPipeline::Batch& mb) -> Status {
         for (const SortItem& item : mb.items) {
           OIB_FAIL_POINT("sf.load");
-          if (descs[idx].unique && has_prev && item.key == prev_key &&
+          if (descs[idx].unique && has_prev && item.key.view() == prev_key &&
               !(item.rid == prev_rid)) {
             OIB_RETURN_IF_ERROR(VerifyUniqueConflict(
-                engine_, txn->id(), table, descs[idx].key_cols, item.key,
-                prev_rid, item.rid));
+                engine_, txn->id(), table, descs[idx].key_cols,
+                descs[idx].key_types, item.key.view(), prev_rid, item.rid));
           }
           OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
-          prev_key = item.key;
+          prev_key.assign(item.key.data(), item.key.size());
           prev_rid = item.rid;
           has_prev = true;
           ++local.keys_loaded;
@@ -509,7 +514,8 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         if (!vm.ok()) return vm.status();
         if (vm->found && !(vm->rid == e.rid) && !vm->pseudo_deleted) {
           Status s = VerifyUniqueConflict(engine_, txn->id(), table,
-                                          descs[idx].key_cols, e.key,
+                                          descs[idx].key_cols,
+                                          descs[idx].key_types, e.key,
                                           vm->rid, e.rid);
           if (!s.ok()) return s;
         }
@@ -563,7 +569,7 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
       }
       std::stable_sort(batch.begin(), batch.end(),
                        [](const auto& a, const auto& b) {
-                         int c = a.second.key.compare(b.second.key);
+                         int c = CompareKeySlice(a.second.key, b.second.key);
                          if (c != 0) return c < 0;
                          if (a.second.rid < b.second.rid) return true;
                          if (b.second.rid < a.second.rid) return false;
@@ -703,6 +709,9 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   LogStats log_after = engine_->log()->stats();
   local.log_records = log_after.records - log_before.records;
   local.log_bytes = log_after.bytes - log_before.bytes;
+  local.key_bytes_moved = engine_->runs()->raw_key_bytes() - key_raw_before;
+  local.key_bytes_stored =
+      engine_->runs()->stored_key_bytes() - key_stored_before;
   local.elapsed_ms = MsSince(t_run);
   if (stats != nullptr) *stats = local;
   return Status::OK();

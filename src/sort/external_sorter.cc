@@ -43,21 +43,26 @@ Status RunGenerator::Output(size_t slot) {
     current_run_ = 0;
   }
   OIB_RETURN_IF_ERROR(EnsureRunOpen());
-  OIB_RETURN_IF_ERROR(store_->Append(current_run_, items_[slot]));
-  last_output_ = std::move(items_[slot]);
+  OIB_RETURN_IF_ERROR(
+      store_->Append(current_run_, items_[slot].key, items_[slot].rid));
+  // Copy (not steal) into last_output_: the slot keeps its buffer
+  // capacity for the item that will replace it.
+  last_output_.key.Assign(items_[slot].key);
+  last_output_.rid = items_[slot].rid;
   has_last_output_ = true;
   return Status::OK();
 }
 
-Status RunGenerator::Add(SortItem item) {
+Status RunGenerator::Add(KeySlice key, const Rid& rid) {
   uint64_t tag = current_tag_;
-  if (has_last_output_ && CompareSortItem(item, last_output_) < 0) {
+  if (has_last_output_ && CompareKeyRid(key, rid, last_output_) < 0) {
     tag = current_tag_ + 1;
   }
   if (!free_.empty()) {
     size_t slot = free_.back();
     free_.pop_back();
-    items_[slot] = std::move(item);
+    items_[slot].key.Assign(key);
+    items_[slot].rid = rid;
     tags_[slot] = tag;
     valid_[slot] = true;
     if (free_.empty()) {
@@ -71,8 +76,9 @@ Status RunGenerator::Add(SortItem item) {
   OIB_RETURN_IF_ERROR(Output(w));
   // Recompute the tag: last_output_ just changed.
   tag = current_tag_;
-  if (CompareSortItem(item, last_output_) < 0) tag = current_tag_ + 1;
-  items_[w] = std::move(item);
+  if (CompareKeyRid(key, rid, last_output_) < 0) tag = current_tag_ + 1;
+  items_[w].key.Assign(key);
+  items_[w].rid = rid;
   tags_[w] = tag;
   tree_.Update(w);
   return Status::OK();
@@ -202,7 +208,7 @@ Status AppendGeneratorCheckpoint(RunStore* store, RunGenerator* gen,
   PutFixed64(blob, gen->current_run());
   blob->push_back(gen->has_last_output() ? 1 : 0);
   if (gen->has_last_output()) {
-    PutLengthPrefixed(blob, gen->last_output().key);
+    PutLengthPrefixed(blob, gen->last_output().key.bytes());
     PutFixed32(blob, gen->last_output().rid.page);
     PutFixed16(blob, gen->last_output().rid.slot);
   }
@@ -231,8 +237,8 @@ Status RestoreGeneratorCheckpoint(RunStore* store, RunGenerator* gen,
   SortItem last;
   if (has_last != 0) {
     uint16_t slot;
-    if (!r->GetLengthPrefixed(&last.key) || !r->GetFixed32(&last.rid.page) ||
-        !r->GetFixed16(&slot)) {
+    if (!r->GetLengthPrefixed(last.key.mutable_bytes()) ||
+        !r->GetFixed32(&last.rid.page) || !r->GetFixed16(&slot)) {
       return Status::Corruption("sort checkpoint last key");
     }
     last.rid.slot = slot;
@@ -316,7 +322,7 @@ Status ExternalSorter::PrepareMerge() {
       auto more = cursor.Next(&item);
       if (!more.ok()) return more.status();
       if (!*more) break;
-      OIB_RETURN_IF_ERROR(store_->Append(merged, item));
+      OIB_RETURN_IF_ERROR(store_->Append(merged, item.key, item.rid));
     }
     OIB_RETURN_IF_ERROR(store_->Flush(merged));
     std::vector<RunId> remaining;

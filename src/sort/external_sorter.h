@@ -35,7 +35,9 @@ class RunGenerator {
  public:
   RunGenerator(RunStore* store, size_t workspace_keys);
 
-  Status Add(SortItem item);
+  // Copies the key into a workspace slot, reusing the slot's buffer
+  // capacity — steady state adds are allocation-free.
+  Status Add(KeySlice key, const Rid& rid);
   // Outputs every buffered key (checkpoint prerequisite: "we wait for the
   // tournament tree to output all the keys that have so far been
   // extracted").  The current run stays open.
@@ -104,9 +106,9 @@ class ExternalSorter {
       : store_(store), options_(options),
         gen_(store, options->sort_workspace_keys) {}
 
-  Status Add(std::string key, const Rid& rid) {
+  Status Add(KeySlice key, const Rid& rid) {
     ++items_added_;
-    return gen_.Add(SortItem{std::move(key), rid});
+    return gen_.Add(key, rid);
   }
 
   // Section 5.1 checkpoint: drain + force runs + serialize state.  The
@@ -132,9 +134,9 @@ class ExternalSorter {
     RunWriter(RunStore* store, size_t workspace_keys)
         : store_(store), gen_(store, workspace_keys) {}
 
-    Status Add(std::string key, const Rid& rid) {
+    Status Add(KeySlice key, const Rid& rid) {
       ++items_added_;
-      return gen_.Add(SortItem{std::move(key), rid});
+      return gen_.Add(key, rid);
     }
     Status FinishInput() { return gen_.FinishInput(); }
     StatusOr<std::string> Checkpoint();

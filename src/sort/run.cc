@@ -1,14 +1,51 @@
 #include "sort/run.h"
 
 #include "common/coding.h"
+#include "obs/metrics.h"
 
 namespace oib {
 
+namespace {
+
+// Per-item framing around the suffix: [shared u16][suffix_len u16] before,
+// [rid u32+u16] after.
+constexpr uint64_t kItemOverhead = 4 + 6;
+
+// Walks the prefix-compressed item stream in d[0, limit), rebuilding the
+// running key.  Stops before the first incomplete (torn) item; *end is the
+// offset just past the last whole item.
+Status WalkItems(const std::string& d, uint64_t limit, uint64_t* end,
+                 uint64_t* items, std::string* last_key) {
+  uint64_t off = 0, n = 0;
+  last_key->clear();
+  while (off + 4 <= limit) {
+    uint16_t shared = DecodeFixed16(d.data() + off);
+    uint16_t slen = DecodeFixed16(d.data() + off + 2);
+    if (off + kItemOverhead + slen > limit) break;
+    if (shared > last_key->size()) {
+      return Status::Corruption("run prefix chain broken");
+    }
+    last_key->resize(shared);
+    last_key->append(d.data() + off + 4, slen);
+    off += kItemOverhead + slen;
+    ++n;
+  }
+  *end = off;
+  *items = n;
+  return Status::OK();
+}
+
+}  // namespace
+
 int CompareSortItem(const SortItem& a, const SortItem& b) {
-  int c = a.key.compare(b.key);
+  return CompareKeyRid(a.key.slice(), a.rid, b);
+}
+
+int CompareKeyRid(KeySlice key, const Rid& rid, const SortItem& item) {
+  int c = key.Compare(item.key.slice());
   if (c != 0) return c;
-  if (a.rid < b.rid) return -1;
-  if (b.rid < a.rid) return 1;
+  if (rid < item.rid) return -1;
+  if (item.rid < rid) return 1;
   return 0;
 }
 
@@ -19,16 +56,22 @@ RunId RunStore::CreateRun() {
   return id;
 }
 
-Status RunStore::Append(RunId id, const SortItem& item) {
+Status RunStore::Append(RunId id, KeySlice key, const Rid& rid) {
   sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
-  std::string& d = it->second.data;
-  PutFixed16(&d, static_cast<uint16_t>(item.key.size()));
-  d.append(item.key);
-  PutFixed32(&d, item.rid.page);
-  PutFixed16(&d, item.rid.slot);
-  ++it->second.items;
+  Run& run = it->second;
+  size_t shared = CommonPrefixLen(KeySlice(run.last_key), key);
+  std::string& d = run.data;
+  PutFixed16(&d, static_cast<uint16_t>(shared));
+  PutFixed16(&d, static_cast<uint16_t>(key.size() - shared));
+  d.append(key.data() + shared, key.size() - shared);
+  PutFixed32(&d, rid.page);
+  PutFixed16(&d, rid.slot);
+  run.last_key.assign(key.data(), key.size());
+  ++run.items;
+  raw_key_bytes_ += key.size();
+  stored_key_bytes_ += key.size() - shared;
   return Status::OK();
 }
 
@@ -45,16 +88,16 @@ void RunStore::DropUnflushed() {
   for (auto& [id, run] : runs_) {
     (void)id;
     run.data.resize(run.durable);
-    // Recount items in the durable prefix.
-    uint64_t items = 0, off = 0;
-    while (off + 2 <= run.data.size()) {
-      uint16_t klen = DecodeFixed16(run.data.data() + off);
-      if (off + 2 + klen + 6 > run.data.size()) break;
-      off += 2 + klen + 6;
-      ++items;
+    // Recount items in the durable prefix, dropping a torn trailing item
+    // and rebuilding the prefix reference for subsequent appends.
+    uint64_t end = 0, items = 0;
+    if (!WalkItems(run.data, run.data.size(), &end, &items, &run.last_key)
+             .ok()) {
+      // A broken prefix chain can only come from memory corruption, not a
+      // torn write; keep whatever walked clean.
     }
-    run.data.resize(off);  // drop a torn trailing item
-    run.durable = off;
+    run.data.resize(end);
+    run.durable = end;
     run.items = items;
   }
 }
@@ -72,17 +115,12 @@ Status RunStore::Truncate(RunId id, uint64_t bytes) {
   if (bytes > run.data.size()) {
     return Status::InvalidArgument("truncate beyond run end");
   }
+  uint64_t end = 0, items = 0;
+  OIB_RETURN_IF_ERROR(WalkItems(run.data, bytes, &end, &items,
+                                &run.last_key));
+  if (end != bytes) return Status::Corruption("truncate split an item");
   run.data.resize(bytes);
   if (run.durable > bytes) run.durable = bytes;
-  uint64_t items = 0, off = 0;
-  while (off + 2 <= run.data.size()) {
-    uint16_t klen = DecodeFixed16(run.data.data() + off);
-    if (off + 2 + klen + 6 > run.data.size()) {
-      return Status::Corruption("truncate split an item");
-    }
-    off += 2 + klen + 6;
-    ++items;
-  }
   run.items = items;
   return Status::OK();
 }
@@ -123,18 +161,49 @@ uint64_t RunStore::total_bytes() const {
   return total;
 }
 
+uint64_t RunStore::raw_key_bytes() const {
+  sync::MutexLock g(&mu_);
+  return raw_key_bytes_;
+}
+
+uint64_t RunStore::stored_key_bytes() const {
+  sync::MutexLock g(&mu_);
+  return stored_key_bytes_;
+}
+
+RunStore::~RunStore() {
+  if (metrics_ != nullptr) metrics_->DetachOwner(this);
+}
+
+void RunStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  registry->RegisterValueFn("sort.key_bytes_raw",
+                            [this] { return raw_key_bytes(); }, this);
+  registry->RegisterValueFn("sort.key_bytes_stored",
+                            [this] { return stored_key_bytes(); }, this);
+}
+
 Status RunReader::SeekToItem(uint64_t index) {
   offset_ = 0;
   items_read_ = 0;
+  key_.clear();
   sync::MutexLock g(&store_->mu_);
   auto it = store_->runs_.find(id_);
   if (it == store_->runs_.end()) return Status::NotFound("no such run");
   const std::string& d = it->second.data;
   for (uint64_t i = 0; i < index; ++i) {
-    if (offset_ + 2 > d.size()) return Status::Corruption("seek past end");
-    uint16_t klen = DecodeFixed16(d.data() + offset_);
-    offset_ += 2 + klen + 6;
-    if (offset_ > d.size()) return Status::Corruption("seek past end");
+    if (offset_ + 4 > d.size()) return Status::Corruption("seek past end");
+    uint16_t shared = DecodeFixed16(d.data() + offset_);
+    uint16_t slen = DecodeFixed16(d.data() + offset_ + 2);
+    if (offset_ + 4 + slen + 6 > d.size()) {
+      return Status::Corruption("seek past end");
+    }
+    if (shared > key_.size()) {
+      return Status::Corruption("run prefix chain broken");
+    }
+    key_.resize(shared);
+    key_.append(d.data() + offset_ + 4, slen);
+    offset_ += 4 + slen + 6;
     ++items_read_;
   }
   return Status::OK();
@@ -146,13 +215,19 @@ StatusOr<bool> RunReader::Read(SortItem* item) {
   if (it == store_->runs_.end()) return Status::NotFound("no such run");
   const std::string& d = it->second.data;
   if (offset_ >= d.size()) return false;
-  if (offset_ + 2 > d.size()) return Status::Corruption("torn item");
-  uint16_t klen = DecodeFixed16(d.data() + offset_);
-  if (offset_ + 2 + klen + 6 > d.size()) return Status::Corruption("torn item");
-  item->key.assign(d.data() + offset_ + 2, klen);
-  item->rid.page = DecodeFixed32(d.data() + offset_ + 2 + klen);
-  item->rid.slot = DecodeFixed16(d.data() + offset_ + 2 + klen + 4);
-  offset_ += 2 + klen + 6;
+  if (offset_ + 4 > d.size()) return Status::Corruption("torn item");
+  uint16_t shared = DecodeFixed16(d.data() + offset_);
+  uint16_t slen = DecodeFixed16(d.data() + offset_ + 2);
+  if (offset_ + 4 + slen + 6 > d.size()) return Status::Corruption("torn item");
+  if (shared > key_.size()) {
+    return Status::Corruption("run prefix chain broken");
+  }
+  key_.resize(shared);
+  key_.append(d.data() + offset_ + 4, slen);
+  item->key.Assign(key_);
+  item->rid.page = DecodeFixed32(d.data() + offset_ + 4 + slen);
+  item->rid.slot = DecodeFixed16(d.data() + offset_ + 4 + slen + 4);
+  offset_ += 4 + slen + 6;
   ++items_read_;
   return true;
 }

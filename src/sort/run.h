@@ -8,7 +8,16 @@
 // discards the volatile tails and Resume truncates runs to the
 // checkpointed lengths.
 //
-// Run payload: a sequence of items [klen u16][key bytes][rid u32+u16].
+// Run payload: prefix-compressed items
+//   [shared u16][suffix_len u16][suffix bytes][rid u32+u16]
+// where `shared` is the length of the common prefix with the *previous*
+// item in the run.  Keys are normalized byte strings, so within a sorted
+// run adjacent keys share long prefixes and the delta encoding is both
+// order-preserving and dictionary-free: a reader reconstructs each key
+// from the previous one with a resize+append, and the merge never needs
+// to decompress more than the run's running key.  The store keeps
+// cumulative raw vs stored key-byte counters so builds can report their
+// compression ratio.
 
 #ifndef OIB_SORT_RUN_H_
 #define OIB_SORT_RUN_H_
@@ -18,19 +27,27 @@
 #include <string>
 #include <vector>
 
+#include "common/key.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "common/types.h"
 
 namespace oib {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct SortItem {
-  std::string key;
+  NormalizedKey key;
   Rid rid;
 };
 
 // (key, rid) ordering — identical to the index entry order.
 int CompareSortItem(const SortItem& a, const SortItem& b);
+// Same ordering, comparing a not-yet-materialized (key, rid) pair against
+// an item (replacement selection's run-assignment test).
+int CompareKeyRid(KeySlice key, const Rid& rid, const SortItem& item);
 
 using RunId = uint64_t;
 
@@ -42,7 +59,7 @@ class RunStore {
   RunStore& operator=(const RunStore&) = delete;
 
   RunId CreateRun();
-  Status Append(RunId id, const SortItem& item);
+  Status Append(RunId id, KeySlice key, const Rid& rid);
   // Marks everything appended so far durable.
   Status Flush(RunId id);
   // Crash simulation: every run loses its volatile tail.
@@ -59,6 +76,18 @@ class RunStore {
   size_t run_count() const;
   uint64_t total_bytes() const;
 
+  // Cumulative (monotone, never reset) key-byte counters across all runs
+  // ever appended: raw = normalized key bytes submitted, stored = suffix
+  // bytes actually written after prefix compression.  Builders report the
+  // delta over a build as its bytes-moved / compression-ratio stats.
+  uint64_t raw_key_bytes() const;
+  uint64_t stored_key_bytes() const;
+
+  // Publishes the cumulative counters as sort.key_bytes_raw /
+  // sort.key_bytes_stored value callbacks.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+  ~RunStore();
+
  private:
   friend class RunReader;
 
@@ -66,21 +95,28 @@ class RunStore {
     std::string data;
     uint64_t durable = 0;
     uint64_t items = 0;
+    // Full key of the last appended item — the prefix reference for the
+    // next append.  Rebuilt by walking after DropUnflushed/Truncate.
+    std::string last_key;
   };
 
   mutable sync::Mutex mu_{sync::LockRank::kRunStore, "runstore.mu"};
   std::map<RunId, Run> runs_ OIB_GUARDED_BY(mu_);
   RunId next_id_ OIB_GUARDED_BY(mu_) = 1;
+  uint64_t raw_key_bytes_ OIB_GUARDED_BY(mu_) = 0;
+  uint64_t stored_key_bytes_ OIB_GUARDED_BY(mu_) = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;  // set by AttachMetrics
 };
 
-// Sequential reader over a run, positionable by item index.
+// Sequential reader over a run, positionable by item index.  Keeps the
+// running reconstructed key between Reads (prefix decompression state).
 class RunReader {
  public:
   RunReader(RunStore* store, RunId id) : store_(store), id_(id) {}
 
   // Positions so the next Read returns item `index` (0-based).  O(index)
   // skip — restart repositioning per the merge checkpoint counters
-  // (section 5.2).
+  // (section 5.2) — reconstructing the running key along the way.
   Status SeekToItem(uint64_t index);
 
   // False at end of run.
@@ -93,6 +129,7 @@ class RunReader {
   RunId id_;
   uint64_t offset_ = 0;
   uint64_t items_read_ = 0;
+  std::string key_;  // running key (previous item's full key)
 };
 
 }  // namespace oib

@@ -113,8 +113,9 @@ TEST_F(BTreePageTest, SpaceAccountingAndCompaction) {
   page_.Init(true, 0);
   std::string key(100, 'x');
   int inserted = 0;
-  while (page_.HasSpaceFor(key.size())) {
+  for (;;) {
     std::string k = key + std::to_string(inserted);
+    if (!page_.HasSpaceFor(KeySlice(k))) break;
     ASSERT_TRUE(
         page_.InsertLeafAt(page_.count(), k, Rid(inserted, 0), 0).ok());
     ++inserted;
@@ -127,13 +128,151 @@ TEST_F(BTreePageTest, SpaceAccountingAndCompaction) {
     ++removed;
   }
   int reinserted = 0;
-  while (page_.HasSpaceFor(key.size() + 2) && reinserted < removed) {
+  while (reinserted < removed) {
     std::string k = key + "re" + std::to_string(reinserted);
+    if (!page_.HasSpaceFor(KeySlice(k))) break;
     int pos = page_.LowerBound(k, Rid(999, 0));
     ASSERT_TRUE(page_.InsertLeafAt(pos, k, Rid(999, 0), 0).ok());
     ++reinserted;
   }
   EXPECT_GE(reinserted, removed - 1);
+}
+
+TEST_F(BTreePageTest, PrefixFormsAndShrinksOnDivergingInsert) {
+  page_.Init(true, 0);
+  // Keys sharing a long prefix: the first insert installs the whole key
+  // as the page prefix; later inserts shrink it to the common part.
+  ASSERT_TRUE(page_.InsertLeafAt(0, "shared/prefix/aa", Rid(1, 0), 0).ok());
+  EXPECT_EQ(page_.prefix_len(), 16u);  // whole first key
+  EXPECT_EQ(page_.SuffixAt(0), "");
+  int pos = page_.LowerBound("shared/prefix/bb", Rid(2, 0));
+  ASSERT_TRUE(page_.InsertLeafAt(pos, "shared/prefix/bb", Rid(2, 0), 0).ok());
+  EXPECT_EQ(page_.prefix_len(), 14u);  // "shared/prefix/"
+  EXPECT_EQ(page_.SuffixAt(0), "aa");
+  EXPECT_EQ(page_.SuffixAt(1), "bb");
+
+  // A key diverging at byte 7 cuts the prefix to "shared/"; resident
+  // entries re-encode with longer suffixes but unchanged full keys.
+  pos = page_.LowerBound("shared/zzz", Rid(3, 0));
+  ASSERT_TRUE(page_.InsertLeafAt(pos, "shared/zzz", Rid(3, 0), 0).ok());
+  EXPECT_EQ(page_.prefix_len(), 7u);
+  EXPECT_EQ(page_.KeyAt(0), "shared/prefix/aa");
+  EXPECT_EQ(page_.KeyAt(1), "shared/prefix/bb");
+  EXPECT_EQ(page_.KeyAt(2), "shared/zzz");
+  EXPECT_EQ(page_.FindExact("shared/prefix/bb", Rid(2, 0)), 1);
+}
+
+TEST_F(BTreePageTest, LeftmostInsertCanEmptyThePrefix) {
+  page_.Init(true, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(0, "mmm1", Rid(1, 0), 0).ok());
+  ASSERT_TRUE(page_.InsertLeafAt(1, "mmm2", Rid(2, 0), 0).ok());
+  ASSERT_GT(page_.prefix_len(), 0u);
+  // New leftmost key shares nothing with the prefix.
+  int pos = page_.LowerBound("aaa", Rid(3, 0));
+  ASSERT_EQ(pos, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(pos, "aaa", Rid(3, 0), 0).ok());
+  EXPECT_EQ(page_.prefix_len(), 0u);
+  EXPECT_EQ(page_.KeyAt(0), "aaa");
+  EXPECT_EQ(page_.KeyAt(1), "mmm1");
+  EXPECT_EQ(page_.KeyAt(2), "mmm2");
+}
+
+TEST_F(BTreePageTest, KeyEqualToPrefixStoresEmptySuffix) {
+  page_.Init(true, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(0, "abcd", Rid(1, 0), 0).ok());
+  int pos = page_.LowerBound("abc", Rid(2, 0));
+  ASSERT_EQ(pos, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(pos, "abc", Rid(2, 0), 0).ok());
+  // Prefix is "abc"; the shorter key's suffix is empty and the pair
+  // still orders shorter-first.
+  EXPECT_EQ(page_.prefix_len(), 3u);
+  EXPECT_EQ(page_.SuffixAt(0), "");
+  EXPECT_EQ(page_.SuffixAt(1), "d");
+  EXPECT_EQ(page_.KeyAt(0), "abc");
+  EXPECT_EQ(page_.KeyAt(1), "abcd");
+  EXPECT_EQ(page_.FindExact("abc", Rid(2, 0)), 0);
+  EXPECT_EQ(page_.FindExact("abcd", Rid(1, 0)), 1);
+}
+
+TEST_F(BTreePageTest, FlagsSurvivePrefixShrink) {
+  page_.Init(true, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(0, "pp/live", Rid(1, 0), 0).ok());
+  ASSERT_TRUE(page_.InsertLeafAt(
+                       1, "pp/tomb", Rid(2, 0), kEntryPseudoDeleted)
+                  .ok());
+  ASSERT_GT(page_.prefix_len(), 0u);
+  // Force a shrink to zero; the pseudo-delete flag must ride along.
+  ASSERT_TRUE(page_.InsertLeafAt(0, "a", Rid(3, 0), 0).ok());
+  EXPECT_EQ(page_.prefix_len(), 0u);
+  EXPECT_EQ(page_.FlagsAt(0), 0);
+  EXPECT_EQ(page_.FlagsAt(1), 0);
+  EXPECT_EQ(page_.FlagsAt(2), kEntryPseudoDeleted);
+  EXPECT_EQ(page_.RidAt(2), Rid(2, 0));
+  EXPECT_EQ(page_.KeyAt(2), "pp/tomb");
+}
+
+TEST_F(BTreePageTest, EntryGrowthIsExactPhysicalCost) {
+  page_.Init(true, 0);
+  ASSERT_TRUE(page_.InsertLeafAt(0, "row/000", Rid(0, 0), 0).ok());
+  ASSERT_TRUE(page_.InsertLeafAt(1, "row/001", Rid(1, 0), 0).ok());
+  // Same-prefix insert: growth covers just the new entry + slot.
+  {
+    std::string k = "row/500";
+    size_t growth = page_.EntryGrowth(KeySlice(k));
+    size_t before = page_.FreeBytes();
+    int pos = page_.LowerBound(k, Rid(5, 0));
+    ASSERT_TRUE(page_.InsertLeafAt(pos, k, Rid(5, 0), 0).ok());
+    EXPECT_EQ(before - page_.FreeBytes(), growth);
+  }
+  // Prefix-shrinking insert: growth also charges the resident suffixes'
+  // expansion, and must still be exact.
+  {
+    std::string k = "r0";
+    size_t growth = page_.EntryGrowth(KeySlice(k));
+    size_t before = page_.FreeBytes();
+    int pos = page_.LowerBound(k, Rid(9, 0));
+    ASSERT_TRUE(page_.InsertLeafAt(pos, k, Rid(9, 0), 0).ok());
+    EXPECT_EQ(before - page_.FreeBytes(), growth);
+  }
+}
+
+TEST_F(BTreePageTest, SerializedBlobMovesAcrossDifferentPrefixes) {
+  // Split/checkpoint blobs carry full keys, so entries must land intact
+  // in a page whose resident prefix is unrelated to the source's.
+  page_.Init(true, 0);
+  for (int i = 0; i < 4; ++i) {
+    std::string k = "left/key" + std::to_string(i);
+    ASSERT_TRUE(page_.InsertLeafAt(page_.count(), k, Rid(i, 0), 0).ok());
+  }
+  std::string blob = page_.SerializeEntries(2, 4);
+
+  std::string buf2(kPageSize, '\0');
+  BTreePage other(buf2.data(), kPageSize);
+  other.Init(true, 0);
+  ASSERT_TRUE(other.InsertLeafAt(0, "XX/resident", Rid(99, 0), 0).ok());
+  ASSERT_GT(other.prefix_len(), 0u);
+  ASSERT_TRUE(other.AppendSerialized(blob).ok());
+  ASSERT_EQ(other.count(), 3);
+  EXPECT_EQ(other.KeyAt(0), "XX/resident");
+  EXPECT_EQ(other.KeyAt(1), "left/key2");
+  EXPECT_EQ(other.KeyAt(2), "left/key3");
+  // The target's prefix shrank to the new common prefix (nothing shared).
+  EXPECT_EQ(other.prefix_len(), 0u);
+}
+
+TEST_F(BTreePageTest, InternalPagePrefixTruncationRoutes) {
+  page_.Init(/*leaf=*/false, 1);
+  page_.set_leftmost_child(100);
+  ASSERT_TRUE(page_.InsertInternalAt(0, "idx/ggg", Rid(0, 0), 200).ok());
+  ASSERT_TRUE(page_.InsertInternalAt(1, "idx/ppp", Rid(0, 0), 300).ok());
+  EXPECT_EQ(page_.prefix_len(), 4u);  // "idx/"
+  EXPECT_EQ(page_.Route("idx/a", Rid(0, 0)), 100u);
+  EXPECT_EQ(page_.Route("idx/ggg", Rid(0, 0)), 200u);
+  EXPECT_EQ(page_.Route("idx/hhh", Rid(0, 0)), 200u);
+  EXPECT_EQ(page_.Route("idx/zzz", Rid(0, 0)), 300u);
+  // Probes outside the prefix still route correctly.
+  EXPECT_EQ(page_.Route("aaa", Rid(0, 0)), 100u);
+  EXPECT_EQ(page_.Route("zzz", Rid(0, 0)), 300u);
 }
 
 TEST_F(BTreePageTest, RandomizedOracle) {
@@ -145,7 +284,7 @@ TEST_F(BTreePageTest, RandomizedOracle) {
       std::string k = rng.NextString(rng.Range(1, 24));
       Rid rid(static_cast<PageId>(rng.Uniform(100)), 0);
       if (page_.FindExact(k, rid) >= 0) continue;
-      if (!page_.HasSpaceFor(k.size())) continue;
+      if (!page_.HasSpaceFor(KeySlice(k))) continue;
       int pos = page_.LowerBound(k, rid);
       ASSERT_TRUE(page_.InsertLeafAt(pos, k, rid, 0).ok());
       oracle.emplace_back(k, rid);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/key.h"
 #include "core/index_builder.h"
 #include "core/index_verifier.h"
 #include "tests/test_util.h"
@@ -50,9 +51,11 @@ TEST_F(TreeVerifierTest, DetectsOutOfOrderKeys) {
     ASSERT_TRUE(guard.ok());
     BTreePage page(guard->data(), engine_->disk()->page_size());
     ASSERT_GE(page.count(), 2);
-    // Overwrite the first key's bytes with 'z's: now it sorts above its
-    // right neighbour.
-    std::string_view k = page.KeyAt(0);
+    // Overwrite the first key's stored suffix bytes with 'z's: the page
+    // prefix is shared with the right neighbour, so the key now sorts
+    // above it.  (KeyAt materializes a copy; SuffixAt views page bytes.)
+    std::string_view k = page.SuffixAt(0);
+    ASSERT_FALSE(k.empty());
     std::memset(const_cast<char*>(k.data()), 'z', k.size());
     guard->MarkDirty();
   }
@@ -85,12 +88,20 @@ TEST_F(TreeVerifierTest, DetectsBrokenLeafChain) {
   EXPECT_NE(report.error.find("chain"), std::string::npos) << report.error;
 }
 
-class IndexVerifierNegativeTest : public TreeVerifierTest {};
+class IndexVerifierNegativeTest : public TreeVerifierTest {
+ protected:
+  // Normalized single-string-column key, as the index stores it.
+  static std::string Key(const std::string& v) {
+    std::string k;
+    keyenc::AppendStringColumn(&k, v);
+    return k;
+  }
+};
 
 TEST_F(IndexVerifierNegativeTest, DetectsMissingEntry) {
   BTree* tree = BuildIndex(500);
   // Physically remove one key behind the record manager's back.
-  std::string key = Workload::MakeKey(123, 12);
+  std::string key = Key(Workload::MakeKey(123, 12));
   Rid victim;
   bool found = false;
   ASSERT_OK(tree->ScanAll([&](std::string_view k, const Rid& rid, uint8_t) {
@@ -126,7 +137,7 @@ TEST_F(IndexVerifierNegativeTest, DetectsExtraEntry) {
 TEST_F(IndexVerifierNegativeTest, DetectsShadowingTombstone) {
   BTree* tree = BuildIndex(500);
   // Pseudo-delete a key whose record still lives: the entry "shadows" it.
-  std::string key = Workload::MakeKey(7, 12);
+  std::string key = Key(Workload::MakeKey(7, 12));
   Rid victim;
   bool found = false;
   ASSERT_OK(tree->ScanAll([&](std::string_view k, const Rid& rid, uint8_t) {
@@ -168,7 +179,7 @@ TEST_F(IndexVerifierNegativeTest, DetectsDuplicateValuesInUniqueIndex) {
   ASSERT_OK_AND_ASSIGN(
       Rid rid, engine_->catalog()->table(table_)->Insert(
                    txn, Schema::EncodeRecord({key, "dup"}), nullptr));
-  ASSERT_OK(tree->Insert(txn, key, rid).status());
+  ASSERT_OK(tree->Insert(txn, Key(key), rid).status());
   ASSERT_OK(engine_->Commit(txn));
 
   IndexVerifier verifier(engine_.get());

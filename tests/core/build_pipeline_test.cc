@@ -130,7 +130,7 @@ TEST_F(BuildPipelineTest, MergeToConsumerOverlappedDeliversAllInOrder) {
   for (int i = 0; i < kItems; ++i) {
     char buf[16];
     std::snprintf(buf, sizeof(buf), "k%08d", (i * 7919) % kItems);
-    ASSERT_OK(sorter.Add(buf, Rid(1 + i / 100, i % 100)));
+    ASSERT_OK(sorter.Add(std::string_view(buf), Rid(1 + i / 100, i % 100)));
   }
   ASSERT_OK(sorter.FinishInput());
   ASSERT_OK(sorter.PrepareMerge());
@@ -140,7 +140,7 @@ TEST_F(BuildPipelineTest, MergeToConsumerOverlappedDeliversAllInOrder) {
   size_t batches = 0;
   auto consume = [&](const BuildPipeline::Batch& b) -> Status {
     ++batches;
-    for (const SortItem& item : b.items) seen.push_back(item.key);
+    for (const SortItem& item : b.items) seen.push_back(item.key.bytes());
     return Status::OK();
   };
   BuildPipeline::MergeStats stats;
@@ -160,7 +160,7 @@ TEST_F(BuildPipelineTest, MergeToConsumerPropagatesConsumerError) {
   for (int i = 0; i < 2000; ++i) {
     char buf[16];
     std::snprintf(buf, sizeof(buf), "k%08d", i);
-    ASSERT_OK(sorter.Add(buf, Rid(1, i % 100)));
+    ASSERT_OK(sorter.Add(std::string_view(buf), Rid(1, i % 100)));
   }
   ASSERT_OK(sorter.FinishInput());
   ASSERT_OK(sorter.PrepareMerge());

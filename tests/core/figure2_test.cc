@@ -21,6 +21,14 @@ class Figure2Test : public EngineTest {
   std::string Rec(const std::string& key, const std::string& payload = "p") {
     return Schema::EncodeRecord({key, payload});
   }
+
+  // Normalized single-string-column key, as the index and side-file
+  // store it.
+  static std::string Key(const std::string& v) {
+    std::string k;
+    keyenc::AppendStringColumn(&k, v);
+    return k;
+  }
 };
 
 TEST_F(Figure2Test, InvisibleForwardVisibleRollbackAppendsInverse) {
@@ -58,9 +66,9 @@ TEST_F(Figure2Test, InvisibleForwardVisibleRollbackAppendsInverse) {
   ASSERT_OK(ib.side_file->ReadBatch(&cursor, 10, &entries).status());
   ASSERT_EQ(entries.size(), 2u);
   EXPECT_EQ(entries[0].op, SideFileOp::kDeleteKey);
-  EXPECT_EQ(entries[0].key, "zzzzNEWKEY01");
+  EXPECT_EQ(entries[0].key, Key("zzzzNEWKEY01"));
   EXPECT_EQ(entries[1].op, SideFileOp::kInsertKey);
-  EXPECT_EQ(entries[1].key, Workload::MakeKey(10, 12));
+  EXPECT_EQ(entries[1].key, Key(Workload::MakeKey(10, 12)));
   engine_->records()->UnregisterBuild(table);
 }
 
@@ -86,14 +94,14 @@ TEST_F(Figure2Test, CompletedSinceForwardGetsDirectLogicalUndo) {
   BTree* tree = engine_->catalog()->index(i3);
   // The completed index reflects T1's uncommitted new key (extracted by
   // the scan).
-  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("zzzzNEWKEY02", rids[10]));
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup(Key("zzzzNEWKEY02"), rids[10]));
   EXPECT_TRUE(look.found);
 
   ASSERT_OK(engine_->Rollback(t1));
-  ASSERT_OK_AND_ASSIGN(look, tree->Lookup("zzzzNEWKEY02", rids[10]));
+  ASSERT_OK_AND_ASSIGN(look, tree->Lookup(Key("zzzzNEWKEY02"), rids[10]));
   EXPECT_FALSE(look.found);
   ASSERT_OK_AND_ASSIGN(
-      look, tree->Lookup(Workload::MakeKey(10, 12), rids[10]));
+      look, tree->Lookup(Key(Workload::MakeKey(10, 12)), rids[10]));
   EXPECT_TRUE(look.found);
   ExpectIndexConsistent(table, i3);
 }
@@ -136,10 +144,10 @@ TEST_F(Figure2Test, PaperSection323TwoIndexScenario) {
   EXPECT_EQ(ib4.side_file->entries_appended(), sf_before + 2);
 
   BTree* t3 = engine_->catalog()->index(i3);
-  ASSERT_OK_AND_ASSIGN(auto look, t3->Lookup("zzzzNEWKEY03", rids[10]));
+  ASSERT_OK_AND_ASSIGN(auto look, t3->Lookup(Key("zzzzNEWKEY03"), rids[10]));
   EXPECT_FALSE(look.found);
   ASSERT_OK_AND_ASSIGN(look,
-                       t3->Lookup(Workload::MakeKey(10, 12), rids[10]));
+                       t3->Lookup(Key(Workload::MakeKey(10, 12)), rids[10]));
   EXPECT_TRUE(look.found);
   ExpectIndexConsistent(table, i3);
   engine_->records()->UnregisterBuild(table);
@@ -171,7 +179,7 @@ TEST_F(Figure2Test, VisibleForwardVisibleRollbackBothEntriesAppended) {
   ASSERT_OK(ib.side_file->ReadBatch(&cursor, 10, &entries).status());
   EXPECT_EQ(entries[0].op, SideFileOp::kDeleteKey);
   EXPECT_EQ(entries[1].op, SideFileOp::kInsertKey);
-  EXPECT_EQ(entries[1].key, Workload::MakeKey(5, 12));
+  EXPECT_EQ(entries[1].key, Key(Workload::MakeKey(5, 12)));
   engine_->records()->UnregisterBuild(table);
 }
 

@@ -22,6 +22,13 @@ class NsfBuilderTest : public EngineTest {
     p.key_cols = {0};
     return p;
   }
+
+  // Normalized single-string-column key, as the index stores it.
+  static std::string Key(const std::string& v) {
+    std::string k;
+    keyenc::AppendStringColumn(&k, v);
+    return k;
+  }
 };
 
 TEST_F(NsfBuilderTest, QuietBuildMatchesTable) {
@@ -125,13 +132,13 @@ TEST_F(NsfBuilderTest, PaperSection223Example) {
   ASSERT_OK_AND_ASSIGN(
       Rid r, engine_->records()->InsertRecord(
                  t1, table, Schema::EncodeRecord({"KKKKKKKK", "t1"})));
-  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("KKKKKKKK", r));
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup(Key("KKKKKKKK"), r));
   EXPECT_TRUE(look.found);
 
   // 3-4. IB reads the new record and tries to insert its key; finding the
   // duplicate, it does not insert (and writes no log record).
   Transaction* ib_txn = engine_->Begin();
-  std::string key_storage = "KKKKKKKK";
+  std::string key_storage = Key("KKKKKKKK");
   std::vector<IndexKeyRef> refs{{key_storage, r}};
   BTree::IbStats ib_stats;
   ASSERT_OK(tree->IbInsertBatch(ib_txn, refs, false, nullptr, &ib_stats));
@@ -142,7 +149,7 @@ TEST_F(NsfBuilderTest, PaperSection223Example) {
   // 5-6. T1 rolls back: the key is marked pseudo-deleted and the record
   // vanishes from the data page.
   ASSERT_OK(engine_->Rollback(t1));
-  ASSERT_OK_AND_ASSIGN(look, tree->Lookup("KKKKKKKK", r));
+  ASSERT_OK_AND_ASSIGN(look, tree->Lookup(Key("KKKKKKKK"), r));
   EXPECT_TRUE(look.found);
   EXPECT_TRUE(look.pseudo_deleted);
   EXPECT_FALSE(engine_->catalog()->table(table)->Exists(r));
@@ -154,7 +161,7 @@ TEST_F(NsfBuilderTest, PaperSection223Example) {
   ASSERT_OK(engine_->records()->InsertRecordAt(
       t2, table, r, Schema::EncodeRecord({"KKKKKKKK", "t2"})));
   ASSERT_OK(engine_->Commit(t2));
-  ASSERT_OK_AND_ASSIGN(look, tree->Lookup("KKKKKKKK", r));
+  ASSERT_OK_AND_ASSIGN(look, tree->Lookup(Key("KKKKKKKK"), r));
   EXPECT_TRUE(look.found);
   EXPECT_FALSE(look.pseudo_deleted);
   EXPECT_TRUE(engine_->catalog()->table(table)->Exists(r));
@@ -184,7 +191,7 @@ TEST_F(NsfBuilderTest, DeleteDuringBuildLeavesTombstoneThatRejectsIb) {
 
   // IB extracted rids[3]'s key earlier (pretend); then a transaction
   // deletes the record and commits, leaving a tombstone.
-  std::string key = Workload::MakeKey(3, 12);
+  std::string key = Key(Workload::MakeKey(3, 12));
   Transaction* deleter = engine_->Begin();
   ASSERT_OK(engine_->records()->DeleteRecord(deleter, table, rids[3]));
   ASSERT_OK(engine_->Commit(deleter));
@@ -364,7 +371,7 @@ TEST_F(NsfBuilderTest, GcSkipsUncommittedDeletions) {
   // pseudo-delete under an uncommitted transaction holding the X lock.
   BTree* tree = engine_->catalog()->index(index);
   Transaction* deleter = engine_->Begin();
-  std::string key = Workload::MakeKey(0, 12);
+  std::string key = Key(Workload::MakeKey(0, 12));
   ASSERT_OK(engine_->locks()->Lock(deleter->id(),
                                    RecordLockId(table, rids[0]),
                                    LockMode::kX));

@@ -29,6 +29,13 @@ class RecordManagerTest : public EngineTest {
     return Schema::EncodeRecord({key, payload});
   }
 
+  // Normalized single-string-column key, as stored in the index.
+  std::string Key(const std::string& v) {
+    std::string k;
+    keyenc::AppendStringColumn(&k, v);
+    return k;
+  }
+
   TableId table_ = 0;
   IndexId index_ = kInvalidIndexId;
 };
@@ -41,7 +48,7 @@ TEST_F(RecordManagerTest, InsertMaintainsReadyIndex) {
       engine_->records()->InsertRecord(txn, table_, Rec("aaa")));
   ASSERT_OK(engine_->Commit(txn));
   BTree* tree = engine_->catalog()->index(index_);
-  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("aaa", rid));
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup(Key("aaa"), rid));
   EXPECT_TRUE(look.found);
   ExpectIndexConsistent(table_, index_);
 }
@@ -58,7 +65,7 @@ TEST_F(RecordManagerTest, DeleteRemovesKeyFromReadyIndex) {
   ASSERT_OK(engine_->records()->DeleteRecord(txn, table_, rid));
   ASSERT_OK(engine_->Commit(txn));
   BTree* tree = engine_->catalog()->index(index_);
-  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup("aaa", rid));
+  ASSERT_OK_AND_ASSIGN(auto look, tree->Lookup(Key("aaa"), rid));
   EXPECT_FALSE(look.found);
   ExpectIndexConsistent(table_, index_);
 }
@@ -75,9 +82,9 @@ TEST_F(RecordManagerTest, UpdateChangingKeyMovesIndexEntry) {
   ASSERT_OK(engine_->records()->UpdateRecord(txn, table_, rid, Rec("bbb")));
   ASSERT_OK(engine_->Commit(txn));
   BTree* tree = engine_->catalog()->index(index_);
-  ASSERT_OK_AND_ASSIGN(auto old_look, tree->Lookup("aaa", rid));
+  ASSERT_OK_AND_ASSIGN(auto old_look, tree->Lookup(Key("aaa"), rid));
   EXPECT_FALSE(old_look.found);
-  ASSERT_OK_AND_ASSIGN(auto new_look, tree->Lookup("bbb", rid));
+  ASSERT_OK_AND_ASSIGN(auto new_look, tree->Lookup(Key("bbb"), rid));
   EXPECT_TRUE(new_look.found);
   ExpectIndexConsistent(table_, index_);
 }
@@ -116,9 +123,9 @@ TEST_F(RecordManagerTest, RollbackRestoresIndexAndTable) {
   ASSERT_OK(engine_->Rollback(txn));
 
   BTree* tree = engine_->catalog()->index(index_);
-  ASSERT_OK_AND_ASSIGN(auto keep_look, tree->Lookup("keep", keep));
+  ASSERT_OK_AND_ASSIGN(auto keep_look, tree->Lookup(Key("keep"), keep));
   EXPECT_TRUE(keep_look.found);
-  ASSERT_OK_AND_ASSIGN(auto moved_look, tree->Lookup("moved", keep));
+  ASSERT_OK_AND_ASSIGN(auto moved_look, tree->Lookup(Key("moved"), keep));
   EXPECT_FALSE(moved_look.found);
   ExpectIndexConsistent(table_, index_);
 }

@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "common/key.h"
+
 namespace oib {
 namespace {
+
+// Normalized single-string-column encoding (terminator included).
+std::string NormStr(std::string_view v) {
+  std::string out;
+  keyenc::AppendStringColumn(&out, v);
+  return out;
+}
 
 TEST(SchemaTest, EncodeDecodeRoundTrip) {
   std::vector<std::string> fields = {"alpha", "", "gamma with spaces"};
@@ -17,16 +26,69 @@ TEST(SchemaTest, ExtractSingleColumn) {
   std::string rec = Schema::EncodeRecord({"key-part", "payload"});
   auto key = Schema::ExtractKey(rec, {0});
   ASSERT_TRUE(key.ok());
-  EXPECT_EQ(*key, "key-part");
+  EXPECT_EQ(*key, NormStr("key-part"));
 }
 
 TEST(SchemaTest, ExtractConcatenatesColumns) {
   // "Key value is the concatenation of the values of the columns of the
-  // table over which the index is defined" (section 1.1).
+  // table over which the index is defined" (section 1.1) — here the
+  // concatenation of the *normalized* column encodings, each string
+  // column carrying its own terminator.
   std::string rec = Schema::EncodeRecord({"AA", "BB", "CC"});
   auto key = Schema::ExtractKey(rec, {2, 0});
   ASSERT_TRUE(key.ok());
-  EXPECT_EQ(*key, "CCAA");
+  EXPECT_EQ(*key, NormStr("CC") + NormStr("AA"));
+}
+
+TEST(SchemaTest, MultiColumnKeysDoNotCollide) {
+  // Regression: raw concatenation mapped ("ab","c") and ("a","bc") to the
+  // same key bytes "abc".  Column terminators keep them distinct and in
+  // tuple order.
+  std::string r1 = Schema::EncodeRecord({"ab", "c"});
+  std::string r2 = Schema::EncodeRecord({"a", "bc"});
+  auto k1 = Schema::ExtractKey(r1, {0, 1});
+  auto k2 = Schema::ExtractKey(r2, {0, 1});
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_NE(*k1, *k2);
+  // Tuple order: ("a","bc") < ("ab","c") because "a" < "ab" in the first
+  // column; memcmp over the normalized bytes must agree.
+  EXPECT_LT(*k2, *k1);
+}
+
+TEST(SchemaTest, EmbeddedNulAndEmptyColumns) {
+  std::string with_nul("a\0b", 3);
+  std::string r1 = Schema::EncodeRecord({with_nul, ""});
+  std::string r2 = Schema::EncodeRecord({"a", ""});
+  auto k1 = Schema::ExtractKey(r1, {0, 1});
+  auto k2 = Schema::ExtractKey(r2, {0, 1});
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_NE(*k1, *k2);
+  // "a" < "a\0b" in tuple order; the terminator 0x00 0x00 sorts below the
+  // escaped NUL 0x00 0xFF, so the normalized bytes agree.
+  EXPECT_LT(*k2, *k1);
+  // Decoding recovers the original column values.
+  KeyDecoder dec((KeySlice(*k1)));
+  std::string c0, c1;
+  ASSERT_TRUE(dec.DecodeString(&c0));
+  ASSERT_TRUE(dec.DecodeString(&c1));
+  EXPECT_EQ(c0, with_nul);
+  EXPECT_EQ(c1, "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(SchemaTest, Int64ColumnsSortNumerically) {
+  auto enc = [](int64_t v) {
+    std::string out;
+    keyenc::AppendInt64Column(&out, v);
+    return out;
+  };
+  EXPECT_LT(enc(-5), enc(-1));
+  EXPECT_LT(enc(-1), enc(0));
+  EXPECT_LT(enc(0), enc(1));
+  EXPECT_LT(enc(1), enc(INT64_MAX));
+  EXPECT_LT(enc(INT64_MIN), enc(-1));
 }
 
 TEST(SchemaTest, ExtractOutOfRangeColumn) {

@@ -71,7 +71,7 @@ TEST_P(SorterTest, SortsAgainstOracle) {
   std::vector<SortItem> expected;
   for (size_t i = 0; i < n; ++i) {
     SortItem item;
-    item.key = rng.NextString(8);
+    item.key.Assign(rng.NextString(8));
     item.rid = Rid(static_cast<PageId>(rng.Uniform(1000)),
                    static_cast<SlotId>(rng.Uniform(100)));
     expected.push_back(item);
@@ -119,7 +119,7 @@ TEST(SorterTest, SortedInputYieldsSingleRun) {
   for (int i = 0; i < 1000; ++i) {
     char buf[16];
     snprintf(buf, sizeof(buf), "%08d", i);
-    ASSERT_TRUE(sorter.Add(buf, Rid(1, 0)).ok());
+    ASSERT_TRUE(sorter.Add(std::string_view(buf), Rid(1, 0)).ok());
   }
   ASSERT_TRUE(sorter.FinishInput().ok());
   EXPECT_EQ(sorter.runs().size(), 1u);
@@ -159,7 +159,7 @@ TEST(RestartableSortTest, SortPhaseCheckpointAndResume) {
   std::vector<SortItem> all;
   for (size_t i = 0; i < n; ++i) {
     SortItem item;
-    item.key = rng.NextString(8);
+    item.key.Assign(rng.NextString(8));
     item.rid = Rid(static_cast<PageId>(i), 0);
     all.push_back(item);
   }
@@ -210,7 +210,7 @@ TEST(RestartableSortTest, ResumeAppendsToSameStreamWhenOrdered) {
   for (int i = 0; i < 200; ++i) {
     char buf[16];
     snprintf(buf, sizeof(buf), "%08d", i);
-    ASSERT_TRUE(sorter.Add(buf, Rid(1, 0)).ok());
+    ASSERT_TRUE(sorter.Add(std::string_view(buf), Rid(1, 0)).ok());
   }
   auto blob = sorter.CheckpointSortPhase("");
   ASSERT_TRUE(blob.ok());
@@ -222,7 +222,7 @@ TEST(RestartableSortTest, ResumeAppendsToSameStreamWhenOrdered) {
   for (int i = 200; i < 400; ++i) {
     char buf[16];
     snprintf(buf, sizeof(buf), "%08d", i);
-    ASSERT_TRUE(resumed.Add(buf, Rid(1, 0)).ok());
+    ASSERT_TRUE(resumed.Add(std::string_view(buf), Rid(1, 0)).ok());
   }
   ASSERT_TRUE(resumed.FinishInput().ok());
   EXPECT_EQ(resumed.runs().size(), runs_at_ckpt);  // same stream continued
@@ -279,27 +279,61 @@ TEST(RunStoreTest, TruncateAndItemCount) {
   RunStore store;
   RunId id = store.CreateRun();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(store.Append(id, SortItem{"key" + std::to_string(i),
-                                          Rid(1, 0)}).ok());
+    std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(store.Append(id, key, Rid(1, 0)).ok());
   }
   auto count = store.ItemCount(id);
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 10u);
   auto size = store.Size(id);
   ASSERT_TRUE(size.ok());
-  // Truncate to 4 items' worth of bytes (each item: 2 + 4 + 6 = 12).
-  ASSERT_TRUE(store.Truncate(id, 4 * 12).ok());
+  // Truncate to 4 items' worth of bytes.  Prefix compression: the first
+  // item stores "key0" in full (4 + 4 + 6 = 14); each later item shares
+  // "key" and stores a 1-byte suffix (4 + 1 + 6 = 11).
+  ASSERT_TRUE(store.Truncate(id, 14 + 3 * 11).ok());
   count = store.ItemCount(id);
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 4u);
 }
 
+TEST(RunStoreTest, PrefixCompressionCountersAndRoundTrip) {
+  RunStore store;
+  RunId id = store.CreateRun();
+  // Sorted, heavily shared keys: "item/0000".."item/0099".
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "item/%04d", i);
+    keys.emplace_back(buf);
+    ASSERT_TRUE(
+        store.Append(id, std::string_view(keys.back()), Rid(i, 0)).ok());
+  }
+  // raw = 100 * 9 submitted bytes.  stored = 9 for the first item plus
+  // the unshared tail of each later key: the counters must show real
+  // compression, and reading the run back must reconstruct every key.
+  EXPECT_EQ(store.raw_key_bytes(), 900u);
+  EXPECT_LT(store.stored_key_bytes(), store.raw_key_bytes() / 3);
+  EXPECT_GE(store.stored_key_bytes(), 9u);
+  RunReader reader(&store, id);
+  SortItem item;
+  for (int i = 0; i < 100; ++i) {
+    auto more = reader.Read(&item);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(item.key.view(), keys[i]);
+    EXPECT_EQ(item.rid, Rid(i, 0));
+  }
+  auto more = reader.Read(&item);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
 TEST(RunStoreTest, DropUnflushedRespectsFlushBoundary) {
   RunStore store;
   RunId id = store.CreateRun();
-  ASSERT_TRUE(store.Append(id, SortItem{"aaa", Rid(1, 0)}).ok());
+  ASSERT_TRUE(store.Append(id, std::string_view("aaa"), Rid(1, 0)).ok());
   ASSERT_TRUE(store.Flush(id).ok());
-  ASSERT_TRUE(store.Append(id, SortItem{"bbb", Rid(2, 0)}).ok());
+  ASSERT_TRUE(store.Append(id, std::string_view("bbb"), Rid(2, 0)).ok());
   store.DropUnflushed();
   auto count = store.ItemCount(id);
   ASSERT_TRUE(count.ok());
@@ -309,7 +343,7 @@ TEST(RunStoreTest, DropUnflushedRespectsFlushBoundary) {
   auto more = reader.Read(&item);
   ASSERT_TRUE(more.ok());
   ASSERT_TRUE(*more);
-  EXPECT_EQ(item.key, "aaa");
+  EXPECT_EQ(item.key.view(), "aaa");
 }
 
 }  // namespace
