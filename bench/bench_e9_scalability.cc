@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "bench/bench_util.h"
+#include "common/failpoint.h"
 
 namespace oib {
 namespace bench {
@@ -45,9 +46,14 @@ struct Result {
   uint64_t bp_evictions = 0;
 };
 
-Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile) {
+Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile,
+              const std::string& failpoints = std::string()) {
   Options options = DefaultBenchOptions();
   options.obs_lock_profile = lock_profile;
+  // The registry is process-global: clear policies a previous arm left
+  // behind, then let Engine::Open apply this run's spec (if any).
+  FailPointRegistry::Instance().Reset();
+  options.failpoints = failpoints;
   World w = MakeWorld(rows, options);
   // The Open above enabled the (sticky, process-wide) profiler when
   // lock_profile is set; scope it to the build window instead so the
@@ -140,6 +146,26 @@ void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows,
         base.ops_per_sec > 0
             ? 100.0 * (base.ops_per_sec - r.ops_per_sec) / base.ops_per_sec
             : 0.0;
+    // Failpoint overhead A/B: the baseline arms nothing (the hot-path
+    // check is one relaxed atomic load), the other arm arms every site
+    // on this workload's path with an inert policy (p=0 — evaluated,
+    // never fires), which upper-bounds the disarmed cost.  Acceptance:
+    // disarmed failpoints cost <= 1% on this bench.
+    static const char kInertSpec[] =
+        "wal.flush=delay:p=0:arg=0;wal.fsync=delay:p=0:arg=0;"
+        "bufferpool.writeback=delay:p=0:arg=0;sf.scan=delay:p=0:arg=0;"
+        "sf.load=delay:p=0:arg=0;sf.apply=delay:p=0:arg=0";
+    Result inert;
+    for (int rep = 0; rep < reps; ++rep) {
+      Result f = RunOne(static_cast<size_t>(threads), rows, false,
+                        kInertSpec);
+      if (f.ops_per_sec > inert.ops_per_sec) inert = f;
+    }
+    double fp_overhead_pct =
+        base.ops_per_sec > 0
+            ? 100.0 * (base.ops_per_sec - inert.ops_per_sec) /
+                  base.ops_per_sec
+            : 0.0;
     std::printf("%-8llu %10.1f %14.1f %14.1f %8.2f %9llu %9llu %9.1f %9.1f "
                 "%10.1f %10llu\n",
                 (unsigned long long)threads, r.build_ms, r.ops_per_sec,
@@ -147,12 +173,17 @@ void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows,
                 (unsigned long long)r.commits, (unsigned long long)r.aborts,
                 r.upd_p50_us, r.upd_p99_us, r.upd_max_us,
                 (unsigned long long)r.wal_flushes);
+    std::printf("         failpoints: off=%.1f ops/s, inert=%.1f ops/s, "
+                "overhead=%.2f%%\n",
+                base.ops_per_sec, inert.ops_per_sec, fp_overhead_pct);
     report.AddRow("threads_" + std::to_string(threads),
                   {{"threads", static_cast<double>(threads)},
                    {"build_ms", r.build_ms},
                    {"ops_per_sec_during_build", r.ops_per_sec},
                    {"ops_per_sec_noprofile", base.ops_per_sec},
                    {"lock_profile_overhead_pct", overhead_pct},
+                   {"ops_per_sec_failpoints_inert", inert.ops_per_sec},
+                   {"failpoint_overhead_pct", fp_overhead_pct},
                    {"commits", static_cast<double>(r.commits)},
                    {"aborts", static_cast<double>(r.aborts)},
                    {"update_p50_us", r.upd_p50_us},

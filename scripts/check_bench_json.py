@@ -44,7 +44,9 @@ REQUIRED_ROW_KEYS = {
     "e7": [],
     "e8": [],
     "e9": ["threads", "build_ms", "ops_per_sec_during_build",
-           "update_p99_us", "commits"],
+           "update_p99_us", "commits", "failpoint_overhead_pct"],
+    "e11": ["rows", "redo_threads", "restart_ms", "records_redone",
+            "speedup_vs_serial"],
     "a1": [],
 }
 

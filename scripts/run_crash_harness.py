@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Run the randomized kill-point crash harness with seed reporting.
+
+Usage: run_crash_harness.py [--bin PATH] [--iters N] [--seed N]
+                            [--algo nsf|sf|both] [--rows N] [--updates N]
+                            [--timeout SECS]
+
+Thin wrapper over tests/crash/crash_harness that
+
+  * picks (and always prints) the base seed, so any CI failure is
+    reproducible locally: every iteration's seed is derived from the
+    base seed + iteration index, and the harness prints a one-line
+    REPRO command for each failing iteration;
+  * bounds total wall-clock (--timeout, default 1800 s) so a wedged
+    harness fails the job instead of hanging it;
+  * exits with the harness's status (0 = all iterations clean).
+
+Examples:
+  scripts/run_crash_harness.py --iters=200                # fresh seed
+  scripts/run_crash_harness.py --iters=1 --seed=123 --algo=nsf  # replay
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="crash harness wrapper with seed reporting")
+    parser.add_argument("--bin", default="build/tests/crash_harness",
+                        help="harness binary (default: %(default)s)")
+    parser.add_argument("--iters", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed (default: derived from time)")
+    parser.add_argument("--algo", default="both",
+                        choices=["nsf", "sf", "both"])
+    parser.add_argument("--rows", type=int, default=800)
+    parser.add_argument("--updates", type=int, default=2)
+    parser.add_argument("--timeout", type=int, default=1800,
+                        help="total wall-clock budget in seconds")
+    args = parser.parse_args()
+
+    if not os.path.isfile(args.bin):
+        print("error: harness binary not found at %s (build it first: "
+              "cmake --build build --target crash_harness)" % args.bin,
+              file=sys.stderr)
+        return 2
+
+    seed = args.seed if args.seed is not None else (time.time_ns() & 0x7FFFFFFFFFFF)
+    cmd = [args.bin,
+           "--iters=%d" % args.iters,
+           "--seed=%d" % seed,
+           "--algo=%s" % args.algo,
+           "--rows=%d" % args.rows,
+           "--updates=%d" % args.updates]
+    print("base seed: %d" % seed)
+    print("reproduce: %s" % " ".join(cmd))
+    sys.stdout.flush()
+
+    try:
+        proc = subprocess.run(cmd, timeout=args.timeout,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+    except subprocess.TimeoutExpired:
+        print("FAIL: harness exceeded %d s budget (base seed %d)"
+              % (args.timeout, seed), file=sys.stderr)
+        return 3
+
+    # Keep the log readable: drop the per-kill chatter, keep iteration
+    # results, violations, REPRO lines, and the final summary.
+    repros = []
+    for line in proc.stdout.splitlines():
+        if "hard abort" in line:
+            continue
+        if "REPRO:" in line:
+            repros.append(line.strip())
+        if ("VIOLATION" in line or "FAILED" in line or "REPRO:" in line
+                or line.startswith("crash_harness:")):
+            print(line)
+
+    if proc.returncode != 0:
+        print("FAIL: crash harness reported violations (base seed %d)"
+              % seed, file=sys.stderr)
+        for r in repros:
+            print("  " + r, file=sys.stderr)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -252,7 +252,7 @@ Status BTree::DescendToLeafWrite(std::string_view key, const Rid& rid,
 Status BTree::DescendPessimistic(std::string_view key, const Rid& rid,
                                  size_t key_len_for_safety,
                                  std::vector<WritePageGuard>* path,
-                                 bool ib_mode) {
+                                 bool ib_mode, KeyBound* high) {
   (void)key_len_for_safety;
   // A node is "safe" if it cannot possibly need a split on this insert;
   // ancestors above a safe node are released.  IB inserts split leaves
@@ -270,6 +270,7 @@ Status BTree::DescendPessimistic(std::string_view key, const Rid& rid,
     return true;
   };
   path->clear();
+  if (high != nullptr) high->valid = false;
   for (;;) {
     PageId r = root_.load();
     auto rg = pool_->FetchWrite(r);
@@ -282,6 +283,19 @@ Status BTree::DescendPessimistic(std::string_view key, const Rid& rid,
     BTreePage page(path->back().data(), page_size());
     if (page.is_leaf()) return Status::OK();
     PageId child = page.Route(key, rid);
+    if (high != nullptr) {
+      // Tightest separator above the descent edge bounds the leaf's key
+      // space; on a rightmost edge the bound from higher levels stands.
+      int i = page.LowerBound(key, rid);
+      int ci = (i < page.count() && page.CompareEntryAt(i, key, rid) == 0)
+                   ? i
+                   : i - 1;
+      if (ci + 1 < page.count()) {
+        high->key = page.KeyAt(ci + 1);
+        high->rid = page.RidAt(ci + 1);
+        high->valid = true;
+      }
+    }
     auto cg = pool_->FetchWrite(child);
     if (!cg.ok()) return cg.status();
     path->push_back(std::move(*cg));
@@ -812,9 +826,10 @@ Status BTree::IbInsertBatch(Transaction* txn,
     // One descent per leaf-run: the "remembered path" effect of section
     // 2.2.3 — consecutive sorted keys land in the same leaf.
     std::vector<WritePageGuard> path;
+    KeyBound high;
     OIB_RETURN_IF_ERROR(DescendPessimistic(
         keys[i].key, keys[i].rid, keys[i].key.size(), &path,
-        /*ib_mode=*/true));
+        /*ib_mode=*/true, &high));
     if (stats != nullptr) ++stats->descents;
 
     // Pending entries inserted into the current leaf but not yet logged.
@@ -840,17 +855,15 @@ Status BTree::IbInsertBatch(Transaction* txn,
       return Status::OK();
     };
 
-    // Upper bound of the current leaf = first key of the right sibling
-    // (none if rightmost).  Read once per leaf.
+    // Upper bound of the current leaf = the parent-separator fence
+    // captured during the descent.  The right sibling's first key is NOT
+    // a safe proxy: recovery undo or GC can physically remove it, and a
+    // run bounded by the drifted value would insert keys above this
+    // leaf's high fence.  The fence itself only moves when this leaf
+    // splits, which we alone can do while holding its X latch.
     auto leaf_covers = [&](std::string_view k, const Rid& r) -> bool {
-      BTreePage page(path.back().data(), page_size());
-      PageId next = page.next();
-      if (next == kInvalidPageId) return true;
-      auto ng = pool_->FetchRead(next);
-      if (!ng.ok()) return false;  // conservative: force re-descend
-      BTreePage np(const_cast<char*>(ng->data()), page_size());
-      if (np.count() == 0) return false;
-      return np.CompareEntryAt(0, k, r) > 0;
+      if (!high.valid) return true;  // rightmost edge: no upper bound
+      return CompareIndexKey(k, r, high.key, high.rid) < 0;
     };
 
     bool leaf_done = false;
@@ -917,6 +930,13 @@ Status BTree::IbInsertBatch(Transaction* txn,
         OIB_RETURN_IF_ERROR(MakeRoomInLeaf(&path, k.key, k.rid,
                                            /*ib_mode=*/true));
         if (stats != nullptr) stats->splits = splits_.load();
+        // The split moved this leaf's high fence; re-descend so the run
+        // is bounded by the post-split fence, not the stale one.
+        path.clear();
+        OIB_RETURN_IF_ERROR(DescendPessimistic(k.key, k.rid, k.key.size(),
+                                               &path, /*ib_mode=*/true,
+                                               &high));
+        if (stats != nullptr) ++stats->descents;
         pending_page = path.back().page_id();
         continue;  // re-evaluate the same key on the new leaf
       }
@@ -976,6 +996,35 @@ Status BTree::CollectLeaves(std::vector<PageId>* out) const {
 }
 
 // ------------------------------ BtreeRm ------------------------------
+
+void BtreeRm::RedoPageSet(const LogRecord& rec, std::vector<PageId>* out) {
+  out->clear();
+  BtreeOp op = static_cast<BtreeOp>(rec.opcode);
+  if (op == BtreeOp::kSplit) {
+    SplitPayload p;
+    if (DecodeSplitPayload(rec.redo, &p).ok()) {
+      out->push_back(p.new_page);
+      out->push_back(rec.page_id);
+      if (p.parent != kInvalidPageId) out->push_back(p.parent);
+    } else {
+      // Undecodable: force a barrier; Redo will report the corruption.
+      out->assign(2, rec.page_id);
+    }
+    return;
+  }
+  if (op == BtreeOp::kNewRoot) {
+    PageId anchor, old_root;
+    uint8_t level;
+    if (DecodeNewRootPayload(rec.redo, &anchor, &old_root, &level).ok()) {
+      out->push_back(rec.page_id);
+      out->push_back(anchor);
+    } else {
+      out->assign(2, rec.page_id);
+    }
+    return;
+  }
+  out->push_back(rec.page_id);
+}
 
 Status BtreeRm::Redo(const LogRecord& rec) {
   BtreeOp op = static_cast<BtreeOp>(rec.opcode);
@@ -1124,8 +1173,8 @@ Status BtreeRm::Undo(Transaction* txn, const LogRecord& rec) {
 Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
   BtreeOp op = static_cast<BtreeOp>(rec.opcode);
 
-  auto undo_one = [&](const KeyPayload& kp, BtreeOp fwd,
-                      Lsn undo_next) -> Status {
+  auto undo_one = [&](const KeyPayload& kp, BtreeOp fwd, Lsn undo_next,
+                      bool from_ib_batch = false) -> Status {
     WritePageGuard leaf;
     OIB_RETURN_IF_ERROR(DescendToLeafWrite(kp.key, kp.rid, &leaf));
     BTreePage page(leaf.data(), page_size());
@@ -1153,10 +1202,22 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
           return Status::OK();
         }
         if (pos < 0) return Status::NotFound("key vanished");
-        if (ib_active_.load()) {
+        if (from_ib_batch &&
+            (page.FlagsAt(pos) & kEntryPseudoDeleted) != 0) {
+          // A deleter tombstoned the entry after IB inserted it.  The
+          // tombstone is the deleter's state, not IB's: leave it so the
+          // resumed build's re-insert of this key is still rejected (the
+          // record is gone).  A loser deleter's own undo reactivates it.
+          return Status::OK();
+        }
+        if (ib_active_.load() && !from_ib_batch) {
           // Deleter discipline during an NSF build: leave a pseudo-deleted
           // trail so a late IB insert of this key is rejected (the paper's
-          // section 2.2.3 example, steps 5-6).
+          // section 2.2.3 example, steps 5-6).  This applies to *updater*
+          // inserts only — undoing IB's own batch must remove physically,
+          // because its keys name committed records the resumed build
+          // re-inserts; a tombstone here would be rejected by that
+          // re-insert and the key would stay dead in a ready index.
           clr.opcode = static_cast<uint8_t>(BtreeOp::kPseudoDelete);
           EncodeKeyPayload(&clr.redo, 0, kp.key, kp.rid);
           OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
@@ -1247,7 +1308,8 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
         KeyPayload kp{e.flags, e.rid, e.key};
         Lsn undo_next =
             (j + 1 == entries.size()) ? rec.prev_lsn : rec.lsn;
-        Status s = undo_one(kp, BtreeOp::kInsertKey, undo_next);
+        Status s = undo_one(kp, BtreeOp::kInsertKey, undo_next,
+                            /*from_ib_batch=*/true);
         if (!s.ok() && !s.IsNotFound()) return s;
       }
       return Status::OK();

@@ -209,12 +209,26 @@ class BTree {
   // Optimistic write descent: S latches down, X latch on the leaf only.
   Status DescendToLeafWrite(std::string_view key, const Rid& rid,
                             WritePageGuard* out);
+  // Exclusive upper bound of a leaf's key space, taken from the parent
+  // separators along a descent.  `valid` is false on the rightmost edge
+  // (no bound: the leaf covers everything above its low fence).
+  struct KeyBound {
+    std::string key;
+    Rid rid;
+    bool valid = false;
+  };
+
   // Pessimistic write descent: X latches the path, releasing safe
-  // ancestors; `path` holds root..leaf (only the unsafe suffix).
+  // ancestors; `path` holds root..leaf (only the unsafe suffix).  If
+  // `high` is non-null it receives the leaf's true high fence — the
+  // tightest parent separator above the descent edge.  IbInsertBatch
+  // bounds its leaf runs with this rather than the right sibling's first
+  // key: sibling content drifts (recovery undo or GC can physically
+  // remove the sibling's first entry), the key-space partition does not.
   Status DescendPessimistic(std::string_view key, const Rid& rid,
                             size_t key_len_for_safety,
                             std::vector<WritePageGuard>* path,
-                            bool ib_mode = false);
+                            bool ib_mode = false, KeyBound* high = nullptr);
 
   // Ensures the leaf guarded by path->back() has room for an entry with
   // `key`; splits (and grows the root) as needed, re-routing so that on
@@ -292,6 +306,9 @@ class BtreeRm : public ResourceManager {
   RmId rm_id() const override { return RmId::kBtree; }
   Status Redo(const LogRecord& rec) override;
   Status Undo(Transaction* txn, const LogRecord& rec) override;
+  // kSplit touches {new page, split page, parent}; kNewRoot touches
+  // {new root, anchor}.  Everything else is single-page.
+  void RedoPageSet(const LogRecord& rec, std::vector<PageId>* out) override;
 
  private:
   BufferPool* pool_;

@@ -1,0 +1,79 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define OIB_CRC32C_X86_DISPATCH 1
+#include <nmmintrin.h>
+#endif
+
+namespace oib {
+namespace crc32c {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Table {
+  std::array<uint32_t, 256> at;
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      at[i] = crc;
+    }
+  }
+};
+
+uint32_t ExtendPortable(uint32_t crc, const char* data, size_t n) {
+  static const Table table;
+  uint32_t l = crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    l = table.at[(l ^ p[i]) & 0xff] ^ (l >> 8);
+  }
+  return l ^ 0xffffffffu;
+}
+
+#ifdef OIB_CRC32C_X86_DISPATCH
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHw(uint32_t crc,
+                                                    const char* data,
+                                                    size_t n) {
+  uint64_t l = crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  const unsigned char* end = p + n;
+  // Align to 8 bytes, then crunch a word at a time.
+  while (p < end && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    l = _mm_crc32_u8(static_cast<uint32_t>(l), *p++);
+  }
+  while (end - p >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    l = _mm_crc32_u64(l, word);
+    p += 8;
+  }
+  while (p < end) {
+    l = _mm_crc32_u8(static_cast<uint32_t>(l), *p++);
+  }
+  return static_cast<uint32_t>(l) ^ 0xffffffffu;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#endif  // OIB_CRC32C_X86_DISPATCH
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const char* data, size_t n) {
+#ifdef OIB_CRC32C_X86_DISPATCH
+  static const bool hw = HaveSse42();
+  if (hw) return ExtendHw(crc, data, n);
+#endif
+  return ExtendPortable(crc, data, n);
+}
+
+}  // namespace crc32c
+}  // namespace oib

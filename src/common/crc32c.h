@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli) checksums for torn-write detection.
+//
+// Every FileDisk page slot and every WAL frame carries a CRC32C over its
+// payload; a write that lands partially (process killed mid-pwrite, or a
+// torn-write failpoint) fails verification instead of being replayed or
+// served as valid data.  Stored checksums are *masked* (rotate + constant,
+// the LevelDB/RocksDB trick) so that checksumming data which itself
+// embeds checksums cannot produce the degenerate fixed point crc(x) == x.
+
+#ifndef OIB_COMMON_CRC32C_H_
+#define OIB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oib {
+namespace crc32c {
+
+// Extends `crc` (the running checksum of some prefix) over data[0, n).
+uint32_t Extend(uint32_t crc, const char* data, size_t n);
+
+// Checksum of one contiguous buffer.
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+inline constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+// Rotated-plus-constant masking for checksums stored next to the bytes
+// they cover.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace oib
+
+#endif  // OIB_COMMON_CRC32C_H_

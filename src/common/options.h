@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace oib {
 
@@ -29,6 +30,24 @@ struct Options {
   // record (a record spanning a full page plus framing fits comfortably
   // at the 1 MiB default).
   size_t wal_ring_bytes = 1 << 20;
+
+  // --- recovery ---
+  // Worker threads for the restart redo phase.  1 replays the log on the
+  // calling thread (analysis and redo share one forward pass); N > 1
+  // first collects redo work during analysis, then partitions it by
+  // page id across N workers — per-page LSN order is preserved because a
+  // page's records all land in the same partition, and multi-page records
+  // (B+-tree splits, root growth) act as barriers applied serially.
+  size_t recovery_threads = 1;
+
+  // --- fault injection ---
+  // Failpoint spec applied at Engine::Open/Restart (see
+  // FailPointRegistry::ConfigureFromSpec for the grammar); empty = none.
+  // The OIB_FAILPOINTS / OIB_FAILPOINT_SEED environment variables are
+  // applied on top, so a harness can inject faults into any binary.
+  std::string failpoints;
+  // Seed for failpoint probability draws (reproducible crash schedules).
+  uint64_t failpoint_seed = 0;
 
   // --- locking ---
   // Milliseconds a lock request waits before the requester is told to

@@ -1,0 +1,56 @@
+#include "common/posix_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oib {
+
+Status PreadFull(int fd, char* buf, size_t n, uint64_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done, off_t(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IoError("pread: unexpected EOF");
+    done += size_t(r);
+  }
+  return Status::OK();
+}
+
+Status PwriteFull(int fd, const char* buf, size_t n, uint64_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::pwrite(fd, buf + done, n - done, off_t(off + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    done += size_t(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out->append(buf, size_t(n));
+  int saved = errno;
+  ::close(fd);
+  if (n < 0) {
+    return Status::IoError("read " + path + ": " + std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+}  // namespace oib

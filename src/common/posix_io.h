@@ -1,0 +1,27 @@
+// Small POSIX I/O helpers shared by the file-backed storage layers
+// (FileDisk, the WAL file sink, RunStore spill files): full-transfer
+// pread/pwrite loops that retry EINTR and short transfers, and a
+// whole-file reader.
+
+#ifndef OIB_COMMON_POSIX_IO_H_
+#define OIB_COMMON_POSIX_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace oib {
+
+// pread/pwrite until all n bytes transfer.  EINTR and short transfers
+// are retried in place; only a hard error (or EOF on read) fails.
+Status PreadFull(int fd, char* buf, size_t n, uint64_t off);
+Status PwriteFull(int fd, const char* buf, size_t n, uint64_t off);
+
+// Reads the entire file at `path` into *out.  NotFound if it does not
+// exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace oib
+
+#endif  // OIB_COMMON_POSIX_IO_H_

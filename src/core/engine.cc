@@ -1,15 +1,56 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "core/index_builder.h"
 
 namespace oib {
 
 namespace {
+
 constexpr char kMasterLsnKey[] = "master_lsn";
+
+// Options-then-environment: OIB_FAILPOINTS can extend or override what
+// the embedding application configured, which is what a crash harness
+// driving a stock binary needs.
+void ConfigureFailpoints(const Options& options) {
+  FailPointRegistry& reg = FailPointRegistry::Instance();
+  if (options.failpoint_seed != 0) reg.SetSeed(options.failpoint_seed);
+  if (!options.failpoints.empty()) {
+    Status s = reg.ConfigureFromSpec(options.failpoints);
+    if (!s.ok()) {
+      std::fprintf(stderr, "oib: bad Options::failpoints spec: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  Status s = reg.ConfigureFromEnv();
+  if (!s.ok()) {
+    std::fprintf(stderr, "oib: bad OIB_FAILPOINTS spec: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
 }  // namespace
+
+StatusOr<std::unique_ptr<Env>> Env::OnFiles(const std::string& dir,
+                                            const Options& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("create env dir " + dir + ": " + ec.message());
+  }
+  auto env = std::make_unique<Env>();
+  auto disk = FileDisk::Open(dir + "/pages", options.page_size);
+  if (!disk.ok()) return disk.status();
+  env->disk = std::move(*disk);
+  OIB_RETURN_IF_ERROR(env->log.AttachFile(dir + "/wal"));
+  OIB_RETURN_IF_ERROR(env->runs.AttachDir(dir + "/runs"));
+  return env;
+}
 
 Engine::Engine(const Options& options, Env* env)
     : options_(options),
@@ -39,6 +80,7 @@ void Engine::WireUp() {
   env_->log.AttachMetrics(registry);
   env_->runs.AttachMetrics(registry);
   records_.AttachMetrics(registry);
+  FailPointRegistry::Instance().AttachMetrics(registry);
 
   // Sticky-on: the profiler is process-wide, so an engine opened with the
   // flag clear must not silently disable another engine's profiling.
@@ -48,6 +90,7 @@ void Engine::WireUp() {
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const Options& options,
                                                Env* env) {
   OIB_RETURN_IF_ERROR(ValidateOptions(options));
+  ConfigureFailpoints(options);
   OIB_RETURN_IF_ERROR(env->log.ConfigureRing(options.wal_ring_bytes));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
@@ -58,6 +101,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
                                                   Env* env,
                                                   RecoveryStats* stats) {
   OIB_RETURN_IF_ERROR(ValidateOptions(options));
+  ConfigureFailpoints(options);
   OIB_RETURN_IF_ERROR(env->log.ConfigureRing(options.wal_ring_bytes));
   auto engine = std::unique_ptr<Engine>(new Engine(options, env));
   engine->WireUp();
@@ -73,7 +117,8 @@ StatusOr<std::unique_ptr<Engine>> Engine::Restart(const Options& options,
     }
   }
 
-  RecoveryManager recovery(&env->log, &engine->txns_, &engine->rms_);
+  RecoveryManager recovery(&env->log, &engine->txns_, &engine->rms_,
+                           options.recovery_threads);
   std::vector<std::pair<TxnId, Lsn>> losers;
   {
     obs::ScopedSpan span(&obs::Tracer::Default(), "recovery.analysis_redo");

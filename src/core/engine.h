@@ -49,6 +49,14 @@ struct Env {
     env->disk = std::make_unique<InMemoryDisk>(options.page_size);
     return env;
   }
+
+  // File-backed world rooted at `dir` (created if missing): pages in
+  // `dir`/pages(+.meta,.dw), the WAL in `dir`/wal, spilled sort runs in
+  // `dir`/runs/.  Re-opening an existing directory repairs torn tails and
+  // yields exactly the durable prefix of each component, so a process
+  // kill at any instant leaves a recoverable Env.
+  static StatusOr<std::unique_ptr<Env>> OnFiles(const std::string& dir,
+                                                const Options& options);
 };
 
 class Engine {

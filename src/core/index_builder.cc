@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "core/build_pipeline.h"
 #include "core/schema.h"
 
@@ -103,6 +104,9 @@ Status DecodeBuildMeta(const std::string& blob, BuildMeta* meta) {
 }
 
 Status SaveBuildMeta(Engine* engine, TableId table, const BuildMeta& meta) {
+  // Every builder checkpoint persists through here: an injected failure
+  // aborts the build with its last self-consistent checkpoint on disk.
+  OIB_FAIL_POINT("build.save_meta");
   return engine->disk()->PutMeta(BuildMetaKey(table), EncodeBuildMeta(meta));
 }
 

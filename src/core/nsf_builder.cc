@@ -119,11 +119,30 @@ Status NsfIndexBuilder::Build(const BuildParams& params, IndexId* out,
 Status NsfIndexBuilder::Resume(TableId table, IndexId* out,
                                BuildStats* stats) {
   auto meta = LoadBuildMeta(engine_, table);
-  if (!meta.ok()) return meta.status();
-  if (meta->algo != BuildAlgo::kNsf || meta->indexes.size() != 1) {
-    return Status::InvalidArgument("not an interrupted NSF build");
+  IndexId id = kInvalidIndexId;
+  int phase = 1;
+  std::string phase_blob;
+  if (meta.ok()) {
+    if (meta->algo != BuildAlgo::kNsf || meta->indexes.size() != 1) {
+      return Status::InvalidArgument("not an interrupted NSF build");
+    }
+    id = meta->indexes[0];
+    phase = meta->phase;
+    phase_blob = meta->phase_blob;
+  } else if (meta.status().IsNotFound()) {
+    // Crash between descriptor creation and the first checkpoint: the
+    // descriptor persisted (kBuilding) but no meta did.  Nothing was
+    // inserted yet, so restart the build from the beginning.
+    for (const IndexDescriptor& d : engine_->catalog()->IndexesOf(table)) {
+      if (d.state == IndexState::kBuilding && d.algo == BuildAlgo::kNsf) {
+        id = d.id;
+        break;
+      }
+    }
+    if (id == kInvalidIndexId) return meta.status();
+  } else {
+    return meta.status();
   }
-  IndexId id = meta->indexes[0];
   auto desc = engine_->catalog()->descriptor(id);
   if (!desc.ok()) return desc.status();
   BuildParams params;
@@ -133,7 +152,7 @@ Status NsfIndexBuilder::Resume(TableId table, IndexId* out,
   params.key_cols = desc->key_cols;
   params.key_types = desc->key_types;
   if (out != nullptr) *out = id;
-  return Run(params, id, meta->phase, meta->phase_blob, stats);
+  return Run(params, id, phase, phase_blob, stats);
 }
 
 Status NsfIndexBuilder::Cancel(TableId table) {
@@ -353,6 +372,8 @@ Status NsfIndexBuilder::Run(const BuildParams& params, IndexId index_id,
       return abort_build(s);
     }
   }
+  // Commit edge: the whole insert phase is about to become durable.
+  OIB_FAIL_POINT("nsf.commit");
   OIB_RETURN_IF_ERROR(engine_->Commit(txn));
   ++local.commits;
   local.merge_ms = merge_stats.merge_busy_ms;

@@ -654,6 +654,9 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
   // entries and flipping the flag, every future update goes directly to
   // the index.
   apply_span.End();
+  // Finalize edge: drain gate + index publication are next.  Injected
+  // here the build aborts cleanly, gate never taken.
+  OIB_FAIL_POINT("sf.finalize");
   build->SetPhase(obs::BuildPhase::kDrain);
   {
     obs::ScopedSpan drain_span(tracer, "sf.drain");
@@ -695,13 +698,23 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
           applied_counter->Inc();
         }
       }
+    }
+    // Commit edge: the residual applies must be durable *before* the
+    // indexes are published.  SetIndexReady persists the catalog
+    // directly, so the reverse order has a crash window where a ready
+    // index loses its residual applies to loser-transaction undo at
+    // restart (the build is no longer kBuilding, so nothing resumes it).
+    // Committing first is safe: a crash before the ready flip leaves a
+    // kBuilding index that Resume finishes idempotently.
+    OIB_FAIL_POINT("sf.commit");
+    OIB_RETURN_IF_ERROR(engine_->Commit(txn));
+    ++local.commits;
+    for (uint32_t idx = 0; idx < n; ++idx) {
       OIB_RETURN_IF_ERROR(catalog->SetIndexReady(ids[idx]));
     }
     build->index_build.store(false);
     build->SetPhase(obs::BuildPhase::kDone);
   }
-  OIB_RETURN_IF_ERROR(engine_->Commit(txn));
-  ++local.commits;
   engine_->records()->UnregisterBuild(table);
   OIB_RETURN_IF_ERROR(ClearBuildMeta(engine_, table));
   local.apply_ms = MsSince(t_apply);

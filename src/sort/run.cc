@@ -1,6 +1,18 @@
 #include "sort/run.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
 #include "common/coding.h"
+#include "common/failpoint.h"
+#include "common/posix_io.h"
 #include "obs/metrics.h"
 
 namespace oib {
@@ -11,19 +23,27 @@ namespace {
 // [rid u32+u16] after.
 constexpr uint64_t kItemOverhead = 4 + 6;
 
+// Spill-write retry bounds (transient injected/IO errors only).
+constexpr int kMaxSpillAttempts = 4;
+constexpr int kBackoffBaseUs = 50;
+
 // Walks the prefix-compressed item stream in d[0, limit), rebuilding the
 // running key.  Stops before the first incomplete (torn) item; *end is the
-// offset just past the last whole item.
+// offset just past the last whole item.  On a broken prefix chain
+// (scrambled bytes, not just a tear) *end/*items/*last_key still describe
+// the clean prefix walked so far, so callers can keep it.
 Status WalkItems(const std::string& d, uint64_t limit, uint64_t* end,
                  uint64_t* items, std::string* last_key) {
   uint64_t off = 0, n = 0;
   last_key->clear();
+  Status s;
   while (off + 4 <= limit) {
     uint16_t shared = DecodeFixed16(d.data() + off);
     uint16_t slen = DecodeFixed16(d.data() + off + 2);
     if (off + kItemOverhead + slen > limit) break;
     if (shared > last_key->size()) {
-      return Status::Corruption("run prefix chain broken");
+      s = Status::Corruption("run prefix chain broken");
+      break;
     }
     last_key->resize(shared);
     last_key->append(d.data() + off + 4, slen);
@@ -32,7 +52,7 @@ Status WalkItems(const std::string& d, uint64_t limit, uint64_t* end,
   }
   *end = off;
   *items = n;
-  return Status::OK();
+  return s;
 }
 
 }  // namespace
@@ -47,6 +67,111 @@ int CompareKeyRid(KeySlice key, const Rid& rid, const SortItem& item) {
   if (rid < item.rid) return -1;
   if (item.rid < rid) return 1;
   return 0;
+}
+
+Status RunStore::AttachDir(const std::string& dir) {
+  sync::MutexLock g(&mu_);
+  if (!runs_.empty() || !dir_.empty()) {
+    return Status::InvalidArgument(
+        "AttachDir requires an empty store with no directory attached");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  // Load surviving run files.  A crash can leave a torn trailing item (or
+  // a scrambled tail from a torn spill write); WalkItems keeps the clean
+  // item prefix and the restartable-sort resume then truncates to the
+  // last checkpointed length, cutting anything the checkpoint never saw.
+  RunId max_id = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("run-", 0) != 0) continue;
+    char* end_ptr = nullptr;
+    unsigned long long parsed = std::strtoull(name.c_str() + 4, &end_ptr, 10);
+    if (end_ptr == nullptr || *end_ptr != '\0' || parsed == 0) continue;
+    RunId id = RunId(parsed);
+    Run run;
+    OIB_RETURN_IF_ERROR(ReadFileToString(entry.path().string(), &run.data));
+    uint64_t end = 0, items = 0;
+    (void)WalkItems(run.data, run.data.size(), &end, &items, &run.last_key);
+    if (end < run.data.size()) {
+      run.data.resize(end);
+      std::filesystem::resize_file(entry.path(), end, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate " + entry.path().string() +
+                               ": " + ec.message());
+      }
+    }
+    run.durable = end;
+    run.items = items;
+    if (id > max_id) max_id = id;
+    runs_.emplace(id, std::move(run));
+  }
+  if (ec) return Status::IoError("cannot scan " + dir + ": " + ec.message());
+  if (max_id >= next_id_) next_id_ = max_id + 1;
+  dir_ = dir;
+  return Status::OK();
+}
+
+bool RunStore::has_dir() const {
+  sync::MutexLock g(&mu_);
+  return !dir_.empty();
+}
+
+std::string RunStore::RunFilePath(RunId id) const {
+  return dir_ + "/run-" + std::to_string(id);
+}
+
+Status RunStore::SpillLocked(RunId id, const Run& run) {
+  const std::string path = RunFilePath(id);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  const char* data = run.data.data() + run.durable;
+  const size_t n = run.data.size() - size_t(run.durable);
+  Status s;
+  for (int attempt = 1; attempt <= kMaxSpillAttempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kBackoffBaseUs << (attempt - 2)));
+    }
+    s = [&]() -> Status {
+      FailPointHit hit;
+      OIB_FAIL_POINT_HIT("runstore.flush", hit);
+      if (hit.action == FailPointAction::kReturnError) {
+        return Status::Injected("runstore.flush");
+      }
+      if (hit.action == FailPointAction::kShortWrite) {
+        size_t k = n > 0 ? std::min(size_t(hit.arg), n - 1) : 0;
+        OIB_RETURN_IF_ERROR(PwriteFull(fd, data, k, run.durable));
+        return Status::Injected("runstore.flush: short write");
+      }
+      if (hit.action == FailPointAction::kTornWrite) {
+        // Crash mid-spill: a scrambled tail lands and the process dies.
+        std::string torn(data, n);
+        for (size_t i = std::min(size_t(hit.arg), n > 0 ? n - 1 : 0);
+             i < torn.size(); ++i) {
+          torn[i] = char(torn[i] ^ 0xa5);
+        }
+        (void)PwriteFull(fd, torn.data(), torn.size(), run.durable);
+        FailPointHardAbort("runstore.flush");
+      }
+      OIB_RETURN_IF_ERROR(PwriteFull(fd, data, n, run.durable));
+      if (::fdatasync(fd) != 0) {
+        return Status::IoError(std::string("fdatasync: ") +
+                               std::strerror(errno));
+      }
+      return Status::OK();
+    }();
+    if (s.ok()) break;
+    if (!s.IsInjected() && !s.IsIoError()) break;
+  }
+  ::close(fd);
+  return s;
 }
 
 RunId RunStore::CreateRun() {
@@ -79,6 +204,11 @@ Status RunStore::Flush(RunId id) {
   sync::MutexLock g(&mu_);
   auto it = runs_.find(id);
   if (it == runs_.end()) return Status::NotFound("no such run");
+  if (!dir_.empty()) {
+    // Write the tail to the run file before advancing the boundary, so
+    // `durable` never claims bytes the file does not hold.
+    OIB_RETURN_IF_ERROR(SpillLocked(id, it->second));
+  }
   it->second.durable = it->second.data.size();
   return Status::OK();
 }
@@ -104,7 +234,9 @@ void RunStore::DropUnflushed() {
 
 void RunStore::Remove(RunId id) {
   sync::MutexLock g(&mu_);
-  runs_.erase(id);
+  if (runs_.erase(id) > 0 && !dir_.empty()) {
+    ::unlink(RunFilePath(id).c_str());
+  }
 }
 
 Status RunStore::Truncate(RunId id, uint64_t bytes) {
@@ -120,7 +252,16 @@ Status RunStore::Truncate(RunId id, uint64_t bytes) {
                                 &run.last_key));
   if (end != bytes) return Status::Corruption("truncate split an item");
   run.data.resize(bytes);
-  if (run.durable > bytes) run.durable = bytes;
+  if (run.durable > bytes) {
+    run.durable = bytes;
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::resize_file(RunFilePath(id), bytes, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate run file: " + ec.message());
+      }
+    }
+  }
   run.items = items;
   return Status::OK();
 }

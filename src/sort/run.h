@@ -8,6 +8,16 @@
 // discards the volatile tails and Resume truncates runs to the
 // checkpointed lengths.
 //
+// AttachDir() adds a real spill directory: each run is mirrored to
+// `<dir>/run-<id>`, and Flush appends the new tail to the file and
+// fdatasyncs *before* advancing the durable boundary, so the file always
+// holds at least the durable prefix.  At attach time existing run files
+// are loaded back (a torn trailing item is dropped), which is what lets a
+// restartable sort resume across a real process crash: the checkpoint's
+// recorded run sizes then Truncate away anything past the last
+// checkpoint.  Failpoint `runstore.flush` covers the spill write (error /
+// short / torn — torn kills the process, see FailPointHardAbort).
+//
 // Run payload: prefix-compressed items
 //   [shared u16][suffix_len u16][suffix bytes][rid u32+u16]
 // where `shared` is the length of the common prefix with the *previous*
@@ -58,9 +68,17 @@ class RunStore {
   RunStore(const RunStore&) = delete;
   RunStore& operator=(const RunStore&) = delete;
 
+  // Attaches a spill directory (created if missing) and loads any run
+  // files already in it as durable runs.  Must be called before the first
+  // CreateRun.  See the file comment for the crash model.
+  Status AttachDir(const std::string& dir);
+  bool has_dir() const;
+
   RunId CreateRun();
   Status Append(RunId id, KeySlice key, const Rid& rid);
-  // Marks everything appended so far durable.
+  // Marks everything appended so far durable.  With a directory attached
+  // this writes the tail to the run file first and fails (boundary
+  // unmoved) if the write does.
   Status Flush(RunId id);
   // Crash simulation: every run loses its volatile tail.
   void DropUnflushed();
@@ -100,7 +118,14 @@ class RunStore {
     std::string last_key;
   };
 
+  std::string RunFilePath(RunId id) const OIB_REQUIRES(mu_);
+  // Appends run bytes [durable, data.size()) to the run file and
+  // fdatasyncs.  Bounded retry on transient errors; `runstore.flush`
+  // failpoint site.
+  Status SpillLocked(RunId id, const Run& run) OIB_REQUIRES(mu_);
+
   mutable sync::Mutex mu_{sync::LockRank::kRunStore, "runstore.mu"};
+  std::string dir_ OIB_GUARDED_BY(mu_);  // empty = in-memory only
   std::map<RunId, Run> runs_ OIB_GUARDED_BY(mu_);
   RunId next_id_ OIB_GUARDED_BY(mu_) = 1;
   uint64_t raw_key_bytes_ OIB_GUARDED_BY(mu_) = 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "common/failpoint.h"
+
 namespace oib {
 
 // ----------------------------- guards -----------------------------
@@ -259,6 +261,10 @@ Status BufferPool::EvictOne(Shard& s) {
     }
     PageId victim = page->page_id();
     if (page->is_dirty()) {
+      // An injected write-back failure keeps the dirty page resident (the
+      // fetch that triggered eviction fails instead), so no update is
+      // lost — the page is written again on the next eviction attempt.
+      OIB_FAIL_POINT("bufferpool.writeback");
       if (wal_flush_) OIB_RETURN_IF_ERROR(wal_flush_(page->page_lsn()));
       OIB_RETURN_IF_ERROR(disk_->WritePage(victim, page->data()));
     }
@@ -291,7 +297,12 @@ Status BufferPool::FlushPage(PageId page_id) {
   page->LatchShared();
   Status st;
   if (page->is_dirty()) {
-    if (wal_flush_) st = wal_flush_(page->page_lsn());
+    // Not the OIB_FAIL_POINT macro: an early return here would leak the
+    // latch and pin, so the hit folds into `st` and unwinds normally.
+    static FailPoint* const writeback_fp =
+        FailPointRegistry::Instance().GetOrCreate("bufferpool.writeback");
+    if (writeback_fp->armed()) st = writeback_fp->Act();
+    if (st.ok() && wal_flush_) st = wal_flush_(page->page_lsn());
     if (st.ok()) st = disk_->WritePage(page_id, page->data());
     if (st.ok()) page->set_dirty(false);
   }

@@ -1,19 +1,36 @@
 #include "wal/log_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <thread>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/posix_io.h"
 #include "obs/trace.h"
 
 namespace oib {
+
+namespace {
+
+// Retry budget for transient (failpoint-injected) file-sink errors.
+constexpr int kMaxFileAttempts = 4;
+constexpr uint32_t kBackoffBaseUs = 50;
+
+}  // namespace
 
 LogManager::LogManager(size_t ring_bytes)
     : ring_(ring_bytes), ring_mask_(ring_bytes - 1), slots_(kSealSlots) {}
 
 LogManager::~LogManager() {
   if (metrics_ != nullptr) metrics_->DetachOwner(this);
+  if (wal_fd_ >= 0) ::close(wal_fd_);
 }
 
 void LogManager::AttachMetrics(obs::MetricsRegistry* registry) {
@@ -59,6 +76,103 @@ Status LogManager::ConfigureRing(size_t ring_bytes) {
   return Status::OK();
 }
 
+Status LogManager::AttachFile(const std::string& path) {
+  sync::MutexLock fl(&flush_mu_);
+  sync::MutexLock dg(&drain_mu_);
+  if (reserved_.load(std::memory_order_acquire) != 0 || wal_fd_ >= 0) {
+    return Status::InvalidArgument(
+        "AttachFile requires an empty log with no file attached");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string contents;
+  Status s = ReadFileToString(path, &contents);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  // Validate frame by frame; the first incomplete or CRC-mismatched frame
+  // (a write torn by the last crash) ends the trustworthy prefix.
+  size_t pos = 0;
+  while (pos + kFrameHeader <= contents.size()) {
+    uint32_t len = DecodeFixed32(contents.data() + pos);
+    if (pos + kFrameHeader + len > contents.size()) break;
+    uint32_t crc = DecodeFixed32(contents.data() + pos + 4);
+    if (crc32c::Unmask(crc) !=
+        crc32c::Value(contents.data() + pos + kFrameHeader, len)) {
+      break;
+    }
+    pos += kFrameHeader + len;
+  }
+  if (pos < contents.size()) {
+    if (::ftruncate(fd, off_t(pos)) != 0) {
+      int saved = errno;
+      ::close(fd);
+      return Status::IoError(std::string("ftruncate: ") +
+                             std::strerror(saved));
+    }
+    contents.resize(pos);
+  }
+  wal_fd_ = fd;
+  wal_path_ = path;
+  backing_ = std::move(contents);
+  drained_.store(pos, std::memory_order_relaxed);
+  flushed_.store(pos, std::memory_order_relaxed);
+  reserved_.store(pos, std::memory_order_release);
+  return Status::OK();
+}
+
+Status LogManager::WriteFileSinkLocked(uint64_t flushed, uint64_t target) {
+  if (wal_fd_ < 0 || target <= flushed) return Status::OK();
+  Status s;
+  for (int attempt = 1; attempt <= kMaxFileAttempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kBackoffBaseUs << (attempt - 2)));
+    }
+    s = [&]() -> Status {
+      FailPointHit hit;
+      OIB_FAIL_POINT_HIT("wal.flush", hit);
+      const char* data = backing_.data() + flushed;
+      size_t n = size_t(target - flushed);
+      if (hit.action == FailPointAction::kReturnError) {
+        return Status::Injected("wal.flush");
+      }
+      if (hit.action == FailPointAction::kShortWrite) {
+        // A prefix lands; flushed_ does not advance, so the retry (or the
+        // next flush leader) rewrites the same range in place and the
+        // attach-time scan truncates it if the process dies first.
+        size_t k = n > 0 ? std::min(size_t(hit.arg), n - 1) : 0;
+        OIB_RETURN_IF_ERROR(PwriteFull(wal_fd_, data, k, flushed));
+        return Status::Injected("wal.flush: short write");
+      }
+      if (hit.action == FailPointAction::kTornWrite) {
+        // Crash mid-flush: a scrambled tail lands and the process dies.
+        std::string torn(data, n);
+        for (size_t i = std::min(size_t(hit.arg), n > 0 ? n - 1 : 0);
+             i < torn.size(); ++i) {
+          torn[i] = char(torn[i] ^ 0xa5);
+        }
+        (void)PwriteFull(wal_fd_, torn.data(), torn.size(), flushed);
+        FailPointHardAbort("wal.flush");
+      }
+      OIB_RETURN_IF_ERROR(PwriteFull(wal_fd_, data, n, flushed));
+      OIB_FAIL_POINT("wal.fsync");
+      if (::fdatasync(wal_fd_) != 0) {
+        return Status::IoError(std::string("fdatasync: ") +
+                               std::strerror(errno));
+      }
+      return Status::OK();
+    }();
+    if (s.ok()) return s;
+    if (!s.IsInjected() && !s.IsIoError()) break;
+  }
+  return s;
+}
+
 void LogManager::RingWrite(uint64_t off, const char* data, size_t n) {
   size_t pos = static_cast<size_t>(off) & ring_mask_;
   size_t first = n < ring_.size() - pos ? n : ring_.size() - pos;
@@ -91,9 +205,14 @@ Status LogManager::Append(LogRecord* rec) {
     TryDrain();
   }
 
-  // 3. Copy the framed record into the ring outside any lock.
+  // 3. Copy the framed record into the ring outside any lock.  The
+  // masked payload CRC makes a tear inside the frame body detectable at
+  // scan time (a tear in the 8 header bytes already falls outside the
+  // [len] walk).
   char hdr[kFrameHeader];
   EncodeFixed32(hdr, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(hdr + 4, crc32c::Mask(crc32c::Value(payload.data(),
+                                                    payload.size())));
   RingWrite(start, hdr, kFrameHeader);
   RingWrite(start + kFrameHeader, payload.data(), payload.size());
 
@@ -187,6 +306,12 @@ Status LogManager::ParseRecordAt(uint64_t off, LogRecord* rec) const {
   if (off + kFrameHeader + len > backing_.size()) {
     return Status::Corruption("truncated record");
   }
+  uint32_t crc = DecodeFixed32(backing_.data() + off + 4);
+  if (crc32c::Unmask(crc) !=
+      crc32c::Value(backing_.data() + off + kFrameHeader, len)) {
+    return Status::Corruption("frame checksum mismatch at lsn " +
+                              std::to_string(off + 1));
+  }
   Status s = LogRecord::DeserializeFrom(
       std::string_view(backing_.data() + off + kFrameHeader, len), rec);
   if (s.ok()) rec->lsn = off + 1;
@@ -221,11 +346,16 @@ Status LogManager::Flush(Lsn lsn) {
     obs::ScopedSpan batch_span(&obs::Tracer::Default(), "wal.flush_batch");
     sync::MutexLock dg(&drain_mu_);
     DrainUntilLocked(target);
-    batch_span.set_arg(drained_.load(std::memory_order_relaxed) - flushed);
+    uint64_t drained = drained_.load(std::memory_order_relaxed);
+    batch_span.set_arg(drained - flushed);
+    // With a file sink attached, the bytes must be on the file (and
+    // fsynced) *before* the boundary publishes — flushed_ never claims
+    // bytes the file does not hold.  On a persistent write failure the
+    // boundary stays put and the error propagates to the committer.
+    OIB_RETURN_IF_ERROR(WriteFileSinkLocked(flushed, drained));
     // Group commit: publish everything drained, not just the target, so
     // committers queued behind this leader find their records durable.
-    flushed_.store(drained_.load(std::memory_order_relaxed),
-                   std::memory_order_release);
+    flushed_.store(drained, std::memory_order_release);
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
   flush_ns_.Record(obs::MonotonicNanos() - t0);
@@ -262,6 +392,16 @@ Status LogManager::ScanDurable(
   while (pos + kFrameHeader <= snapshot.size()) {
     uint32_t len = DecodeFixed32(snapshot.data() + pos);
     if (pos + kFrameHeader + len > snapshot.size()) break;  // torn tail
+    // A tear *inside* the frame body (a crash mid-write left the length
+    // intact but garbled the payload) must truncate the tail too, not
+    // feed garbage to redo.  Nothing after a torn frame is trustworthy:
+    // frames are written in order, so a valid-looking successor of a torn
+    // frame can only be leftover bytes from an earlier life of the file.
+    uint32_t crc = DecodeFixed32(snapshot.data() + pos + 4);
+    if (crc32c::Unmask(crc) !=
+        crc32c::Value(snapshot.data() + pos + kFrameHeader, len)) {
+      break;  // torn tail
+    }
     LogRecord rec;
     OIB_RETURN_IF_ERROR(LogRecord::DeserializeFrom(
         std::string_view(snapshot.data() + pos + kFrameHeader, len), &rec));

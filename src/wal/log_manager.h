@@ -3,9 +3,17 @@
 // LSNs are byte offsets into the log stream plus one (so kInvalidLsn == 0
 // never collides with a real record).  The log is split into a *durable*
 // prefix (survives SimulateCrash) and a volatile tail; Flush() moves the
-// boundary.  This models a disk-resident log without real I/O so crash
-// tests stay deterministic; the durable prefix plays the role of the log
-// file contents at the moment of a failure.
+// boundary.  By default this models a disk-resident log without real I/O
+// so crash tests stay deterministic; the durable prefix plays the role of
+// the log file contents at the moment of a failure.
+//
+// AttachFile() adds a real file sink: Flush appends the newly drained
+// bytes to the file and fsyncs *before* publishing the durable boundary,
+// so `flushed_` never claims bytes the file does not hold.  At attach
+// time the file is loaded and frame-validated; an incomplete or
+// CRC-mismatched tail (a write torn by a crash) is truncated away.  Every
+// frame is [len:u32][crc32c:u32][payload] — the masked CRC covers the
+// payload, so a tear *inside* a frame body is detected, not replayed.
 //
 // Appends are reservation-based so concurrent appenders never serialize on
 // a lock:
@@ -68,6 +76,19 @@ class LogManager {
   // ring are drained (not flushed) first.
   Status ConfigureRing(size_t ring_bytes);
 
+  // Attaches a log file sink.  Must be called on an empty log (before any
+  // Append).  Loads the file, validates every frame's length and CRC, and
+  // truncates the first torn/incomplete frame and everything after it;
+  // the surviving prefix becomes the durable log (flushed_lsn reflects
+  // it) and new appends continue after it.  Failpoints: `wal.flush`
+  // (error/short/torn/abort on the file write), `wal.fsync` (error on the
+  // durability barrier).
+  Status AttachFile(const std::string& path);
+
+  // Bytes the file sink would need to replay from the attach-time load
+  // (diagnostics; 0 when no file is attached).
+  bool has_file() const { return wal_fd_ >= 0; }
+
   // Appends `rec`, assigning rec->lsn.  Does not flush.  Thread-safe and
   // lock-free on the common path.
   Status Append(LogRecord* rec);
@@ -112,8 +133,9 @@ class LogManager {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
-  // Each record is framed as [len:u32][payload:len].
-  static constexpr size_t kFrameHeader = 4;
+  // Each record is framed as [len:u32][crc32c:u32][payload:len]; the
+  // masked CRC covers the payload bytes.
+  static constexpr size_t kFrameHeader = 8;
   // Seal slots (power of two).  A sealer that laps a slot whose previous
   // occupant has not been consumed yet helps drain until it frees up.
   static constexpr size_t kSealSlots = 1024;
@@ -139,6 +161,11 @@ class LogManager {
   };
 
   void RingWrite(uint64_t off, const char* data, size_t n);
+  // Appends backing_[flushed_, target) to the log file and fsyncs.
+  // Bounded retry on transient (failpoint-injected) errors; on failure
+  // the durable boundary must not advance.
+  Status WriteFileSinkLocked(uint64_t flushed, uint64_t target)
+      OIB_REQUIRES(drain_mu_);
   // Opportunistic drain used by appenders blocked on ring space or a
   // lapped seal slot; yields if another thread is already draining.
   void TryDrain();
@@ -172,6 +199,11 @@ class LogManager {
       pending_ OIB_GUARDED_BY(drain_mu_);
   // Drained bytes [0, drained_); durable [0, flushed_).
   std::string backing_ OIB_GUARDED_BY(drain_mu_);
+  // File sink (AttachFile); -1 = in-memory only.  The file always holds
+  // exactly the bytes [0, flushed_) plus possibly a torn tail from a
+  // failed flush attempt, which the next attempt overwrites in place.
+  int wal_fd_ = -1;
+  std::string wal_path_;
 
   // --- group commit ---
   // Serializes flush leaders; always acquired before drain_mu_.

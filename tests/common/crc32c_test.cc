@@ -1,0 +1,63 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace oib {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // RFC 3720 / iSCSI test vectors (Castagnoli polynomial).
+  char zeros[32] = {};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+
+  char ones[32];
+  for (char& c : ones) c = char(0xff);
+  EXPECT_EQ(crc32c::Value(ones, sizeof(ones)), 0x62a8ab43u);
+
+  char ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = char(i);
+  EXPECT_EQ(crc32c::Value(ascending, sizeof(ascending)), 0x46dd794eu);
+
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBuffer) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data.push_back(char(i * 37 + i / 7));
+  uint32_t whole = crc32c::Value(data.data(), data.size());
+  // Any split point must give the same result (including unaligned ones
+  // that exercise the hardware path's head/tail loops).
+  for (size_t split : {size_t(0), size_t(1), size_t(7), size_t(63),
+                       size_t(512), data.size()}) {
+    uint32_t crc = crc32c::Extend(0, data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndChangesValue) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu,
+                       crc32c::Value("123456789", 9)}) {
+    uint32_t masked = crc32c::Mask(crc);
+    EXPECT_NE(masked, crc);
+    EXPECT_EQ(crc32c::Unmask(masked), crc);
+    // Double-masking must not be the identity either.
+    EXPECT_NE(crc32c::Mask(masked), crc);
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(4096, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = char(i * 131 + 17);
+  uint32_t good = crc32c::Value(data.data(), data.size());
+  for (size_t byte : {size_t(0), size_t(100), data.size() - 1}) {
+    std::string bad = data;
+    bad[byte] = char(bad[byte] ^ 0x40);
+    EXPECT_NE(crc32c::Value(bad.data(), bad.size()), good);
+  }
+}
+
+}  // namespace
+}  // namespace oib

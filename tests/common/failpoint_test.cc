@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace oib {
 namespace {
 
@@ -10,13 +12,22 @@ Status GuardedOp() {
   return Status::OK();
 }
 
-TEST(FailPointTest, DisarmedIsNoop) {
-  FailPointRegistry::Instance().Reset();
-  EXPECT_TRUE(GuardedOp().ok());
+// An I/O-style site that can honour short/torn hits.
+FailPointHit IoOp() {
+  FailPointHit hit;
+  OIB_FAIL_POINT_HIT("test.io_point", hit);
+  return hit;
 }
 
-TEST(FailPointTest, FiresOnce) {
-  FailPointRegistry::Instance().Reset();
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPointRegistry::Instance().Reset(); }
+  void TearDown() override { FailPointRegistry::Instance().Reset(); }
+};
+
+TEST_F(FailPointTest, DisarmedIsNoop) { EXPECT_TRUE(GuardedOp().ok()); }
+
+TEST_F(FailPointTest, FiresOnce) {
   FailPointRegistry::Instance().Arm("test.point");
   EXPECT_TRUE(GuardedOp().IsInjected());
   // Fires once, then disarms.
@@ -24,8 +35,7 @@ TEST(FailPointTest, FiresOnce) {
   EXPECT_EQ(FailPointRegistry::Instance().fired_count(), 1);
 }
 
-TEST(FailPointTest, Countdown) {
-  FailPointRegistry::Instance().Reset();
+TEST_F(FailPointTest, Countdown) {
   FailPointRegistry::Instance().Arm("test.point", 2);
   EXPECT_TRUE(GuardedOp().ok());
   EXPECT_TRUE(GuardedOp().ok());
@@ -33,11 +43,143 @@ TEST(FailPointTest, Countdown) {
   EXPECT_TRUE(GuardedOp().ok());
 }
 
-TEST(FailPointTest, Disarm) {
-  FailPointRegistry::Instance().Reset();
+TEST_F(FailPointTest, Disarm) {
   FailPointRegistry::Instance().Arm("test.point", 5);
   FailPointRegistry::Instance().Disarm("test.point");
   for (int i = 0; i < 10; ++i) EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FailPointTest, ArmingOnePointLeavesOthersCheap) {
+  FailPointRegistry::Instance().Arm("some.other.point", 0);
+  // test.point's own flag stays clear, so the site never takes a lock.
+  EXPECT_FALSE(
+      FailPointRegistry::Instance().GetOrCreate("test.point")->armed());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FailPointTest, UnlimitedFires) {
+  FailPointPolicy policy;
+  policy.max_fires = -1;
+  FailPointRegistry::Instance().ArmPolicy("test.point", policy);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(GuardedOp().IsInjected());
+  EXPECT_EQ(FailPointRegistry::Instance().fired_count(), 5);
+}
+
+TEST_F(FailPointTest, ShortAndTornHitsCarryArg) {
+  FailPointPolicy policy;
+  policy.action = FailPointAction::kShortWrite;
+  policy.arg = 512;
+  FailPointRegistry::Instance().ArmPolicy("test.io_point", policy);
+  FailPointHit hit = IoOp();
+  EXPECT_EQ(hit.action, FailPointAction::kShortWrite);
+  EXPECT_EQ(hit.arg, 512u);
+  // Disarmed after max_fires=1.
+  EXPECT_EQ(IoOp().action, FailPointAction::kOff);
+
+  policy.action = FailPointAction::kTornWrite;
+  policy.arg = 17;
+  FailPointRegistry::Instance().ArmPolicy("test.io_point", policy);
+  hit = IoOp();
+  EXPECT_EQ(hit.action, FailPointAction::kTornWrite);
+  EXPECT_EQ(hit.arg, 17u);
+}
+
+TEST_F(FailPointTest, ShortWriteAtGenericSiteIsInjected) {
+  // A generic (non-I/O) site cannot honour a partial write, so the hit
+  // degrades to a plain injected error.
+  FailPointPolicy policy;
+  policy.action = FailPointAction::kShortWrite;
+  FailPointRegistry::Instance().ArmPolicy("test.point", policy);
+  EXPECT_TRUE(GuardedOp().IsInjected());
+}
+
+TEST_F(FailPointTest, SeededProbabilityIsReproducible) {
+  auto run = [](uint64_t seed) {
+    FailPointRegistry::Instance().Reset();
+    FailPointRegistry::Instance().SetSeed(seed);
+    FailPointPolicy policy;
+    policy.probability = 0.3;
+    policy.max_fires = -1;
+    FailPointRegistry::Instance().ArmPolicy("test.point", policy);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(GuardedOp().IsInjected());
+    return fires;
+  };
+  std::vector<bool> a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 64 draws
+  // p=0.3 over 64 draws: expect some hits and some misses.
+  int hits = 0;
+  for (bool f : a) hits += f;
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 64);
+}
+
+TEST_F(FailPointTest, DistinctPointsDrawIndependentSequences) {
+  FailPointRegistry::Instance().SetSeed(7);
+  FailPointPolicy policy;
+  policy.probability = 0.5;
+  policy.max_fires = -1;
+  FailPointRegistry::Instance().ArmPolicy("test.point", policy);
+  FailPointRegistry::Instance().ArmPolicy("test.io_point", policy);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(GuardedOp().IsInjected());
+    b.push_back(IoOp().action != FailPointAction::kOff);
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailPointTest, ConfigureFromSpec) {
+  auto& reg = FailPointRegistry::Instance();
+  ASSERT_TRUE(reg
+                  .ConfigureFromSpec(
+                      "test.point=error:count=1;"
+                      "test.io_point=torn:arg=512:fires=2")
+                  .ok());
+  EXPECT_TRUE(GuardedOp().ok());          // countdown
+  EXPECT_TRUE(GuardedOp().IsInjected());  // fires
+  EXPECT_TRUE(GuardedOp().ok());          // disarmed (fires=1 default)
+  EXPECT_EQ(IoOp().action, FailPointAction::kTornWrite);
+  EXPECT_EQ(IoOp().arg, 512u);
+  EXPECT_EQ(IoOp().action, FailPointAction::kOff);  // fires=2 exhausted
+
+  // "off" disarms.
+  reg.Arm("test.point", 100);
+  ASSERT_TRUE(reg.ConfigureFromSpec("test.point=off").ok());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FailPointTest, ConfigureFromSpecRejectsGarbage) {
+  auto& reg = FailPointRegistry::Instance();
+  EXPECT_TRUE(reg.ConfigureFromSpec("no-equals-sign").IsInvalidArgument());
+  EXPECT_TRUE(reg.ConfigureFromSpec("x=explode").IsInvalidArgument());
+  EXPECT_TRUE(reg.ConfigureFromSpec("x=error:count=abc").IsInvalidArgument());
+  EXPECT_TRUE(reg.ConfigureFromSpec("x=error:p=1.5").IsInvalidArgument());
+  EXPECT_TRUE(reg.ConfigureFromSpec("x=error:bogus=1").IsInvalidArgument());
+  EXPECT_TRUE(reg.ConfigureFromSpec("=error").IsInvalidArgument());
+}
+
+TEST_F(FailPointTest, ArmedNamesAndPerPointCounts) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("test.point", 0);
+  std::vector<std::string> armed = reg.ArmedNames();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0], "test.point");
+  EXPECT_TRUE(GuardedOp().IsInjected());
+  EXPECT_TRUE(reg.ArmedNames().empty());
+  EXPECT_EQ(reg.fired_count("test.point"), 1);
+  EXPECT_EQ(reg.fired_count("never.created"), 0);
+}
+
+TEST_F(FailPointTest, LegacyCheckRuntimeName) {
+  auto& reg = FailPointRegistry::Instance();
+  std::string name = "runtime.name";
+  EXPECT_FALSE(reg.Check(name));
+  reg.Arm(name, 1);
+  EXPECT_FALSE(reg.Check(name));
+  EXPECT_TRUE(reg.Check(name));
+  EXPECT_FALSE(reg.Check(name));
 }
 
 }  // namespace

@@ -308,6 +308,48 @@ TEST_F(NsfBuilderTest, ResumeWithConcurrentUpdatesAfterRestart) {
   ExpectIndexConsistent(table, index);
 }
 
+TEST_F(NsfBuilderTest, CommitFailpointAbortsAndResumeCompletes) {
+  TableId table = MakeTable();
+  Populate(table, 1500);
+  options_.ib_checkpoint_every_keys = 400;
+  ReopenWithOptions();
+
+  // Injected at the final commit edge: the build aborts with its last
+  // checkpoint on disk and the insert txn still open (a loser at
+  // restart), exactly as if the process had died there.
+  FailPointRegistry::Instance().Arm("nsf.commit");
+  NsfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  NsfIndexBuilder resumed(engine_.get());
+  ASSERT_OK(resumed.Resume(table, &index, nullptr));
+  ExpectIndexConsistent(table, index);
+}
+
+TEST_F(NsfBuilderTest, SaveMetaFailpointAbortsAndResumeCompletes) {
+  TableId table = MakeTable();
+  Populate(table, 3000);
+  options_.ib_checkpoint_every_keys = 500;
+  ReopenWithOptions();
+
+  // Let the first checkpoint persist, fail the second: Resume starts
+  // from the surviving checkpoint, not from scratch.
+  FailPointRegistry::Instance().Arm("build.save_meta", 1);
+  NsfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  NsfIndexBuilder resumed(engine_.get());
+  BuildStats stats;
+  ASSERT_OK(resumed.Resume(table, &index, &stats));
+  ExpectIndexConsistent(table, index);
+}
+
 TEST_F(NsfBuilderTest, CancelDropsDescriptorUnderQuiesce) {
   TableId table = MakeTable();
   Populate(table, 500);

@@ -439,6 +439,56 @@ TEST_F(SfBuilderTest, StaleSideFileEntriesFencedAfterScanRestart) {
   ExpectIndexConsistent(table, descs[0].id);
 }
 
+TEST_F(SfBuilderTest, FinalizeFailpointAbortsAndResumeCompletes) {
+  TableId table = MakeTable();
+  Populate(table, 1500);
+  options_.ib_checkpoint_every_keys = 400;
+  ReopenWithOptions();
+
+  // Injected just before the drain gate: the gate is never taken, so the
+  // abort cannot wedge updaters, and Resume finishes the build.
+  FailPointRegistry::Instance().Arm("sf.finalize");
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  // The engine is still usable — no latch or gate leaked.
+  Transaction* txn = engine_->Begin();
+  ASSERT_OK(engine_->records()
+                ->InsertRecord(txn, table,
+                               Schema::EncodeRecord({"post-abort", "p"}))
+                .status());
+  ASSERT_OK(engine_->Commit(txn));
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  ASSERT_OK(resumed.Resume(table, nullptr));
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
+TEST_F(SfBuilderTest, CommitFailpointAbortsAndResumeCompletes) {
+  TableId table = MakeTable();
+  Populate(table, 1500);
+  options_.ib_checkpoint_every_keys = 400;
+  ReopenWithOptions();
+
+  FailPointRegistry::Instance().Arm("sf.commit");
+  SfIndexBuilder builder(engine_.get());
+  IndexId index;
+  Status s = builder.Build(Params(table), &index);
+  ASSERT_TRUE(s.IsInjected()) << s.ToString();
+
+  CrashAndRestart();
+  SfIndexBuilder resumed(engine_.get());
+  ASSERT_OK(resumed.Resume(table, nullptr));
+  auto descs = engine_->catalog()->IndexesOf(table);
+  ASSERT_EQ(descs.size(), 1u);
+  ExpectIndexConsistent(table, descs[0].id);
+}
+
 TEST_F(SfBuilderTest, CancelDropsEverything) {
   TableId table = MakeTable();
   Populate(table, 500);

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <filesystem>
+
+#include "common/failpoint.h"
 #include "common/random.h"
 
 namespace oib {
@@ -344,6 +350,160 @@ TEST(RunStoreTest, DropUnflushedRespectsFlushBoundary) {
   ASSERT_TRUE(more.ok());
   ASSERT_TRUE(*more);
   EXPECT_EQ(item.key.view(), "aaa");
+}
+
+// --- spill directory (AttachDir) ---
+
+class RunStoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Instance().Reset();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("oib_runstore_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Instance().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+  std::vector<std::string> ReadKeys(RunStore* store, RunId id) {
+    std::vector<std::string> keys;
+    RunReader reader(store, id);
+    SortItem item;
+    for (;;) {
+      auto more = reader.Read(&item);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !*more) break;
+      keys.emplace_back(item.key.view());
+    }
+    return keys;
+  }
+  std::string dir_;
+};
+
+TEST_F(RunStoreDirTest, DurablePrefixSurvivesReattach) {
+  RunId id;
+  {
+    RunStore store;
+    ASSERT_TRUE(store.AttachDir(dir_).ok());
+    EXPECT_TRUE(store.has_dir());
+    id = store.CreateRun();
+    for (const char* k : {"aa", "ab", "ac"}) {
+      ASSERT_TRUE(store.Append(id, std::string_view(k), Rid(1, 0)).ok());
+    }
+    ASSERT_TRUE(store.Flush(id).ok());
+    // This tail is never flushed: it must not survive the "crash".
+    ASSERT_TRUE(store.Append(id, std::string_view("ad"), Rid(2, 0)).ok());
+  }
+  RunStore store;
+  ASSERT_TRUE(store.AttachDir(dir_).ok());
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(ReadKeys(&store, id),
+            (std::vector<std::string>{"aa", "ab", "ac"}));
+  // Run ids keep counting past the recovered ones.
+  EXPECT_GT(store.CreateRun(), id);
+}
+
+TEST_F(RunStoreDirTest, RemoveUnlinksAndTruncateShrinksFile) {
+  RunId keep, gone;
+  {
+    RunStore store;
+    ASSERT_TRUE(store.AttachDir(dir_).ok());
+    keep = store.CreateRun();
+    gone = store.CreateRun();
+    for (int i = 0; i < 10; ++i) {
+      std::string key = "key" + std::to_string(i);
+      ASSERT_TRUE(store.Append(keep, key, Rid(1, 0)).ok());
+      ASSERT_TRUE(store.Append(gone, key, Rid(2, 0)).ok());
+    }
+    ASSERT_TRUE(store.Flush(keep).ok());
+    ASSERT_TRUE(store.Flush(gone).ok());
+    store.Remove(gone);
+    // 4 items' worth: "key0" in full (14), then three 1-byte suffixes (11).
+    ASSERT_TRUE(store.Truncate(keep, 14 + 3 * 11).ok());
+  }
+  RunStore store;
+  ASSERT_TRUE(store.AttachDir(dir_).ok());
+  EXPECT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(ReadKeys(&store, keep),
+            (std::vector<std::string>{"key0", "key1", "key2", "key3"}));
+  EXPECT_FALSE(store.Size(gone).ok());
+}
+
+TEST_F(RunStoreDirTest, SpillErrorHoldsDurableBoundary) {
+  RunStore store;
+  ASSERT_TRUE(store.AttachDir(dir_).ok());
+  RunId id = store.CreateRun();
+  ASSERT_TRUE(store.Append(id, std::string_view("aa"), Rid(1, 0)).ok());
+  FailPointPolicy policy;
+  policy.action = FailPointAction::kReturnError;
+  policy.max_fires = -1;
+  FailPointRegistry::Instance().ArmPolicy("runstore.flush", policy);
+  EXPECT_TRUE(store.Flush(id).IsInjected());
+  auto durable = store.DurableSize(id);
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, 0u);
+  FailPointRegistry::Instance().Disarm("runstore.flush");
+  ASSERT_TRUE(store.Flush(id).ok());
+  durable = store.DurableSize(id);
+  ASSERT_TRUE(durable.ok());
+  EXPECT_GT(*durable, 0u);
+}
+
+TEST_F(RunStoreDirTest, ShortSpillIsRetriedAndRepaired) {
+  {
+    RunStore store;
+    ASSERT_TRUE(store.AttachDir(dir_).ok());
+    RunId id = store.CreateRun();
+    ASSERT_TRUE(store.Append(id, std::string_view("whole"), Rid(1, 0)).ok());
+    FailPointPolicy policy;
+    policy.action = FailPointAction::kShortWrite;
+    policy.arg = 2;  // only 2 bytes land on the first attempt
+    FailPointRegistry::Instance().ArmPolicy("runstore.flush", policy);
+    ASSERT_TRUE(store.Flush(id).ok());
+    EXPECT_EQ(FailPointRegistry::Instance().fired_count("runstore.flush"), 1);
+  }
+  RunStore store;
+  ASSERT_TRUE(store.AttachDir(dir_).ok());
+  ASSERT_EQ(store.run_count(), 1u);
+  EXPECT_EQ(ReadKeys(&store, 1), (std::vector<std::string>{"whole"}));
+}
+
+// A torn spill kills the process (torn-implies-death invariant); on
+// reattach the item walk keeps the clean prefix and drops the scrambled
+// tail.
+TEST_F(RunStoreDirTest, TornSpillKillsProcessAndCleanPrefixSurvives) {
+  RunId id;
+  {
+    RunStore store;
+    ASSERT_TRUE(store.AttachDir(dir_).ok());
+    id = store.CreateRun();
+    ASSERT_TRUE(store.Append(id, std::string_view("aa"), Rid(1, 0)).ok());
+    ASSERT_TRUE(store.Append(id, std::string_view("ab"), Rid(1, 1)).ok());
+    ASSERT_TRUE(store.Flush(id).ok());
+  }
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RunStore store;
+    if (!store.AttachDir(dir_).ok()) _exit(2);
+    if (!store.Append(id, std::string_view("ac"), Rid(1, 2)).ok()) _exit(3);
+    FailPointPolicy policy;
+    policy.action = FailPointAction::kTornWrite;
+    policy.arg = 0;  // scramble the whole appended tail
+    FailPointRegistry::Instance().ArmPolicy("runstore.flush", policy);
+    (void)store.Flush(id);
+    _exit(4);  // unreachable if the failpoint fired
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  RunStore store;
+  ASSERT_TRUE(store.AttachDir(dir_).ok());
+  EXPECT_EQ(ReadKeys(&store, id), (std::vector<std::string>{"aa", "ab"}));
 }
 
 }  // namespace

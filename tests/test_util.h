@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "common/failpoint.h"
@@ -36,8 +40,21 @@
 
 namespace oib {
 
+// Which durable world a fixture runs over.  kFile exercises the real
+// FileDisk / WAL-file / run-spill paths, and its crash cycle re-attaches
+// from the on-disk files, covering the torn-tail repair code.
+enum class DiskKind { kInMemory, kFile };
+
+inline const char* DiskKindName(DiskKind k) {
+  return k == DiskKind::kInMemory ? "InMemory" : "File";
+}
+
 class EngineTest : public ::testing::Test {
  protected:
+  // Override (e.g. from a TEST_P fixture's GetParam()) to run the whole
+  // fixture over a file-backed Env.
+  virtual DiskKind disk_kind() const { return DiskKind::kInMemory; }
+
   void SetUp() override {
     FailPointRegistry::Instance().Reset();
     options_.buffer_pool_pages = 2048;
@@ -46,13 +63,21 @@ class EngineTest : public ::testing::Test {
     options_.ib_checkpoint_every_keys = 2000;
     options_.sort_checkpoint_every_keys = 2000;
     options_.sf_apply_batch = 128;
-    env_ = Env::InMemory(options_);
+    ASSERT_OK(MakeEnv());
     auto engine = Engine::Open(options_, env_.get());
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = std::move(*engine);
   }
 
-  void TearDown() override { FailPointRegistry::Instance().Reset(); }
+  void TearDown() override {
+    engine_.reset();
+    env_.reset();
+    if (!env_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(env_dir_, ec);
+    }
+    FailPointRegistry::Instance().Reset();
+  }
 
   // Clean reopen (no crash) applying any changes made to options_.
   void ReopenWithOptions() {
@@ -63,10 +88,17 @@ class EngineTest : public ::testing::Test {
     engine_ = std::move(*engine);
   }
 
-  // Simulates a crash and restarts over the same durable Env.
+  // Simulates a crash and restarts.  In-memory: volatile state is
+  // discarded and the same Env is re-used.  File-backed: the Env object
+  // is additionally torn down and re-attached from the on-disk files, so
+  // recovery runs against exactly what a kill would have left behind.
   void CrashAndRestart() {
     ASSERT_OK(engine_->SimulateCrash());
     engine_.reset();
+    if (disk_kind() == DiskKind::kFile) {
+      env_.reset();
+      ASSERT_OK(MakeEnv());
+    }
     auto engine = Engine::Restart(options_, env_.get(), &recovery_stats_);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = std::move(*engine);
@@ -108,7 +140,54 @@ class EngineTest : public ::testing::Test {
   std::unique_ptr<Env> env_;
   std::unique_ptr<Engine> engine_;
   RecoveryStats recovery_stats_;
+
+ private:
+  Status MakeEnv() {
+    if (disk_kind() == DiskKind::kInMemory) {
+      env_ = Env::InMemory(options_);
+      return Status::OK();
+    }
+    if (env_dir_.empty()) {
+      const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info();
+      std::string leaf = "oib_engine_test_" + std::to_string(getpid()) +
+                         "_" + info->test_suite_name() + "_" + info->name();
+      // Parameterized names contain '/'; flatten for the filesystem.
+      for (char& c : leaf) {
+        if (c == '/') c = '_';
+      }
+      env_dir_ =
+          (std::filesystem::temp_directory_path() / leaf).string();
+      std::error_code ec;
+      std::filesystem::remove_all(env_dir_, ec);
+    }
+    auto env = Env::OnFiles(env_dir_, options_);
+    if (!env.ok()) return env.status();
+    env_ = std::move(*env);
+    return Status::OK();
+  }
+
+  std::string env_dir_;  // non-empty only for DiskKind::kFile
 };
+
+// Fixture for TEST_P suites that run every case over both disk kinds:
+//
+//   class MyTest : public EngineDiskTest {};
+//   TEST_P(MyTest, Foo) { ... }
+//   INSTANTIATE_TEST_SUITE_P(Disks, MyTest,
+//                            ::testing::Values(DiskKind::kInMemory,
+//                                              DiskKind::kFile),
+//                            DiskParamName);
+class EngineDiskTest : public EngineTest,
+                       public ::testing::WithParamInterface<DiskKind> {
+ protected:
+  DiskKind disk_kind() const override { return GetParam(); }
+};
+
+inline std::string DiskParamName(
+    const ::testing::TestParamInfo<DiskKind>& info) {
+  return DiskKindName(info.param);
+}
 
 }  // namespace oib
 

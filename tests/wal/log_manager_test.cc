@@ -2,11 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 
 namespace oib {
@@ -195,7 +202,7 @@ TEST(LogManagerStressTest, ConcurrentAppendsAreDenseAndReadable) {
     EXPECT_EQ(out.redo, body);
     std::string payload;
     out.SerializeTo(&payload);
-    expect_next = lsn + 4 + payload.size();  // [len:u32][payload]
+    expect_next = lsn + 8 + payload.size();  // [len:u32][crc:u32][payload]
   }
   EXPECT_EQ(log.next_lsn(), expect_next);
 }
@@ -273,7 +280,7 @@ TEST(LogManagerStressTest, SealSlotLappingKeepsRangesIntact) {
     prev = rec.lsn;
     std::string payload;
     rec.SerializeTo(&payload);
-    next = rec.lsn + 4 + payload.size();
+    next = rec.lsn + 8 + payload.size();
     ++seen;
     return true;
   }).ok());
@@ -338,7 +345,7 @@ TEST(LogManagerStressTest, CrashAtRandomFlushBoundaryKeepsExactPrefix) {
       EXPECT_EQ(rec.lsn, expect_next) << "durable log has a hole";
       std::string payload;
       rec.SerializeTo(&payload);
-      expect_next = rec.lsn + 4 + payload.size();
+      expect_next = rec.lsn + 8 + payload.size();
       ++seen;
       return true;
     }).ok());
@@ -379,6 +386,234 @@ TEST(LogManagerStressTest, ProgressReadsNeverGoBackwards) {
   for (auto& w : writers) w.join();
   stop.store(true);
   reader.join();
+}
+
+// --- file sink (AttachFile) ---
+
+class LogFileSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPointRegistry::Instance().Reset();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("oib_wal_test_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    FailPointRegistry::Instance().Reset();
+    std::filesystem::remove(path_);
+  }
+  // Flips one byte of the log file in place.
+  void FlipByte(long offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  std::vector<std::string> ScanBodies(LogManager* log) {
+    std::vector<std::string> bodies;
+    EXPECT_TRUE(log->ScanDurable(kInvalidLsn, [&](const LogRecord& rec) {
+      bodies.push_back(rec.redo);
+      return true;
+    }).ok());
+    return bodies;
+  }
+  std::string path_;
+};
+
+TEST_F(LogFileSinkTest, RoundTripAcrossReattach) {
+  Lsn flushed;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_TRUE(log.has_file());
+    for (int i = 0; i < 5; ++i) {
+      LogRecord rec = MakeRec(1, LogRecordType::kUpdate, "rec" + std::to_string(i));
+      ASSERT_TRUE(log.Append(&rec).ok());
+    }
+    ASSERT_TRUE(log.FlushAll().ok());
+    flushed = log.flushed_lsn();
+  }
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    // The durable prefix is rebuilt from the file, byte-exact.
+    EXPECT_EQ(log.flushed_lsn(), flushed);
+    EXPECT_EQ(ScanBodies(&log),
+              (std::vector<std::string>{"rec0", "rec1", "rec2", "rec3", "rec4"}));
+    // New appends continue after the recovered prefix.
+    LogRecord rec = MakeRec(2, LogRecordType::kCommit, "rec5");
+    ASSERT_TRUE(log.Append(&rec).ok());
+    EXPECT_GE(rec.lsn, flushed);
+    ASSERT_TRUE(log.FlushAll().ok());
+  }
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_EQ(ScanBodies(&log).size(), 6u);
+  }
+}
+
+TEST_F(LogFileSinkTest, AttachRequiresEmptyLog) {
+  LogManager log;
+  LogRecord rec = MakeRec(1, LogRecordType::kUpdate, "x");
+  ASSERT_TRUE(log.Append(&rec).ok());
+  EXPECT_TRUE(log.AttachFile(path_).IsInvalidArgument());
+}
+
+// The satellite regression test: a torn write *inside* a frame body (all
+// length fields intact) must truncate the scan tail, not replay garbage.
+TEST_F(LogFileSinkTest, ByteFlippedFrameBodyTruncatesTail) {
+  Lsn second_lsn;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    LogRecord a = MakeRec(1, LogRecordType::kUpdate, "good");
+    LogRecord b = MakeRec(1, LogRecordType::kUpdate, "flipped");
+    LogRecord c = MakeRec(1, LogRecordType::kCommit, "unreachable");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.Append(&b).ok());
+    ASSERT_TRUE(log.Append(&c).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+    second_lsn = b.lsn;
+  }
+  // Flip one byte inside b's payload: frame starts at lsn - 1, payload at
+  // frame + 8.  The length prefix stays valid, so only the CRC can catch it.
+  FlipByte(long(second_lsn - 1 + 8 + 2));
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    // Everything from the corrupt frame on is untrustworthy and gone —
+    // including c, whose own frame is intact.
+    EXPECT_EQ(ScanBodies(&log), (std::vector<std::string>{"good"}));
+    EXPECT_EQ(log.flushed_lsn(), second_lsn);
+  }
+}
+
+TEST_F(LogFileSinkTest, IncompleteTailFrameTruncatedAtAttach) {
+  Lsn second_lsn;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    LogRecord a = MakeRec(1, LogRecordType::kUpdate, "keep");
+    LogRecord b = MakeRec(1, LogRecordType::kUpdate, "torn-off");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.Append(&b).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+    second_lsn = b.lsn;
+  }
+  // Chop the file mid-way through b's frame, as a crash mid-write would.
+  std::filesystem::resize_file(path_, second_lsn - 1 + 3);
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_EQ(ScanBodies(&log), (std::vector<std::string>{"keep"}));
+    // Appending after recovery reuses the truncated range cleanly.
+    LogRecord c = MakeRec(2, LogRecordType::kCommit, "after");
+    ASSERT_TRUE(log.Append(&c).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+  }
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_EQ(ScanBodies(&log), (std::vector<std::string>{"keep", "after"}));
+  }
+}
+
+TEST_F(LogFileSinkTest, TransientFlushErrorIsRetried) {
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path_).ok());
+  FailPointRegistry::Instance().Arm("wal.flush");  // fires once
+  LogRecord rec = MakeRec(1, LogRecordType::kCommit, "retried");
+  ASSERT_TRUE(log.Append(&rec).ok());
+  ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  EXPECT_EQ(FailPointRegistry::Instance().fired_count("wal.flush"), 1);
+  EXPECT_GE(log.flushed_lsn(), rec.lsn);
+}
+
+TEST_F(LogFileSinkTest, ShortWriteIsRetriedAndRepaired) {
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    FailPointPolicy policy;
+    policy.action = FailPointAction::kShortWrite;
+    policy.arg = 3;  // only 3 bytes of the flush land the first time
+    FailPointRegistry::Instance().ArmPolicy("wal.flush", policy);
+    LogRecord rec = MakeRec(1, LogRecordType::kCommit, "whole");
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path_).ok());
+  EXPECT_EQ(ScanBodies(&log), (std::vector<std::string>{"whole"}));
+}
+
+TEST_F(LogFileSinkTest, PersistentFlushErrorLeavesBoundaryBehind) {
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path_).ok());
+  FailPointPolicy policy;
+  policy.action = FailPointAction::kReturnError;
+  policy.max_fires = -1;
+  FailPointRegistry::Instance().ArmPolicy("wal.flush", policy);
+  LogRecord rec = MakeRec(1, LogRecordType::kCommit, "stuck");
+  ASSERT_TRUE(log.Append(&rec).ok());
+  Lsn before = log.flushed_lsn();
+  EXPECT_TRUE(log.Flush(rec.lsn).IsInjected());
+  EXPECT_EQ(log.flushed_lsn(), before);
+  // Once the fault clears, the same flush goes through.
+  FailPointRegistry::Instance().Disarm("wal.flush");
+  ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  EXPECT_GE(log.flushed_lsn(), rec.lsn);
+}
+
+TEST_F(LogFileSinkTest, FsyncFailpointIsRetried) {
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path_).ok());
+  FailPointRegistry::Instance().Arm("wal.fsync");
+  LogRecord rec = MakeRec(1, LogRecordType::kCommit, "synced");
+  ASSERT_TRUE(log.Append(&rec).ok());
+  ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  EXPECT_EQ(FailPointRegistry::Instance().fired_count("wal.fsync"), 1);
+}
+
+// A torn flush kills the process (torn-implies-death invariant) and the
+// attach-time scan in the next process discards the scrambled tail.
+TEST_F(LogFileSinkTest, TornFlushKillsProcessAndPrefixSurvives) {
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    LogRecord a = MakeRec(1, LogRecordType::kUpdate, "durable");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+  }
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: tear the next flush 4 bytes in.  FailPointHardAbort SIGKILLs,
+    // so nothing below the flush call runs.
+    LogManager log;
+    if (!log.AttachFile(path_).ok()) _exit(2);
+    FailPointPolicy policy;
+    policy.action = FailPointAction::kTornWrite;
+    policy.arg = 4;
+    FailPointRegistry::Instance().ArmPolicy("wal.flush", policy);
+    LogRecord b = MakeRec(1, LogRecordType::kCommit, "torn-away");
+    if (!log.Append(&b).ok()) _exit(3);
+    (void)log.FlushAll();
+    _exit(4);  // unreachable if the failpoint fired
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path_).ok());
+  EXPECT_EQ(ScanBodies(&log), (std::vector<std::string>{"durable"}));
 }
 
 }  // namespace
