@@ -40,16 +40,25 @@ struct Result {
   double upd_p95_us = 0;
   double upd_p99_us = 0;
   double upd_max_us = 0;
+  double read_p50_us = 0;
+  double read_p99_us = 0;
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t wal_flushes = 0;
   uint64_t bp_evictions = 0;
 };
 
+// --read-pct: point-read share of the mix.  < 0 keeps the legacy default
+// mix (RID-based reads, no serving index); >= 0 routes reads by key
+// through a pre-built serving index — the hash fast path when --hash=1.
+double g_read_pct = -1.0;
+bool g_use_hash = false;
+
 Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile,
               const std::string& failpoints = std::string()) {
   Options options = DefaultBenchOptions();
   options.obs_lock_profile = lock_profile;
+  options.enable_hash_index = g_use_hash;
   // The registry is process-global: clear policies a previous arm left
   // behind, then let Engine::Open apply this run's spec (if any).
   FailPointRegistry::Instance().Reset();
@@ -62,6 +71,25 @@ Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile,
   sync::prof::SetEnabled(false);
   WorkloadOptions wo;
   wo.threads = static_cast<uint32_t>(workload_threads);
+  if (g_read_pct >= 0.0) {
+    OfflineIndexBuilder serving_builder(w.engine.get());
+    IndexId serving = kInvalidIndexId;
+    Status bs = serving_builder.Build(KeyIndexParams(w.table, "serving"),
+                                      &serving);
+    if (!bs.ok()) {
+      std::fprintf(stderr, "serving build failed: %s\n",
+                   bs.ToString().c_str());
+      std::abort();
+    }
+    double rest = 1.0 - g_read_pct;
+    wo.insert_pct = rest * 0.375;
+    wo.delete_pct = rest * 0.25;
+    wo.update_pct = rest * 0.375;
+    wo.read_index = serving;
+    // Skewed keys so read scaling is measured with hot-key contention
+    // (E2's read-heavy scenario covers the uniform, I/O-bound regime).
+    wo.read_dist = ReadKeyDist::kZipfian;
+  }
 
   Workload workload(w.engine.get(), w.table, wo);
   workload.Seed(w.rids, rows);
@@ -87,6 +115,10 @@ Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile,
       obs::MetricsRegistry::Default()
           .GetHistogram("workload.update_ns")
           ->Snapshot();
+  obs::HistogramSnapshot rd =
+      obs::MetricsRegistry::Default()
+          .GetHistogram("workload.read_ns")
+          ->Snapshot();
   obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().TakeSnapshot();
   sync::prof::SetEnabled(false);
   WorkloadStats wstats = workload.Stop();
@@ -104,6 +136,8 @@ Result RunOne(size_t workload_threads, uint64_t rows, bool lock_profile,
   r.upd_p95_us = static_cast<double>(upd.Percentile(95)) / 1000.0;
   r.upd_p99_us = static_cast<double>(upd.Percentile(99)) / 1000.0;
   r.upd_max_us = static_cast<double>(upd.max) / 1000.0;
+  r.read_p50_us = static_cast<double>(rd.Percentile(50)) / 1000.0;
+  r.read_p99_us = static_cast<double>(rd.Percentile(99)) / 1000.0;
   r.commits = wstats.commits;
   r.aborts = wstats.aborts;
   auto counter = [&snap](const char* name) -> uint64_t {
@@ -190,6 +224,8 @@ void Run(const std::vector<uint64_t>& threads_sweep, uint64_t rows,
                    {"update_p95_us", r.upd_p95_us},
                    {"update_p99_us", r.upd_p99_us},
                    {"update_max_us", r.upd_max_us},
+                   {"read_p50_us", r.read_p50_us},
+                   {"read_p99_us", r.read_p99_us},
                    {"wal_flushes", static_cast<double>(r.wal_flushes)},
                    {"bp_evictions", static_cast<double>(r.bp_evictions)}});
   }
@@ -214,9 +250,19 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       std::vector<uint64_t> r = oib::bench::ParseList(argv[i] + 7);
       if (!r.empty()) reps = static_cast<int>(r[0]);
+    } else if (std::strncmp(argv[i], "--read-pct=", 11) == 0) {
+      double v = std::atof(argv[i] + 11);
+      if (v >= 1.0) {
+        std::fprintf(stderr, "--read-pct must be < 1\n");
+        return 2;
+      }
+      oib::bench::g_read_pct = v;
+    } else if (std::strncmp(argv[i], "--hash=", 7) == 0) {
+      oib::bench::g_use_hash = argv[i][7] == '1';
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads=1,2,4,8] [--rows=N] [--reps=N]\n",
+                   "usage: %s [--threads=1,2,4,8] [--rows=N] [--reps=N] "
+                   "[--read-pct=0.9] [--hash=0|1]\n",
                    argv[0]);
       return 2;
     }

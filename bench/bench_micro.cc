@@ -4,7 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
+#include "common/key.h"
+#include "hashidx/hash_index.h"
 #include "sort/external_sorter.h"
 
 namespace oib {
@@ -178,6 +182,62 @@ void BM_SideFileAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_SideFileAppend);
 
+void BM_HashProbeHit(benchmark::State& state) {
+  HashIndex hash(/*index_id=*/1, /*shards=*/0);
+  hash.set_readable(true);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hash.OnLeafInsert(Key8(i), Rid(static_cast<PageId>(i + 1), 0), 0);
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    Rid rid;
+    auto p = hash.Probe(Key8(rng.Uniform(n)), &rid);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashProbeHit);
+
+void BM_HashProbeMiss(benchmark::State& state) {
+  HashIndex hash(/*index_id=*/1, /*shards=*/0);
+  hash.set_readable(true);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hash.OnLeafInsert(Key8(i), Rid(static_cast<PageId>(i + 1), 0), 0);
+  }
+  Random rng(4);
+  for (auto _ : state) {
+    Rid rid;
+    auto p = hash.Probe(Key8(n + rng.Uniform(n)), &rid);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashProbeMiss);
+
+void BM_BtreeFindKeyValue(benchmark::State& state) {
+  // The tree-descent side of the point-read comparison: same call the
+  // read path falls back to when the hash misses.
+  World w = MakeWorld(0);
+  auto desc = w.engine->catalog()->CreateIndex("i", w.table, false, {0},
+                                               BuildAlgo::kOffline);
+  BTree* tree = w.engine->catalog()->index(desc->id);
+  Transaction* txn = w.engine->Begin();
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    (void)tree->Insert(txn, Key8(i), Rid(i, 0));
+  }
+  (void)w.engine->Commit(txn);
+  Random rng(5);
+  for (auto _ : state) {
+    auto r = tree->FindKeyValue(Key8(rng.Uniform(n)));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeFindKeyValue);
+
 void BM_LockAcquireRelease(benchmark::State& state) {
   LockManager lm;
   uint64_t i = 0;
@@ -190,8 +250,98 @@ void BM_LockAcquireRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_LockAcquireRelease);
 
+// Point-lookup comparison emitted to BENCH_micro.json: hash probe vs
+// B+-tree descent (hit and miss paths), plus the end-to-end
+// ReadRecordByKey cost with the fast path on vs off.  Runs after the
+// google-benchmark cases so the smoke job can validate the report.
+void WritePointLookupReport() {
+  const uint64_t n = BenchRows(100000);
+  const uint64_t lookups = std::min<uint64_t>(200000, n * 10);
+  BenchReport report("micro");
+  std::printf("\npoint-lookup comparison (%llu rows, %llu lookups):\n",
+              (unsigned long long)n, (unsigned long long)lookups);
+
+  // Pre-normalized present/absent key sets, visited in random order.
+  Random rng(11);
+  std::vector<std::string> hit_keys(lookups), miss_keys(lookups);
+  for (uint64_t i = 0; i < lookups; ++i) {
+    keyenc::AppendStringColumn(&hit_keys[i],
+                               Workload::MakeKey(rng.Uniform(n), 12));
+    keyenc::AppendStringColumn(&miss_keys[i],
+                               Workload::MakeKey(n + rng.Uniform(n), 12));
+  }
+
+  auto add_row = [&report](const char* label, double ms, uint64_t ops) {
+    double ns_per_op = 1e6 * ms / static_cast<double>(ops);
+    std::printf("  %-24s %10.1f ns/op\n", label, ns_per_op);
+    report.AddRow(label, {{"ns_per_op", ns_per_op},
+                          {"lookups", static_cast<double>(ops)}});
+  };
+
+  for (bool with_hash : {true, false}) {
+    Options options = DefaultBenchOptions();
+    options.enable_hash_index = with_hash;
+    World w = MakeWorld(n, options);
+    OfflineIndexBuilder builder(w.engine.get());
+    IndexId idx = kInvalidIndexId;
+    if (!builder.Build(KeyIndexParams(w.table, "i"), &idx).ok()) {
+      std::abort();
+    }
+    if (with_hash) {
+      // Raw structure cost: hash probe vs the descent it replaces.
+      HashIndex* hash = w.engine->catalog()->hash_index(idx);
+      BTree* tree = w.engine->catalog()->index(idx);
+      Rid rid;
+      double t0 = NowMs();
+      for (const std::string& k : hit_keys) {
+        benchmark::DoNotOptimize(hash->Probe(k, &rid));
+      }
+      add_row("hash_probe_hit", NowMs() - t0, lookups);
+      t0 = NowMs();
+      for (const std::string& k : miss_keys) {
+        benchmark::DoNotOptimize(hash->Probe(k, &rid));
+      }
+      add_row("hash_probe_miss", NowMs() - t0, lookups);
+      t0 = NowMs();
+      for (const std::string& k : hit_keys) {
+        benchmark::DoNotOptimize(tree->FindKeyValue(k).ok());
+      }
+      add_row("tree_descend_hit", NowMs() - t0, lookups);
+      t0 = NowMs();
+      for (const std::string& k : miss_keys) {
+        benchmark::DoNotOptimize(tree->FindKeyValue(k).ok());
+      }
+      add_row("tree_descend_miss", NowMs() - t0, lookups);
+    }
+    // End-to-end point read (locking + heap fetch included).
+    Transaction* txn = w.engine->Begin();
+    double t0 = NowMs();
+    for (uint64_t i = 0; i < lookups; ++i) {
+      auto r = w.engine->records()->ReadRecordByKey(txn, w.table, idx,
+                                                    hit_keys[i]);
+      benchmark::DoNotOptimize(r.ok());
+      if ((i & 4095) == 4095) {
+        (void)w.engine->Commit(txn);
+        txn = w.engine->Begin();
+      }
+    }
+    add_row(with_hash ? "read_by_key_hash_on" : "read_by_key_hash_off",
+            NowMs() - t0, lookups);
+    (void)w.engine->Commit(txn);
+  }
+  report.Write();
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace oib
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  oib::bench::InitBenchObs(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  oib::bench::WritePointLookupReport();
+  return 0;
+}

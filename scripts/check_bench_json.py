@@ -48,6 +48,31 @@ REQUIRED_ROW_KEYS = {
     "e11": ["rows", "redo_threads", "restart_ms", "records_redone",
             "speedup_vs_serial"],
     "a1": [],
+    "micro": ["ns_per_op", "lookups"],
+}
+
+# Labels that must be present in an experiment's rows, with the extra
+# columns those specific rows must carry.  Catches a harness that drops a
+# whole scenario (e.g. the read-heavy hash on/off comparison) while its
+# remaining rows still satisfy REQUIRED_ROW_KEYS.
+REQUIRED_SCENARIO_ROWS = {
+    "e2": {
+        "read_heavy_hash_off": ["read_pct", "read_p50_steady_us",
+                                "read_p99_steady_us", "read_p50_build_us",
+                                "read_p99_build_us"],
+        "read_heavy_hash_on": ["read_pct", "read_p50_steady_us",
+                               "read_p99_steady_us", "read_p50_build_us",
+                               "read_p99_build_us", "hash_hits",
+                               "hash_misses", "hash_fallbacks"],
+    },
+    "micro": {
+        "hash_probe_hit": [],
+        "hash_probe_miss": [],
+        "tree_descend_hit": [],
+        "tree_descend_miss": [],
+        "read_by_key_hash_on": [],
+        "read_by_key_hash_off": [],
+    },
 }
 
 
@@ -92,6 +117,19 @@ def check(path, experiment):
             elif not isinstance(row[key], (int, float)):
                 errors.append("%s: rows[%d] (%s) column %r is not numeric"
                               % (path, i, row["label"], key))
+    by_label = {row.get("label"): row for row in rows
+                if isinstance(row, dict)}
+    for label, extra in REQUIRED_SCENARIO_ROWS.get(experiment, {}).items():
+        row = by_label.get(label)
+        if row is None:
+            errors.append("%s: missing required scenario row %r"
+                          % (path, label))
+            continue
+        for key in extra:
+            if not isinstance(row.get(key), (int, float)):
+                errors.append(
+                    "%s: scenario row %r missing/non-numeric column %r"
+                    % (path, label, key))
     if experiment == "e1":
         errors.extend(check_key_stats(path, rows))
     if not isinstance(doc["metrics"], dict):

@@ -37,6 +37,10 @@ def main():
                         help="base seed (default: derived from time)")
     parser.add_argument("--algo", default="both",
                         choices=["nsf", "sf", "both"])
+    parser.add_argument("--site", default="",
+                        help="pin each iteration's first kill to a site "
+                             "matching this name prefix (e.g. hash); "
+                             "restarts use the full randomized set")
     parser.add_argument("--rows", type=int, default=800)
     parser.add_argument("--updates", type=int, default=2)
     parser.add_argument("--timeout", type=int, default=1800,
@@ -56,6 +60,8 @@ def main():
            "--algo=%s" % args.algo,
            "--rows=%d" % args.rows,
            "--updates=%d" % args.updates]
+    if args.site:
+        cmd.append("--site=%s" % args.site)
     print("base seed: %d" % seed)
     print("reproduce: %s" % " ".join(cmd))
     sys.stdout.flush()

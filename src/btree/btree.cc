@@ -602,6 +602,7 @@ Status BTree::LoggedLeafInsert(Transaction* txn, WritePageGuard* leaf,
   BTreePage page(leaf->data(), page_size());
   OIB_RETURN_IF_ERROR(page.InsertLeafAt(pos, key, rid, flags));
   leaf->set_page_lsn(rec.lsn);
+  NotifyInsert(key, rid, flags);
   return Status::OK();
 }
 
@@ -617,9 +618,11 @@ Status BTree::LoggedSetFlags(Transaction* txn, WritePageGuard* leaf, int pos,
   EncodeKeyPayload(&rec.redo, 0, key, rid);
   OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &rec));
   BTreePage page(leaf->data(), page_size());
-  page.SetFlagsAt(pos, op == BtreeOp::kPseudoDelete ? kEntryPseudoDeleted
-                                                    : 0);
+  uint8_t new_flags =
+      op == BtreeOp::kPseudoDelete ? kEntryPseudoDeleted : uint8_t{0};
+  page.SetFlagsAt(pos, new_flags);
   leaf->set_page_lsn(rec.lsn);
+  NotifySetFlags(key, rid, new_flags);
   return Status::OK();
 }
 
@@ -639,6 +642,7 @@ Status BTree::LoggedLeafRemove(Transaction* txn, WritePageGuard* leaf,
   OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &rec));
   page.RemoveAt(pos);
   leaf->set_page_lsn(rec.lsn);
+  NotifyRemove(key, rid);
   return Status::OK();
 }
 
@@ -769,6 +773,7 @@ Status BTree::GcRemove(std::string_view key, const Rid& rid) {
   OIB_RETURN_IF_ERROR(txns_->AppendLog(nullptr, &rec));
   page.RemoveAt(pos);
   leaf.set_page_lsn(rec.lsn);
+  NotifyRemove(key, rid);
   return Status::OK();
 }
 
@@ -943,6 +948,7 @@ Status BTree::IbInsertBatch(Transaction* txn,
       BTreePage page2(path.back().data(), page_size());
       int pos2 = page2.LowerBound(k.key, k.rid);
       OIB_RETURN_IF_ERROR(page2.InsertLeafAt(pos2, k.key, k.rid, 0));
+      NotifyInsert(k.key, k.rid, 0);
       std::string raw;
       raw.push_back(0);  // flags
       PutFixed32(&raw, k.rid.page);
@@ -1199,6 +1205,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
           OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
           page.SetFlagsAt(pos, 0);
           leaf.set_page_lsn(clr.lsn);
+          NotifySetFlags(kp.key, kp.rid, 0);
           return Status::OK();
         }
         if (pos < 0) return Status::NotFound("key vanished");
@@ -1223,6 +1230,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
           OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
           page.SetFlagsAt(pos, kEntryPseudoDeleted);
           leaf.set_page_lsn(clr.lsn);
+          NotifySetFlags(kp.key, kp.rid, kEntryPseudoDeleted);
           return Status::OK();
         }
         clr.opcode = static_cast<uint8_t>(BtreeOp::kPhysicalDelete);
@@ -1230,6 +1238,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
         OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
         page.RemoveAt(pos);
         leaf.set_page_lsn(clr.lsn);
+        NotifyRemove(kp.key, kp.rid);
         return Status::OK();
       }
       case BtreeOp::kPseudoDelete: {
@@ -1239,6 +1248,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
         OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
         page.SetFlagsAt(pos, 0);
         leaf.set_page_lsn(clr.lsn);
+        NotifySetFlags(kp.key, kp.rid, 0);
         return Status::OK();
       }
       case BtreeOp::kReactivate: {
@@ -1248,6 +1258,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
         OIB_RETURN_IF_ERROR(txns_->AppendLog(txn, &clr));
         page.SetFlagsAt(pos, kEntryPseudoDeleted);
         leaf.set_page_lsn(clr.lsn);
+        NotifySetFlags(kp.key, kp.rid, kEntryPseudoDeleted);
         return Status::OK();
       }
       case BtreeOp::kPhysicalDelete: {
@@ -1269,6 +1280,7 @@ Status BTree::UndoKeyOp(Transaction* txn, const LogRecord& rec) {
         OIB_RETURN_IF_ERROR(
             lp.InsertLeafAt(ipos, kp.key, kp.rid, kp.flags));
         path.back().set_page_lsn(clr.lsn);
+        NotifyInsert(kp.key, kp.rid, kp.flags);
         return Status::OK();
       }
       default:

@@ -68,6 +68,28 @@ struct KeyPayload {
 };
 Status DecodeKeyPayload(std::string_view in, KeyPayload* out);
 
+// Observer of *logical* leaf-entry changes: one callback per entry
+// inserted, physically removed, or flag-flipped, fired at every mutation
+// choke point (forward ops, IB batch inserts, GC, and logical undo CLRs)
+// while the leaf's X latch is still held — so the event stream is
+// serialized per entry and exactly mirrors the tree's contents.  Page
+// splits move entries without changing the logical set, so they emit
+// nothing.  Recovery redo runs before observers are attached (the hash
+// fragment repopulates from a scan afterwards); bulk loads bypass the
+// tree's mutation paths and populate the mirror explicitly.
+//
+// Implementations must be cheap and must only acquire locks ranked above
+// kPageLatch (the hash fragment's kHashShard qualifies).
+class IndexEntryObserver {
+ public:
+  virtual ~IndexEntryObserver() = default;
+  virtual void OnLeafInsert(std::string_view key, const Rid& rid,
+                            uint8_t flags) = 0;
+  virtual void OnLeafRemove(std::string_view key, const Rid& rid) = 0;
+  virtual void OnLeafSetFlags(std::string_view key, const Rid& rid,
+                              uint8_t flags) = 0;
+};
+
 class BTree {
  public:
   enum class InsertResult {
@@ -195,6 +217,16 @@ class BTree {
   // have moved across pages (ARIES/IM-style logical undo).
   Status UndoKeyOp(Transaction* txn, const LogRecord& rec);
 
+  // Attaches/detaches the logical entry observer (the hash fast path's
+  // mirror).  The pointer must outlive the tree or be detached first;
+  // attachment is atomic so it can happen while the tree is live.
+  void set_entry_observer(IndexEntryObserver* obs) {
+    observer_.store(obs, std::memory_order_release);
+  }
+  IndexEntryObserver* entry_observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class BtreeRm;
   friend class BulkLoader;
@@ -280,6 +312,22 @@ class BTree {
   size_t page_size() const { return pool_->disk()->page_size(); }
   size_t LeafSoftCapacity() const;  // fill-factor-limited bytes for IB
 
+  // Observer notification helpers (called with the leaf X latch held,
+  // immediately after the page mutation they describe).
+  void NotifyInsert(std::string_view key, const Rid& rid, uint8_t flags) {
+    if (IndexEntryObserver* o = entry_observer()) {
+      o->OnLeafInsert(key, rid, flags);
+    }
+  }
+  void NotifyRemove(std::string_view key, const Rid& rid) {
+    if (IndexEntryObserver* o = entry_observer()) o->OnLeafRemove(key, rid);
+  }
+  void NotifySetFlags(std::string_view key, const Rid& rid, uint8_t flags) {
+    if (IndexEntryObserver* o = entry_observer()) {
+      o->OnLeafSetFlags(key, rid, flags);
+    }
+  }
+
   IndexId index_id_;
   BufferPool* pool_;
   TransactionManager* txns_;
@@ -289,6 +337,7 @@ class BTree {
   std::atomic<PageId> root_{kInvalidPageId};
   std::atomic<uint64_t> splits_{0};
   std::atomic<bool> ib_active_{false};
+  std::atomic<IndexEntryObserver*> observer_{nullptr};
 };
 
 // Recovery handler for all B+-trees.  Redo is physical per page; undo is

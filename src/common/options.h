@@ -97,6 +97,19 @@ struct Options {
   // thread (build_threads > 1).  2 = classic double buffering.
   size_t merge_queue_depth = 2;
 
+  // --- hash fast path ---
+  // Maintains a sharded hash table over <normalized key -> RID> next to
+  // every B+-tree index and consults it first on point reads
+  // (RecordManager::ReadRecordByKey), falling back to a tree descent on
+  // a miss.  The hash mirrors the tree's leaf entries (including
+  // pseudo-delete flags) via the tree's entry observer, so NSF/SF
+  // visibility rules carry over unchanged.  Off by default: the engine is
+  // byte-identical with the flag clear.
+  bool enable_hash_index = false;
+  // Shards per hash fragment (power of two).  0 = auto:
+  // min(16, hardware_concurrency) rounded down to a power of two.
+  size_t hash_index_shards = 0;
+
   // --- observability ---
   // Turns on the per-rank lock-contention profiler (common/sync.h,
   // obs/lock_profile.h): contended mutex acquisitions record wait and

@@ -17,6 +17,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kBufferShard:    return "BufferShard";
     case LockRank::kRecordBuilds:   return "RecordBuilds";
     case LockRank::kCatalog:        return "Catalog";
+    case LockRank::kHashShard:      return "HashShard";
     case LockRank::kHeapHints:      return "HeapHints";
     case LockRank::kSideFileCount:  return "SideFileCount";
     case LockRank::kLockTable:      return "LockTable";

@@ -1,6 +1,8 @@
 #include "core/catalog.h"
 
 #include "common/coding.h"
+#include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace oib {
 
@@ -73,6 +75,18 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
   auto tree = std::make_unique<BTree>(id, pool_, txns_, options_);
   OIB_RETURN_IF_ERROR(tree->Create());
 
+  // The hash mirror attaches before the tree is published, so every leaf
+  // mutation the tree will ever see is reflected; under NSF that alone
+  // keeps the mirror complete (IbInsertBatch notifies), under SF/offline
+  // the bulk loader bypasses the tree paths and the builder's consume
+  // stage BulkAdds explicitly.
+  std::unique_ptr<HashIndex> hash;
+  if (options_->enable_hash_index) {
+    hash = std::make_unique<HashIndex>(id, options_->hash_index_shards);
+    hash->AttachMetrics(&obs::MetricsRegistry::Default());
+    tree->set_entry_observer(hash.get());
+  }
+
   IndexDescriptor d;
   d.id = id;
   d.name = name;
@@ -99,6 +113,7 @@ StatusOr<IndexDescriptor> Catalog::CreateIndex(
     if (existing.name == name) return Status::InvalidArgument("index exists");
   }
   if (sf != nullptr) side_files_[id] = std::move(sf);
+  if (hash != nullptr) hashes_[id] = std::move(hash);
   indexes_[id] = d;
   trees_[id] = std::move(tree);
   table_indexes_[table].push_back(id);
@@ -110,6 +125,14 @@ Status Catalog::SetIndexReady(IndexId id) {
   sync::MutexLock g(&mu_);
   auto it = indexes_.find(id);
   if (it == indexes_.end()) return Status::NotFound("no such index");
+  auto hit = hashes_.find(id);
+  if (hit != hashes_.end()) {
+    // Publish the hash fragment together with the index state flip; a
+    // crash here leaves the index kBuilding, so the resumed build's
+    // repopulation + retry covers the fragment too.
+    OIB_FAIL_POINT("hash.commit");
+    hit->second->set_readable(true);
+  }
   it->second.state = IndexState::kReady;
   it->second.algo = BuildAlgo::kNone;
   return PersistLocked();
@@ -122,6 +145,11 @@ Status Catalog::DropIndex(IndexId id) {
   auto& order = table_indexes_[it->second.table];
   order.erase(std::remove(order.begin(), order.end(), id), order.end());
   indexes_.erase(it);
+  // Detach the hash mirror before the tree or the fragment dies: a
+  // cancelled build's fragment must not dangle as the tree's observer.
+  auto tit = trees_.find(id);
+  if (tit != trees_.end()) tit->second->set_entry_observer(nullptr);
+  hashes_.erase(id);
   trees_.erase(id);
   side_files_.erase(id);
   return PersistLocked();
@@ -137,6 +165,12 @@ SideFile* Catalog::side_file(IndexId id) const {
   sync::MutexLock g(&mu_);
   auto it = side_files_.find(id);
   return it == side_files_.end() ? nullptr : it->second.get();
+}
+
+HashIndex* Catalog::hash_index(IndexId id) const {
+  sync::MutexLock g(&mu_);
+  auto it = hashes_.find(id);
+  return it == hashes_.end() ? nullptr : it->second.get();
 }
 
 StatusOr<IndexDescriptor> Catalog::descriptor(IndexId id) const {
@@ -230,6 +264,7 @@ Status Catalog::Load() {
   std::map<IndexId, IndexDescriptor> indexes;
   std::map<IndexId, std::unique_ptr<BTree>> trees;
   std::map<IndexId, std::unique_ptr<SideFile>> side_files;
+  std::map<IndexId, std::unique_ptr<HashIndex>> hashes;
   std::map<TableId, std::vector<IndexId>> table_indexes;
   uint32_t next_table_id, next_index_id;
 
@@ -282,6 +317,22 @@ Status Catalog::Load() {
 
     auto tree = std::make_unique<BTree>(d.id, pool_, txns_, options_);
     OIB_RETURN_IF_ERROR(tree->Open(d.anchor));
+    if (options_->enable_hash_index) {
+      auto hash =
+          std::make_unique<HashIndex>(d.id, options_->hash_index_shards);
+      hash->AttachMetrics(&obs::MetricsRegistry::Default());
+      tree->set_entry_observer(hash.get());
+      // Repopulate from the quiescent tree — restart redo ran before Load,
+      // and loser undo (after Load) is mirrored through the observer.  An
+      // interrupted SF build is the exception: its loader may hold a torn
+      // tail that SfIndexBuilder::Resume truncates, so Resume owns the
+      // repopulation for those.
+      if (d.state == IndexState::kReady || d.algo != BuildAlgo::kSf) {
+        OIB_RETURN_IF_ERROR(PopulateHashFromTree(tree.get(), hash.get()));
+      }
+      if (d.state == IndexState::kReady) hash->set_readable(true);
+      hashes[d.id] = std::move(hash);
+    }
     trees[d.id] = std::move(tree);
     if (d.side_file_first != kInvalidPageId) {
       auto sf = std::make_unique<SideFile>(d.id, pool_, txns_);
@@ -312,6 +363,7 @@ Status Catalog::Load() {
   indexes_ = std::move(indexes);
   trees_ = std::move(trees);
   side_files_ = std::move(side_files);
+  hashes_ = std::move(hashes);
   table_indexes_ = std::move(table_indexes);
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 #include "common/options.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "hashidx/hash_index.h"
 #include "heap/heap_file.h"
 #include "sidefile/side_file.h"
 #include "storage/buffer_pool.h"
@@ -94,6 +95,9 @@ class Catalog {
 
   BTree* index(IndexId id) const;
   SideFile* side_file(IndexId id) const;
+  // Hash fast-path fragment for an index; nullptr when the engine runs
+  // with enable_hash_index off (the default).
+  HashIndex* hash_index(IndexId id) const;
   StatusOr<IndexDescriptor> descriptor(IndexId id) const;
   // Descriptors of a table in creation order (the count-prefix order).
   std::vector<IndexDescriptor> IndexesOf(TableId table) const;
@@ -123,6 +127,10 @@ class Catalog {
   std::map<IndexId, std::unique_ptr<BTree>> trees_ OIB_GUARDED_BY(mu_);
   std::map<IndexId, std::unique_ptr<SideFile>> side_files_
       OIB_GUARDED_BY(mu_);
+  // Hash fast-path fragments, parallel to trees_ (only populated when
+  // options_->enable_hash_index).  Each fragment is also installed as its
+  // tree's entry observer, so erase order matters: detach first.
+  std::map<IndexId, std::unique_ptr<HashIndex>> hashes_ OIB_GUARDED_BY(mu_);
   // Per-table creation order.
   std::map<TableId, std::vector<IndexId>> table_indexes_ OIB_GUARDED_BY(mu_);
   TableId next_table_id_ OIB_GUARDED_BY(mu_) = 1;

@@ -113,6 +113,9 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
   }
   std::string prev_key;
   bool has_prev = false;
+  // The bulk loader writes leaves directly (no tree mutation choke
+  // points), so the hash mirror is fed here, alongside each Add.
+  HashIndex* hash = catalog->hash_index(id);
   auto consume = [&](const BuildPipeline::Batch& batch) -> Status {
     for (const SortItem& item : batch.items) {
       if (params.unique && has_prev && item.key.view() == prev_key) {
@@ -120,6 +123,10 @@ Status OfflineIndexBuilder::Build(const BuildParams& params, IndexId* out,
             "duplicate key value in offline build");
       }
       OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
+      if (hash != nullptr) {
+        OIB_FAIL_POINT("hash.populate");
+        hash->BulkAdd(item.key.view(), item.rid, 0);
+      }
       prev_key.assign(item.key.data(), item.key.size());
       has_prev = true;
       ++local.keys_loaded;

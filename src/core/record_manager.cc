@@ -42,6 +42,9 @@ void RecordManager::AttachMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterValueFn(
       "records.rollback_compensations",
       [this] { return stats_.rollback_compensations.load(); }, this);
+  hash_hits_ = registry->GetCounter("hash.hits");
+  hash_misses_ = registry->GetCounter("hash.misses");
+  hash_fallbacks_ = registry->GetCounter("hash.fallbacks");
 }
 
 void RecordManager::AttachHeapRm(HeapRm* heap_rm) {
@@ -365,6 +368,78 @@ StatusOr<std::string> RecordManager::ReadRecord(Transaction* txn,
   HeapFile* heap = catalog_->table(table);
   if (heap == nullptr) return Status::NotFound("no such table");
   return heap->Get(rid);
+}
+
+StatusOr<std::string> RecordManager::ReadRecordByKey(Transaction* txn,
+                                                     TableId table,
+                                                     IndexId index,
+                                                     std::string_view key) {
+  LockOptions opt;
+  opt.timeout_ms = options_->lock_timeout_ms;
+  OIB_RETURN_IF_ERROR(
+      locks_->Lock(txn->id(), TableLockId(table), LockMode::kIS, opt));
+  auto desc = catalog_->descriptor(index);
+  if (!desc.ok()) return desc.status();
+  if (desc->table != table) {
+    return Status::InvalidArgument("index not on this table");
+  }
+  if (desc->state != IndexState::kReady) {
+    return Status::InvalidArgument("index not readable");
+  }
+  BTree* tree = catalog_->index(index);
+  if (tree == nullptr) return Status::NotFound("no such index");
+  HeapFile* heap = catalog_->table(table);
+  if (heap == nullptr) return Status::NotFound("no such table");
+  HashIndex* hash =
+      options_->enable_hash_index ? catalog_->hash_index(index) : nullptr;
+
+  // Resolve key -> RID, lock, fetch, then verify the fetched record still
+  // carries this key (it may have been updated between the index read and
+  // the record lock); mismatch retries with fresh index state.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Rid rid;
+    bool resolved = false;
+    if (hash != nullptr) {
+      switch (hash->Probe(key, &rid)) {
+        case HashProbe::kHit:
+          if (hash_hits_ != nullptr) hash_hits_->Inc();
+          resolved = true;
+          break;
+        case HashProbe::kDeleted:
+          // Every entry for the key is pseudo-deleted: a tree descent
+          // would surface the same tombstone and answer NotFound.
+          if (hash_hits_ != nullptr) hash_hits_->Inc();
+          return Status::NotFound("no record with this key");
+        case HashProbe::kMiss:
+          if (hash_misses_ != nullptr) hash_misses_->Inc();
+          break;
+        case HashProbe::kFallback:
+          if (hash_fallbacks_ != nullptr) hash_fallbacks_->Inc();
+          break;
+      }
+    }
+    if (!resolved) {
+      auto vm = tree->FindKeyValue(key);
+      if (!vm.ok()) return vm.status();
+      if (!vm->found || vm->pseudo_deleted) {
+        return Status::NotFound("no record with this key");
+      }
+      rid = vm->rid;
+    }
+    OIB_RETURN_IF_ERROR(locks_->Lock(txn->id(), RecordLockId(table, rid),
+                                     LockMode::kS, opt));
+    auto rec = heap->Get(rid);
+    if (!rec.ok()) {
+      if (rec.status().IsNotFound()) continue;  // deleted after resolution
+      return rec.status();
+    }
+    std::string actual_key;
+    OIB_RETURN_IF_ERROR(
+        ExtractKeyFor(desc->key_cols, desc->key_types, *rec, &actual_key));
+    if (actual_key == key) return rec;
+    // The record moved to a different key under us; resolve again.
+  }
+  return Status::Busy("point read did not converge");
 }
 
 // ------------------------------ Figure 2 -----------------------------

@@ -149,6 +149,14 @@ class RecordManager {
   Status UpdateRecord(Transaction* txn, TableId table, Rid rid,
                       std::string_view new_record);
   StatusOr<std::string> ReadRecord(Transaction* txn, TableId table, Rid rid);
+  // Point read through an index: resolves `key` to a RID — via the hash
+  // fast path when enable_hash_index is set (tree descent on a miss),
+  // via BTree::FindKeyValue otherwise — then S-locks and fetches the
+  // record.  The fetched record's key is re-extracted and compared, with
+  // a bounded retry on mismatch, so both resolution paths return exactly
+  // the record whose key matches or NotFound.  The index must be kReady.
+  StatusOr<std::string> ReadRecordByKey(Transaction* txn, TableId table,
+                                        IndexId index, std::string_view key);
   // Test helper: insert at a specific dead RID (paper 2.2.3 example).
   Status InsertRecordAt(Transaction* txn, TableId table, Rid rid,
                         std::string_view record);
@@ -208,6 +216,11 @@ class RecordManager {
       OIB_GUARDED_BY(builds_mu_);
   RecordManagerStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // Hash fast-path outcome counters (registry-owned; cached here by
+  // AttachMetrics so the read hot path is one relaxed fetch-add).
+  obs::Counter* hash_hits_ = nullptr;
+  obs::Counter* hash_misses_ = nullptr;
+  obs::Counter* hash_fallbacks_ = nullptr;
 };
 
 }  // namespace oib

@@ -424,6 +424,11 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
         prev_rid = loader.high_rid();
       }
       uint64_t since_ckpt = 0;
+      // Feed the hash mirror alongside the loader: bulk-loaded leaves
+      // bypass the tree's mutation choke points, so the observer never
+      // fires for them.  A resumed build re-scans the whole tree after
+      // this phase (see below), so missing the pre-crash prefix is fine.
+      HashIndex* hash = catalog->hash_index(ids[idx]);
       auto consume = [&](const BuildPipeline::Batch& mb) -> Status {
         for (const SortItem& item : mb.items) {
           OIB_FAIL_POINT("sf.load");
@@ -434,6 +439,10 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
                 descs[idx].key_types, item.key.view(), prev_rid, item.rid));
           }
           OIB_RETURN_IF_ERROR(loader.Add(item.key, item.rid));
+          if (hash != nullptr) {
+            OIB_FAIL_POINT("hash.populate");
+            hash->BulkAdd(item.key.view(), item.rid, 0);
+          }
           prev_key.assign(item.key.data(), item.key.size());
           prev_rid = item.rid;
           has_prev = true;
@@ -479,6 +488,24 @@ Status SfIndexBuilder::Run(TableId table, std::vector<IndexId> ids,
     meta.phase_blob = EncodeSfApplyState(0, kInvalidPageId, 0, 0, 0);
     OIB_RETURN_IF_ERROR(SaveBuildMeta(engine_, table, meta));
     phase_blob = meta.phase_blob;
+  }
+
+  // A resumed build skipped Catalog::Load's hash population (the tree's
+  // tail may have been torn at that point) and phase-2 consume only saw
+  // keys loaded in this run, so the mirrors may be missing a prefix — or
+  // whole trees loaded before the crash.  Updaters never touch an
+  // SF-building tree directly (they route through the side-file), so the
+  // trees are stable here and a full rescan rebuilds every mirror.
+  if (start_phase >= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      if (HashIndex* hash = catalog->hash_index(ids[i])) {
+        Status s = PopulateHashFromTree(trees[i], hash);
+        if (!s.ok()) {
+          if (s.IsInjected()) return s;  // crash-test hook
+          return abort_build(s);
+        }
+      }
+    }
   }
   auto t_apply = std::chrono::steady_clock::now();
 

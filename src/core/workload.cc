@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/key.h"
 #include "core/schema.h"
 #include "obs/trace.h"
 
@@ -60,7 +61,8 @@ void Workload::Seed(const std::vector<Rid>& rids, uint64_t next_key_id) {
   }
 }
 
-void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
+void Workload::RunTxn(uint32_t worker, Random* rng, ZipfGenerator* zipf,
+                      WorkloadStats* stats) {
   Shard& shard = shards_[worker];
   Transaction* txn = engine_->Begin();
 
@@ -136,12 +138,25 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
         if (change_key) key_changes.push_back({idx, std::move(key)});
       }
     } else {
-      size_t idx = rng->Uniform(shard.live.size());
+      size_t idx = zipf != nullptr
+                       ? static_cast<size_t>(zipf->Next()) %
+                             shard.live.size()
+                       : rng->Uniform(shard.live.size());
       uint64_t t0 = obs::MonotonicNanos();
-      auto rec = engine_->records()->ReadRecord(txn, table_,
-                                                shard.live[idx].first);
+      if (options_.read_index != kInvalidIndexId) {
+        // By-key reads take the normalized form the index stores; the
+        // workload's key field is a single string column.
+        std::string nkey;
+        keyenc::AppendStringColumn(&nkey, shard.live[idx].second);
+        s = engine_->records()
+                ->ReadRecordByKey(txn, table_, options_.read_index, nkey)
+                .status();
+      } else {
+        s = engine_->records()
+                ->ReadRecord(txn, table_, shard.live[idx].first)
+                .status();
+      }
       read_ns_->Record(obs::MonotonicNanos() - t0);
-      s = rec.ok() ? Status::OK() : rec.status();
       if (s.ok()) ++txn_stats.reads;
     }
     if (!s.ok()) {
@@ -194,12 +209,20 @@ void Workload::RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats) {
 void Workload::WorkerLoop(uint32_t worker, uint64_t op_budget) {
   obs::SetCurrentThreadName("workload." + std::to_string(worker));
   Random rng(options_.seed + worker * 7919 + 1);
+  // Zipf ranks are drawn over the shard's starting population and mapped
+  // onto the live vector by modulo; rank 0 is the hottest row.
+  std::unique_ptr<ZipfGenerator> zipf;
+  if (options_.read_dist == ReadKeyDist::kZipfian) {
+    uint64_t n = std::max<uint64_t>(shards_[worker].live.size(), 1);
+    zipf = std::make_unique<ZipfGenerator>(n, options_.zipf_theta,
+                                           options_.seed + worker * 131 + 7);
+  }
   WorkloadStats& stats = thread_stats_[worker];
   uint64_t done = 0;
   while (!stop_.load(std::memory_order_relaxed) &&
          (op_budget == 0 || done < op_budget)) {
     uint64_t before = stats.ops();
-    RunTxn(worker, &rng, &stats);
+    RunTxn(worker, &rng, zipf.get(), &stats);
     done += stats.ops() - before + 1;  // +1 so failed txns still progress
   }
 }

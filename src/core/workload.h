@@ -24,6 +24,12 @@
 
 namespace oib {
 
+// Distribution of which live row a point read targets.
+enum class ReadKeyDist : uint8_t {
+  kUniform = 0,  // every live row equally likely
+  kZipfian = 1,  // rank-skewed (hot keys); theta below
+};
+
 struct WorkloadOptions {
   uint32_t threads = 2;
   uint32_t ops_per_txn = 4;
@@ -31,6 +37,13 @@ struct WorkloadOptions {
   double insert_pct = 0.3;
   double delete_pct = 0.2;
   double update_pct = 0.3;
+  // Point reads resolve by key through this index (the hash fast path
+  // when enable_hash_index is set, a tree descent otherwise) instead of
+  // by remembered RID.  kInvalidIndexId keeps the RID-based read.
+  IndexId read_index = kInvalidIndexId;
+  // Which live row a read targets; zipfian concentrates on hot ranks.
+  ReadKeyDist read_dist = ReadKeyDist::kUniform;
+  double zipf_theta = 0.99;
   // Fraction of update operations that change the key column (causing
   // index delete+insert) rather than only the payload.
   double update_changes_key = 0.5;
@@ -119,8 +132,10 @@ class Workload {
   };
 
   void WorkerLoop(uint32_t worker, uint64_t op_budget);
-  // One transaction; updates shard-local state only on commit.
-  void RunTxn(uint32_t worker, Random* rng, WorkloadStats* stats);
+  // One transaction; updates shard-local state only on commit.  `zipf`
+  // is the worker's read-rank generator (null = uniform reads).
+  void RunTxn(uint32_t worker, Random* rng, ZipfGenerator* zipf,
+              WorkloadStats* stats);
 
   Engine* engine_;
   TableId table_;

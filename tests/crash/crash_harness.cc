@@ -49,6 +49,7 @@ struct HarnessOptions {
   uint64_t iters = 20;
   uint64_t seed = 1;
   std::string algo = "both";  // nsf | sf | both (alternates)
+  std::string site;           // restrict kill sites to this name prefix
   uint64_t rows = 1500;
   uint32_t update_threads = 2;
   std::string dir;
@@ -92,6 +93,11 @@ constexpr KillSite kKillSites[] = {
     {"sf.apply", false, true, false, 16},
     {"sf.finalize", false, true, false, 1},
     {"sf.commit", false, true, false, 1},
+    // Hash fast-path sites: populate fires per key during the SF phase-2
+    // consume (and on resume repopulation); commit fires once when the
+    // descriptor flips to ready (both algorithms).
+    {"hash.populate", false, true, false, 32},
+    {"hash.commit", false, false, false, 1},
 };
 
 struct KillChoice {
@@ -100,12 +106,26 @@ struct KillChoice {
   bool before_restart = false;  // arm before recovery runs, not after
 };
 
-KillChoice PickKill(uint64_t* rng, bool sf) {
+KillChoice PickKill(uint64_t* rng, bool sf, const std::string& site_prefix) {
   std::vector<const KillSite*> eligible;
   for (const KillSite& s : kKillSites) {
     if (s.sf_only && !sf) continue;
     if (s.nsf_only && sf) continue;
+    if (!site_prefix.empty() &&
+        std::strncmp(s.name, site_prefix.c_str(), site_prefix.size()) != 0) {
+      continue;
+    }
     eligible.push_back(&s);
+  }
+  if (eligible.empty()) {
+    // --site excluded everything for this algorithm (e.g. an sf_only
+    // prefix on an nsf iteration): fall back to the full set so the
+    // iteration still makes progress.
+    for (const KillSite& s : kKillSites) {
+      if (s.sf_only && !sf) continue;
+      if (s.nsf_only && sf) continue;
+      eligible.push_back(&s);
+    }
   }
   const KillSite* site = eligible[SplitMix64(rng) % eligible.size()];
   KillChoice choice;
@@ -129,6 +149,10 @@ Options EngineOptions() {
   o.ib_checkpoint_every_keys = 300;
   o.sort_checkpoint_every_keys = 300;
   o.sf_apply_batch = 64;
+  // The hash fast path rides along so its populate/commit kill sites and
+  // restart repopulation get the same randomized coverage as the tree.
+  o.enable_hash_index = true;
+  o.hash_index_shards = 4;
   return o;
 }
 
@@ -300,7 +324,13 @@ int Run(const HarnessOptions& opts) {
     bool iteration_failed = false;
     int attempt = 0;
     for (; attempt <= opts.max_restarts; ++attempt) {
-      KillChoice kill = PickKill(&rng, sf);
+      // --site pins only the FIRST kill.  Restart attempts draw from the
+      // full set: convergence relies on an attempt eventually picking a
+      // kill the resumed build never reaches, and a narrow filter (e.g. a
+      // commit-edge site, which fires on every resume) would loop until
+      // max_restarts.
+      KillChoice kill =
+          PickKill(&rng, sf, attempt == 0 ? opts.site : std::string());
       if (opts.verbose) {
         std::fprintf(stderr, "  iter %" PRIu64 " attempt %d: %s@%d %s%s\n",
                      iter, attempt, kill.name.c_str(),
@@ -344,9 +374,10 @@ int Run(const HarnessOptions& opts) {
       ++failures;
       std::fprintf(stderr,
                    "REPRO: crash_harness --iters=1 --seed=%" PRIu64
-                   " --algo=%s --rows=%" PRIu64 " --updates=%u\n",
+                   " --algo=%s --rows=%" PRIu64 " --updates=%u%s%s\n",
                    iter_seed, sf ? "sf" : "nsf", opts.rows,
-                   opts.update_threads);
+                   opts.update_threads, opts.site.empty() ? "" : " --site=",
+                   opts.site.c_str());
     } else if (opts.verbose || (iter + 1) % 10 == 0 ||
                iter + 1 == opts.iters) {
       std::fprintf(stderr,
@@ -388,6 +419,8 @@ int main(int argc, char** argv) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (oib::ParseFlag(argv[i], "--algo", &v)) {
       opts.algo = v;
+    } else if (oib::ParseFlag(argv[i], "--site", &v)) {
+      opts.site = v;
     } else if (oib::ParseFlag(argv[i], "--rows", &v)) {
       opts.rows = std::strtoull(v.c_str(), nullptr, 10);
     } else if (oib::ParseFlag(argv[i], "--updates", &v)) {
@@ -403,15 +436,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: crash_harness [--iters=N] [--seed=S] "
-                   "[--algo=nsf|sf|both] [--rows=N] [--updates=T] "
-                   "[--dir=PATH] [--max-restarts=N] [--timeout=SECS] "
-                   "[--verbose]\n");
+                   "[--algo=nsf|sf|both] [--site=PREFIX] [--rows=N] "
+                   "[--updates=T] [--dir=PATH] [--max-restarts=N] "
+                   "[--timeout=SECS] [--verbose]\n");
       return 2;
     }
   }
   if (opts.algo != "nsf" && opts.algo != "sf" && opts.algo != "both") {
     std::fprintf(stderr, "bad --algo: %s\n", opts.algo.c_str());
     return 2;
+  }
+  if (!opts.site.empty()) {
+    bool any = false;
+    for (const oib::KillSite& s : oib::kKillSites) {
+      if (std::strncmp(s.name, opts.site.c_str(), opts.site.size()) == 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      std::fprintf(stderr, "bad --site: no kill site matches prefix %s\n",
+                   opts.site.c_str());
+      return 2;
+    }
   }
   return oib::Run(opts);
 }

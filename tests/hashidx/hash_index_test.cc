@@ -1,0 +1,155 @@
+// HashIndex unit tests: probe semantics (hit / deleted / miss /
+// fallback), mirror maintenance through the observer interface, multi-RID
+// slots, and the publication gate.
+
+#include "hashidx/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+
+namespace oib {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest() : hash_(/*index_id=*/1, /*shards=*/4) {
+    hash_.set_readable(true);
+  }
+
+  HashProbe Probe(const std::string& key, Rid* rid = nullptr) {
+    Rid scratch;
+    return hash_.Probe(key, rid != nullptr ? rid : &scratch);
+  }
+
+  HashIndex hash_;
+};
+
+TEST_F(HashIndexTest, FallbackUntilReadable) {
+  HashIndex fresh(/*index_id=*/2, /*shards=*/2);
+  fresh.OnLeafInsert("k", Rid(1, 1), 0);
+  Rid rid;
+  EXPECT_EQ(fresh.Probe("k", &rid), HashProbe::kFallback);
+  fresh.set_readable(true);
+  EXPECT_EQ(fresh.Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(1, 1));
+}
+
+TEST_F(HashIndexTest, MissForAbsentKey) {
+  EXPECT_EQ(Probe("nope"), HashProbe::kMiss);
+}
+
+TEST_F(HashIndexTest, InsertThenHit) {
+  hash_.OnLeafInsert("alpha", Rid(3, 7), 0);
+  Rid rid;
+  EXPECT_EQ(Probe("alpha", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(3, 7));
+  EXPECT_EQ(hash_.entry_count(), 1u);
+}
+
+TEST_F(HashIndexTest, PseudoDeletedEntryNotSurfaced) {
+  hash_.OnLeafInsert("k", Rid(1, 1), 0);
+  hash_.OnLeafSetFlags("k", Rid(1, 1), kEntryPseudoDeleted);
+  EXPECT_EQ(Probe("k"), HashProbe::kDeleted);
+  // Reactivation makes it live again (Figure 2 undo path).
+  hash_.OnLeafSetFlags("k", Rid(1, 1), 0);
+  Rid rid;
+  EXPECT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(1, 1));
+}
+
+TEST_F(HashIndexTest, TombstoneInsertStartsDeleted) {
+  // A deleter of an absent key inserts a tombstone (section 2.1.2).
+  hash_.OnLeafInsert("k", Rid(1, 1), kEntryPseudoDeleted);
+  EXPECT_EQ(Probe("k"), HashProbe::kDeleted);
+}
+
+TEST_F(HashIndexTest, RemoveErasesEntry) {
+  hash_.OnLeafInsert("k", Rid(1, 1), 0);
+  hash_.OnLeafRemove("k", Rid(1, 1));
+  EXPECT_EQ(Probe("k"), HashProbe::kMiss);
+  EXPECT_EQ(hash_.entry_count(), 0u);
+  // Removing again (or a never-seen key) is a tolerated no-op.
+  hash_.OnLeafRemove("k", Rid(1, 1));
+  hash_.OnLeafRemove("other", Rid(9, 9));
+}
+
+TEST_F(HashIndexTest, MinimumLiveRidWins) {
+  // FindKeyValue scans ascending (key, rid) and returns the first live
+  // entry; the mirror must agree regardless of insertion order.
+  hash_.OnLeafInsert("k", Rid(5, 0), 0);
+  hash_.OnLeafInsert("k", Rid(3, 0), 0);
+  hash_.OnLeafInsert("k", Rid(8, 0), 0);
+  Rid rid;
+  ASSERT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(3, 0));
+  EXPECT_EQ(hash_.entry_count(), 3u);
+
+  // Pseudo-deleting the minimum shifts the answer to the next live RID.
+  hash_.OnLeafSetFlags("k", Rid(3, 0), kEntryPseudoDeleted);
+  ASSERT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(5, 0));
+
+  // All pseudo -> deleted.
+  hash_.OnLeafSetFlags("k", Rid(5, 0), kEntryPseudoDeleted);
+  hash_.OnLeafSetFlags("k", Rid(8, 0), kEntryPseudoDeleted);
+  EXPECT_EQ(Probe("k"), HashProbe::kDeleted);
+}
+
+TEST_F(HashIndexTest, RemoveFirstPromotesOverflow) {
+  hash_.OnLeafInsert("k", Rid(1, 0), 0);
+  hash_.OnLeafInsert("k", Rid(2, 0), 0);
+  hash_.OnLeafInsert("k", Rid(3, 0), 0);
+  hash_.OnLeafRemove("k", Rid(1, 0));  // first slot entry
+  Rid rid;
+  ASSERT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(2, 0));
+  hash_.OnLeafRemove("k", Rid(2, 0));
+  ASSERT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(3, 0));
+  hash_.OnLeafRemove("k", Rid(3, 0));
+  EXPECT_EQ(Probe("k"), HashProbe::kMiss);
+  EXPECT_EQ(hash_.entry_count(), 0u);
+}
+
+TEST_F(HashIndexTest, ReinsertSameRidUpdatesFlagsInPlace) {
+  hash_.OnLeafInsert("k", Rid(1, 1), kEntryPseudoDeleted);
+  hash_.OnLeafInsert("k", Rid(1, 1), 0);  // reactivating re-insert
+  Rid rid;
+  EXPECT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(hash_.entry_count(), 1u);
+}
+
+TEST_F(HashIndexTest, SetFlagsUpsertsUnseenEntry) {
+  // A flag change for an entry the mirror never saw (population gap)
+  // upserts it rather than diverging from the tree.
+  hash_.OnLeafSetFlags("k", Rid(4, 2), 0);
+  Rid rid;
+  EXPECT_EQ(Probe("k", &rid), HashProbe::kHit);
+  EXPECT_EQ(rid, Rid(4, 2));
+}
+
+TEST_F(HashIndexTest, ClearEmptiesEveryShard) {
+  for (int i = 0; i < 100; ++i) {
+    hash_.OnLeafInsert("key" + std::to_string(i), Rid(i + 1, 0), 0);
+  }
+  EXPECT_EQ(hash_.entry_count(), 100u);
+  uint64_t spread = 0;
+  for (size_t s = 0; s < hash_.shard_count(); ++s) {
+    if (hash_.shard_entry_count(s) > 0) ++spread;
+  }
+  EXPECT_GT(spread, 1u);  // keys land on more than one shard
+  hash_.Clear();
+  EXPECT_EQ(hash_.entry_count(), 0u);
+  EXPECT_EQ(Probe("key42"), HashProbe::kMiss);
+}
+
+TEST_F(HashIndexTest, AutoShardCountIsPowerOfTwo) {
+  HashIndex h(/*index_id=*/3, /*shards=*/0);
+  size_t n = h.shard_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+}  // namespace
+}  // namespace oib
